@@ -1,0 +1,121 @@
+// Command elmem-master runs one ElMem Master action against a pool of
+// elmem-node agents: score the nodes, scale in with the three-phase
+// FuseCache migration, or scale out with the consistent-hash split.
+//
+// Usage:
+//
+//	elmem-master -nodes nodeA=127.0.0.1:12211,nodeB=127.0.0.1:12212,nodeC=127.0.0.1:12213 -score
+//	elmem-master -nodes ... -scale-in 1
+//	elmem-master -nodes ... -scale-out nodeD=127.0.0.1:12214
+//
+// -nodes maps node names to their *agent RPC* addresses. After a scaling
+// action the new membership is printed; clients must be repointed at it
+// (in the paper the Master pushes this to the web servers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/agentrpc"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elmem-master:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nodes    = flag.String("nodes", "", "member agents: name=host:port,... (required)")
+		score    = flag.Bool("score", false, "print III-C node scores, coldest first")
+		scaleIn  = flag.Int("scale-in", 0, "retire this many coldest nodes with the ElMem migration")
+		scaleOut = flag.String("scale-out", "", "add nodes: name=host:port,... (already running)")
+	)
+	flag.Parse()
+
+	if *nodes == "" {
+		return fmt.Errorf("-nodes is required")
+	}
+	book := agentrpc.NewAddressBook()
+	defer book.Close()
+	members, err := registerAll(book, *nodes)
+	if err != nil {
+		return err
+	}
+
+	master, err := core.NewMaster(agentrpc.Directory{Book: book}, members)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *score:
+		scores, err := master.ScoreNodes()
+		if err != nil {
+			return err
+		}
+		fmt.Println("rank node score items")
+		for i, s := range scores {
+			fmt.Printf("%d %s %.0f %d\n", i+1, s.Node, s.Score, s.Items)
+		}
+		return nil
+
+	case *scaleIn > 0:
+		report, err := master.ScaleIn(*scaleIn)
+		if err != nil {
+			return err
+		}
+		printReport(report)
+		return nil
+
+	case *scaleOut != "":
+		added, err := registerAll(book, *scaleOut)
+		if err != nil {
+			return err
+		}
+		report, err := master.ScaleOut(added)
+		if err != nil {
+			return err
+		}
+		printReport(report)
+		return nil
+
+	default:
+		return fmt.Errorf("one of -score, -scale-in, or -scale-out is required")
+	}
+}
+
+// registerAll parses name=addr pairs into the book and returns the names.
+func registerAll(book *agentrpc.AddressBook, spec string) ([]string, error) {
+	var names []string
+	for _, entry := range strings.Split(spec, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad node entry %q (want name=host:port)", entry)
+		}
+		book.Register(name, addr)
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+func printReport(report *core.ScaleReport) {
+	fmt.Printf("direction=%s migrated=%d\n", report.Direction, report.ItemsMigrated)
+	if len(report.Retiring) > 0 {
+		fmt.Printf("retired=%s\n", strings.Join(report.Retiring, ","))
+	}
+	if len(report.Added) > 0 {
+		fmt.Printf("added=%s\n", strings.Join(report.Added, ","))
+	}
+	fmt.Printf("members=%s\n", strings.Join(report.Members, ","))
+	for _, t := range report.Timings {
+		fmt.Printf("phase %s %v\n", t.Phase, t.Duration.Round(time.Microsecond))
+	}
+}

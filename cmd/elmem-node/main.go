@@ -1,0 +1,106 @@
+// Command elmem-node runs one ElMem cache node: the Memcached-protocol
+// TCP server plus the ElMem Agent RPC endpoint that the Master and peer
+// Agents use during migration.
+//
+// Usage:
+//
+//	elmem-node -addr 127.0.0.1:11211 -agent-addr 127.0.0.1:12211 \
+//	    -name nodeA -memory-mb 64 \
+//	    -peers nodeB=127.0.0.1:12212,nodeC=127.0.0.1:12213
+//
+// The node name defaults to the cache address. -peers lists the other
+// nodes' agent endpoints so migration phases can stream directly between
+// Agents; the Master only coordinates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/agentrpc"
+	"repro/internal/cache"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elmem-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:11211", "memcached protocol listen address")
+		agentAddr = flag.String("agent-addr", "127.0.0.1:12211", "agent RPC listen address")
+		name      = flag.String("name", "", "node name (default: the cache address)")
+		memoryMB  = flag.Int("memory-mb", 64, "cache memory budget in MiB")
+		peers     = flag.String("peers", "", "comma-separated peer agents: name=host:port,...")
+		crawl     = flag.Duration("crawl", time.Minute, "expired-item crawler interval (0 disables)")
+		verbose   = flag.Bool("v", false, "log requests and agent activity")
+	)
+	flag.Parse()
+
+	nodeName := *name
+	if nodeName == "" {
+		nodeName = *addr
+	}
+
+	logger := log.New(os.Stderr, "elmem-node ", log.LstdFlags)
+	c, err := cache.New(int64(*memoryMB) << 20)
+	if err != nil {
+		return err
+	}
+
+	book := agentrpc.NewAddressBook()
+	defer book.Close()
+	if *peers != "" {
+		for _, entry := range strings.Split(*peers, ",") {
+			peerName, peerAddr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+			if !ok {
+				return fmt.Errorf("bad -peers entry %q (want name=host:port)", entry)
+			}
+			book.Register(peerName, peerAddr)
+		}
+	}
+
+	ag, err := agent.New(nodeName, c, book)
+	if err != nil {
+		return err
+	}
+
+	var serverOpts []server.Option
+	if *verbose {
+		serverOpts = append(serverOpts, server.WithLogger(logger))
+	}
+	if *crawl > 0 {
+		serverOpts = append(serverOpts, server.WithExpiryCrawler(*crawl))
+	}
+	srv, err := server.Listen(*addr, c, serverOpts...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	rpc, err := agentrpc.Serve(*agentAddr, ag, logger)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rpc.Close() }()
+
+	logger.Printf("node %q serving memcached on %s, agent RPC on %s (%d MiB)",
+		nodeName, srv.Addr(), rpc.Addr(), *memoryMB)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "ElMem: Towards an
+// Elastic Memcached System" (Hafeez, Wajahat, Gandhi — ICDCS 2018): an
+// elastic Memcached tier that mitigates post-scaling performance
+// degradation by migrating the optimal subset of hot items between nodes
+// before a scaling action, selected by the FuseCache median-of-medians
+// algorithm.
+//
+// The public surface lives under internal/ packages composed by the
+// binaries in cmd/ and the runnable examples in examples/; bench_test.go
+// regenerates every table and figure of the paper's evaluation. See
+// README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

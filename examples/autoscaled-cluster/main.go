@@ -1,0 +1,112 @@
+// Autoscaled cluster: the full ElMem loop on live TCP nodes — Q1 (when
+// and how much to scale, Eq. 1 + stack distance), Q2 (which node, median
+// scoring), and Q3 (three-phase FuseCache migration) — driven by a demand
+// pattern that rises and falls. The cluster-in-a-box package wires the
+// nodes, Master, and client; the AutoScaler samples live keys and its
+// decisions trigger real scale-outs and scale-ins while traffic flows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/autoscaler"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	box, err := cluster.StartLocal(cluster.Config{
+		Nodes:      2,
+		NodeMemory: 4 * cache.PageSize,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = box.Close() }()
+	fmt.Printf("started %d nodes: %v\n", len(box.Members()), box.Members())
+
+	scaler, err := autoscaler.New(autoscaler.Config{
+		DBCapacity:   3_000, // r_DB: KV req/s the backing store tolerates
+		ItemsPerNode: 5_000,
+		MinNodes:     2,
+		MaxNodes:     6,
+	})
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	gen, err := workload.NewGenerator(rng, 60_000,
+		workload.WithZipfS(0.8), workload.WithSizeBounds(1, 128))
+	if err != nil {
+		return err
+	}
+	cl := box.Client()
+
+	// Demand epochs: requests per decision period, rising then falling.
+	epochs := []struct {
+		label   string
+		kvCount int
+		kvRate  float64 // the rate the AutoScaler is told (KV req/s)
+	}{
+		{label: "low", kvCount: 20_000, kvRate: 2_000},
+		{label: "rising", kvCount: 40_000, kvRate: 6_000},
+		{label: "peak", kvCount: 60_000, kvRate: 12_000},
+		{label: "falling", kvCount: 30_000, kvRate: 4_000},
+		{label: "trough", kvCount: 15_000, kvRate: 1_500},
+	}
+
+	for _, epoch := range epochs {
+		hits, total := 0, 0
+		for i := 0; i < epoch.kvCount; i++ {
+			req := gen.Next()
+			scaler.Record(req.Key) // Q1's sampling at the web tier
+			if _, ok, err := cl.Get(req.Key); err == nil && ok {
+				hits++
+			} else {
+				value := make([]byte, req.ValueSize)
+				_ = cl.Set(req.Key, value)
+			}
+			total++
+		}
+
+		decision, err := scaler.Decide(epoch.kvRate, len(box.Members()))
+		if err != nil {
+			fmt.Printf("epoch %-8s decision error (scaling to max): %v\n", epoch.label, err)
+		}
+		scaler.Reset()
+		fmt.Printf("epoch %-8s hit=%.2f rate=%.0f p_min=%.2f target=%d current=%d\n",
+			epoch.label, float64(hits)/float64(total), epoch.kvRate,
+			decision.MinHitRate, decision.TargetNodes, len(box.Members()))
+
+		switch delta := decision.TargetNodes - len(box.Members()); {
+		case delta > 0:
+			report, err := box.ScaleOut(delta)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  scaled OUT +%d (migrated %d items); members now %d\n",
+				delta, report.ItemsMigrated, len(box.Members()))
+		case delta < 0:
+			report, err := box.ScaleIn(-delta)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  scaled IN %d (retired %v, migrated %d items); members now %d\n",
+				delta, report.Retiring, report.ItemsMigrated, len(box.Members()))
+		default:
+			fmt.Println("  holding")
+		}
+	}
+	fmt.Printf("\nfinal tier: %d nodes, %d resident items\n", len(box.Members()), box.TotalItems())
+	return nil
+}

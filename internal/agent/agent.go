@@ -1,0 +1,510 @@
+// Package agent implements the ElMem Agent that runs beside every
+// Memcached node (Section III-A). Agents do the node-local work of the
+// three-phase migration (Section III-D):
+//
+//	phase 1 — a retiring Agent hashes its keys against the *retained*
+//	membership and streams (key, timestamp) metadata to each target Agent;
+//	phase 2 — each retained Agent runs FuseCache per slab class over the
+//	received lists plus its own, yielding per-sender take counts;
+//	phase 3 — retiring Agents stream the chosen KV pairs, and receivers
+//	batch-import them at their MRU heads.
+//
+// Agents also answer the Master's scoring queries (Section III-C) and
+// perform the scale-out hash split (Section III-D4). Peer communication
+// goes through the Transport interface, implemented in-process (this
+// package) and over TCP (package agentrpc).
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/fusecache"
+	"repro/internal/hashring"
+)
+
+var (
+	// ErrUnknownPeer is returned when the transport cannot resolve a node.
+	ErrUnknownPeer = errors.New("agent: unknown peer")
+	// ErrNoMetadata is returned by ComputeTakes when no offers arrived.
+	ErrNoMetadata = errors.New("agent: no metadata offers received")
+)
+
+// Peer is the receiving side of agent-to-agent communication.
+type Peer interface {
+	// OfferMetadata delivers phase-1 metadata from a retiring/existing
+	// node: per slab class, the sender's items that hash to this peer, in
+	// MRU order.
+	OfferMetadata(from string, metas map[int][]cache.ItemMeta) error
+	// ImportData delivers phase-3 KV pairs in MRU order (hottest first).
+	ImportData(from string, pairs []cache.KV) error
+}
+
+// Transport resolves peers by node name.
+type Transport interface {
+	Peer(node string) (Peer, error)
+}
+
+// ScoreReport is a node's answer to the Master's scoring query: per
+// populated slab class, the MRU timestamp of the median item and the slab's
+// page weight w_b (Section III-C).
+type ScoreReport struct {
+	// Node names the reporting node.
+	Node string `json:"node"`
+	// Medians maps class ID → the median item's MRU timestamp (Unix nanos).
+	Medians map[int]int64 `json:"medians"`
+	// Weights maps class ID → w_b, the slab's share of assigned pages.
+	Weights map[int]float64 `json:"weights"`
+	// Items is the node's resident item count.
+	Items int `json:"items"`
+}
+
+// Agent is the per-node ElMem agent.
+type Agent struct {
+	node      string
+	cache     *cache.Cache
+	transport Transport
+	replicas  int
+	batchSize int
+
+	mu     sync.Mutex
+	offers map[string]map[int][]cache.ItemMeta // sender → class → MRU metadata
+}
+
+// Option configures an Agent.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	replicas  int
+	batchSize int
+}
+
+type replicasOption int
+
+func (o replicasOption) apply(opts *options) { opts.replicas = int(o) }
+
+// WithRingReplicas sets the consistent-hashing virtual-node count the
+// Agent uses when computing key targets; it must match the client ring.
+func WithRingReplicas(n int) Option { return replicasOption(n) }
+
+type batchSizeOption int
+
+func (o batchSizeOption) apply(opts *options) { opts.batchSize = int(o) }
+
+// WithTransferBatchSize bounds how many KV pairs one ImportData push
+// carries (default 2048). Smaller batches cap per-frame memory and give
+// the paper's "regulated data movement over the network" a knob; larger
+// batches reduce round trips.
+func WithTransferBatchSize(n int) Option { return batchSizeOption(n) }
+
+// DefaultTransferBatchSize is the default migration push granularity.
+const DefaultTransferBatchSize = 2048
+
+// New creates an Agent for the given node name and cache.
+func New(node string, c *cache.Cache, transport Transport, opts ...Option) (*Agent, error) {
+	if node == "" {
+		return nil, errors.New("agent: empty node name")
+	}
+	if c == nil {
+		return nil, errors.New("agent: nil cache")
+	}
+	if transport == nil {
+		return nil, errors.New("agent: nil transport")
+	}
+	o := options{
+		replicas:  hashring.DefaultReplicas,
+		batchSize: DefaultTransferBatchSize,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if o.batchSize < 1 {
+		o.batchSize = DefaultTransferBatchSize
+	}
+	return &Agent{
+		node:      node,
+		cache:     c,
+		transport: transport,
+		replicas:  o.replicas,
+		batchSize: o.batchSize,
+		offers:    make(map[string]map[int][]cache.ItemMeta),
+	}, nil
+}
+
+// Node returns the agent's node name.
+func (a *Agent) Node() string { return a.node }
+
+// Cache exposes the underlying store (tests and the node server use it).
+func (a *Agent) Cache() *cache.Cache { return a.cache }
+
+// Score answers the Master's III-C query.
+func (a *Agent) Score() ScoreReport {
+	report := ScoreReport{
+		Node:    a.node,
+		Medians: make(map[int]int64),
+		Weights: a.cache.SlabPageWeights(),
+		Items:   a.cache.Len(),
+	}
+	for _, classID := range a.cache.PopulatedClasses() {
+		if ts, ok := a.cache.MedianTimestamp(classID); ok {
+			report.Medians[classID] = ts.UnixNano()
+		}
+	}
+	return report
+}
+
+// SendMetadata is phase 1, run on a retiring node: split every slab
+// class's MRU metadata by consistent-hash target over the retained
+// membership and push each split to its peer.
+func (a *Agent) SendMetadata(retained []string) error {
+	if len(retained) == 0 {
+		return errors.New("agent: no retained nodes to send metadata to")
+	}
+	ring, err := hashring.New(retained, hashring.WithReplicas(a.replicas))
+	if err != nil {
+		return fmt.Errorf("send metadata: %w", err)
+	}
+	// One pass per target: the dump filter keeps only keys owned by it.
+	for _, target := range retained {
+		target := target
+		metas := a.cache.DumpAll(func(key string) bool {
+			owner, err := ring.Get(key)
+			return err == nil && owner == target
+		})
+		if len(metas) == 0 {
+			continue
+		}
+		peer, err := a.transport.Peer(target)
+		if err != nil {
+			return fmt.Errorf("send metadata to %s: %w", target, err)
+		}
+		if err := peer.OfferMetadata(a.node, metas); err != nil {
+			return fmt.Errorf("send metadata to %s: %w", target, err)
+		}
+	}
+	return nil
+}
+
+// OfferMetadata receives a phase-1 push (Peer implementation).
+func (a *Agent) OfferMetadata(from string, metas map[int][]cache.ItemMeta) error {
+	if from == "" {
+		return errors.New("agent: metadata offer without sender")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.offers[from] = metas
+	return nil
+}
+
+// Takes maps sender node → slab class → number of head items to migrate.
+type Takes map[string]map[int]int
+
+// ComputeTakes is phase 2, run on a retained node: for every slab class,
+// run FuseCache across the offered metadata lists plus the local list, and
+// return how many head items each sender should ship. The local list's
+// take is implicit — local items are already resident.
+func (a *Agent) ComputeTakes() (Takes, error) {
+	a.mu.Lock()
+	offers := a.offers
+	a.offers = make(map[string]map[int][]cache.ItemMeta)
+	a.mu.Unlock()
+	if len(offers) == 0 {
+		return nil, ErrNoMetadata
+	}
+
+	// Stable sender order for determinism.
+	senders := make([]string, 0, len(offers))
+	for s := range offers {
+		senders = append(senders, s)
+	}
+	sort.Strings(senders)
+
+	// Union of classes appearing in any offer.
+	classSet := make(map[int]struct{})
+	for _, byClass := range offers {
+		for classID := range byClass {
+			classSet[classID] = struct{}{}
+		}
+	}
+
+	out := make(Takes, len(senders))
+	for _, s := range senders {
+		out[s] = make(map[int]int)
+	}
+	for classID := range classSet {
+		// Build the k lists: senders first, own list last (Section IV-A).
+		lists := make([]fusecache.List, 0, len(senders)+1)
+		for _, s := range senders {
+			lists = append(lists, metasToList(offers[s][classID]))
+		}
+		ownMetas, err := a.cache.DumpClass(classID, nil)
+		if err != nil {
+			return nil, fmt.Errorf("compute takes class %d: %w", classID, err)
+		}
+		lists = append(lists, metasToList(ownMetas))
+
+		// n = the most items of this class the node can end up holding:
+		// assigned-page capacity plus unassigned pages (at least the
+		// current population, which by construction fits).
+		n := a.cache.ClassAbsorbCapacity(classID)
+		if n < len(ownMetas) {
+			n = len(ownMetas)
+		}
+		res, err := fusecache.TopN(lists, n)
+		if err != nil {
+			return nil, fmt.Errorf("compute takes class %d: %w", classID, err)
+		}
+		for i, s := range senders {
+			if res.Take[i] > 0 {
+				out[s][classID] = res.Take[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// metasToList projects dump metadata onto FuseCache hotness values.
+func metasToList(metas []cache.ItemMeta) fusecache.List {
+	l := make(fusecache.List, len(metas))
+	for i, m := range metas {
+		l[i] = m.LastAccess.UnixNano()
+	}
+	return l
+}
+
+// SendData is phase 3, run on a retiring node: for the given target and
+// its per-class take counts, fetch the hottest matching KV pairs and push
+// them to the target for batch import.
+func (a *Agent) SendData(target string, takes map[int]int, retained []string) (int, error) {
+	if len(retained) == 0 {
+		return 0, errors.New("agent: no retained membership for data transfer")
+	}
+	ring, err := hashring.New(retained, hashring.WithReplicas(a.replicas))
+	if err != nil {
+		return 0, fmt.Errorf("send data: %w", err)
+	}
+	filter := func(key string) bool {
+		owner, err := ring.Get(key)
+		return err == nil && owner == target
+	}
+	var pairs []cache.KV
+	classes := make([]int, 0, len(takes))
+	for classID := range takes {
+		classes = append(classes, classID)
+	}
+	sort.Ints(classes)
+	for _, classID := range classes {
+		kvs, err := a.cache.FetchTop(classID, takes[classID], filter)
+		if err != nil {
+			return 0, fmt.Errorf("send data class %d: %w", classID, err)
+		}
+		pairs = append(pairs, kvs...)
+	}
+	if len(pairs) == 0 {
+		return 0, nil
+	}
+	peer, err := a.transport.Peer(target)
+	if err != nil {
+		return 0, fmt.Errorf("send data to %s: %w", target, err)
+	}
+	sent, err := a.pushBatched(peer, pairs)
+	if err != nil {
+		return sent, fmt.Errorf("send data to %s: %w", target, err)
+	}
+	return sent, nil
+}
+
+// pushBatched streams hottest-first pairs to a peer in bounded batches.
+// Batches go coldest-first: each ImportData prepends its batch at the MRU
+// head, so the last (hottest) batch must land last to keep the receiver's
+// list in recency order.
+func (a *Agent) pushBatched(peer Peer, pairs []cache.KV) (int, error) {
+	sent := 0
+	for end := len(pairs); end > 0; end -= a.batchSize {
+		start := end - a.batchSize
+		if start < 0 {
+			start = 0
+		}
+		batch := pairs[start:end]
+		if err := peer.ImportData(a.node, batch); err != nil {
+			return sent, err
+		}
+		sent += len(batch)
+	}
+	return sent, nil
+}
+
+// ImportData receives a phase-3 push (Peer implementation): pairs arrive
+// hottest-first per class, so reverse import ends with the hottest at the
+// MRU head. Pairs that cannot obtain a chunk are dropped, as a real
+// memcached set fails under slab exhaustion.
+func (a *Agent) ImportData(_ string, pairs []cache.KV) error {
+	_, err := a.cache.BatchImport(pairs, true)
+	return err
+}
+
+// HashSplit implements the scale-out migration (Section III-D4), run on an
+// existing node: under the scaled-out membership, push every local KV pair
+// that now hashes to one of the new nodes, then drop it locally. Returns
+// the number of migrated pairs.
+//
+// Consistent hashing bounds the remapped share near 1/(k+1) per new node,
+// so the moved set normally fits; in the paper's "rare case" that it would
+// exceed the new node's memory, FuseCache picks the top pairs instead
+// (keepTop applies the per-class cap in MRU order).
+func (a *Agent) HashSplit(newMembers []string, fullMembership []string) (int, error) {
+	if len(newMembers) == 0 {
+		return 0, nil
+	}
+	ring, err := hashring.New(fullMembership, hashring.WithReplicas(a.replicas))
+	if err != nil {
+		return 0, fmt.Errorf("hash split: %w", err)
+	}
+	newSet := make(map[string]struct{}, len(newMembers))
+	for _, m := range newMembers {
+		newSet[m] = struct{}{}
+	}
+
+	// Gather outgoing pairs per new node in MRU order per class. In the
+	// rare case a sender's share would exceed its fraction of a fresh
+	// target's memory (targets are homogeneous with the sender, split
+	// across all existing senders), keep only the MRU prefix — the
+	// sender's list is sorted, so its prefix IS the FuseCache top-n of a
+	// single list.
+	existing := len(fullMembership) - len(newMembers)
+	if existing < 1 {
+		existing = 1
+	}
+	targetPages := int(a.cache.Capacity() / cache.PageSize)
+	chunkSizes := a.cache.ChunkSizes()
+	outgoing := make(map[string][]cache.KV, len(newMembers))
+	for _, classID := range a.cache.PopulatedClasses() {
+		limit := targetPages * (cache.PageSize / chunkSizes[classID]) / existing
+		if limit < 1 {
+			limit = 1
+		}
+		sentPer := make(map[string]int, len(newMembers))
+		kvs, err := a.cache.FetchTop(classID, a.cache.ClassLen(classID), func(key string) bool {
+			owner, err := ring.Get(key)
+			if err != nil {
+				return false
+			}
+			_, isNew := newSet[owner]
+			return isNew
+		})
+		if err != nil {
+			return 0, fmt.Errorf("hash split class %d: %w", classID, err)
+		}
+		for _, kv := range kvs {
+			owner, err := ring.Get(kv.Key)
+			if err != nil {
+				continue
+			}
+			if sentPer[owner] >= limit {
+				continue // beyond the target's share: FuseCache cut-off
+			}
+			sentPer[owner]++
+			outgoing[owner] = append(outgoing[owner], kv)
+		}
+	}
+
+	migrated := 0
+	targets := make([]string, 0, len(outgoing))
+	for tgt := range outgoing {
+		targets = append(targets, tgt)
+	}
+	sort.Strings(targets)
+	for _, tgt := range targets {
+		peer, err := a.transport.Peer(tgt)
+		if err != nil {
+			return migrated, fmt.Errorf("hash split to %s: %w", tgt, err)
+		}
+		if _, err := a.pushBatched(peer, outgoing[tgt]); err != nil {
+			return migrated, fmt.Errorf("hash split to %s: %w", tgt, err)
+		}
+		for _, kv := range outgoing[tgt] {
+			// Local drop only after the whole target stream landed, so a
+			// mid-stream failure loses nothing and a retry is safe.
+			_ = a.cache.Delete(kv.Key)
+		}
+		migrated += len(outgoing[tgt])
+	}
+	return migrated, nil
+}
+
+// PendingOffers reports how many phase-1 offers are buffered (tests).
+func (a *Agent) PendingOffers() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.offers)
+}
+
+// Registry is the in-process Transport: a name → agent map. It is safe
+// for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	agents map[string]*Agent
+}
+
+// NewRegistry creates an empty in-process transport.
+func NewRegistry() *Registry {
+	return &Registry{agents: make(map[string]*Agent)}
+}
+
+// Register adds an agent under its node name.
+func (r *Registry) Register(a *Agent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.agents[a.Node()] = a
+}
+
+// Deregister removes a node.
+func (r *Registry) Deregister(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.agents, node)
+}
+
+// Peer implements Transport.
+func (r *Registry) Peer(node string) (Peer, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.agents[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, node)
+	}
+	return a, nil
+}
+
+// Get returns a registered agent (for Master use in-process).
+func (r *Registry) Get(node string) (*Agent, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.agents[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, node)
+	}
+	return a, nil
+}
+
+// Nodes lists registered node names, sorted.
+func (r *Registry) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.agents))
+	for n := range r.agents {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	_ Peer      = (*Agent)(nil)
+	_ Transport = (*Registry)(nil)
+)

@@ -1,0 +1,173 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// flakyTransport fails a configurable number of Peer resolutions or
+// deliveries before recovering, to exercise migration error paths.
+type flakyTransport struct {
+	inner      Transport
+	failPeers  int // Peer() calls to fail
+	failOffers int // OfferMetadata deliveries to fail
+	failImport int // ImportData deliveries to fail
+}
+
+type flakyPeer struct {
+	inner Peer
+	t     *flakyTransport
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f *flakyTransport) Peer(node string) (Peer, error) {
+	if f.failPeers > 0 {
+		f.failPeers--
+		return nil, fmt.Errorf("peer %s: %w", node, errInjected)
+	}
+	p, err := f.inner.Peer(node)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyPeer{inner: p, t: f}, nil
+}
+
+func (p *flakyPeer) OfferMetadata(from string, metas map[int][]cache.ItemMeta) error {
+	if p.t.failOffers > 0 {
+		p.t.failOffers--
+		return errInjected
+	}
+	return p.inner.OfferMetadata(from, metas)
+}
+
+func (p *flakyPeer) ImportData(from string, pairs []cache.KV) error {
+	if p.t.failImport > 0 {
+		p.t.failImport--
+		return errInjected
+	}
+	return p.inner.ImportData(from, pairs)
+}
+
+// newFlakyNode builds an agent whose outbound transport is flaky while it
+// remains reachable by peers through the registry.
+func newFlakyNode(t *testing.T, reg *Registry, name string, clk *testClock, ft *flakyTransport) *Agent {
+	t.Helper()
+	c, err := cache.New(2*cache.PageSize, cache.WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(name, c, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Register(a)
+	return a
+}
+
+func TestSendMetadataSurfacesPeerFailure(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTestClock()
+	ft := &flakyTransport{inner: reg, failPeers: 1}
+	retiring := newFlakyNode(t, reg, "retiring", clk, ft)
+	newNode(t, reg, "r1", 1, clk)
+	populate(t, retiring, 50)
+
+	if err := retiring.SendMetadata([]string{"r1"}); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	// After recovery the same call succeeds — no corrupted state.
+	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+func TestSendMetadataSurfacesDeliveryFailure(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTestClock()
+	ft := &flakyTransport{inner: reg, failOffers: 1}
+	retiring := newFlakyNode(t, reg, "retiring", clk, ft)
+	r1 := newNode(t, reg, "r1", 1, clk)
+	populate(t, retiring, 50)
+
+	if err := retiring.SendMetadata([]string{"r1"}); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if r1.PendingOffers() != 0 {
+		t.Fatal("failed delivery left a partial offer")
+	}
+	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if r1.PendingOffers() != 1 {
+		t.Fatal("retry did not deliver")
+	}
+}
+
+func TestSendDataSurfacesImportFailure(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTestClock()
+	ft := &flakyTransport{inner: reg, failImport: 1}
+	retiring := newFlakyNode(t, reg, "retiring", clk, ft)
+	r1 := newNode(t, reg, "r1", 1, clk)
+	populate(t, retiring, 50)
+
+	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+		t.Fatal(err)
+	}
+	takes, err := r1.ComputeTakes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := retiring.SendData("r1", takes["retiring"], []string{"r1"}); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	// The source still holds its data: a failed phase 3 loses nothing.
+	if retiring.Cache().Len() != 50 {
+		t.Fatalf("source lost data on failed send: %d", retiring.Cache().Len())
+	}
+	// Retry works (idempotent import).
+	sent, err := retiring.SendData("r1", takes["retiring"], []string{"r1"})
+	if err != nil || sent != 50 {
+		t.Fatalf("retry = %d, %v", sent, err)
+	}
+	if r1.Cache().Len() != 100 { // 50 local-capacity spare + 50 imported
+		// r1 was empty, so it now holds exactly the 50 imports.
+		if r1.Cache().Len() != 50 {
+			t.Fatalf("receiver holds %d after retry", r1.Cache().Len())
+		}
+	}
+}
+
+func TestHashSplitSurfacesFailureAndStaysConsistent(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTestClock()
+	ft := &flakyTransport{inner: reg, failImport: 1}
+	e1 := newFlakyNode(t, reg, "e1", clk, ft)
+	n1 := newNode(t, reg, "new1", 1, clk)
+	populate(t, e1, 200)
+
+	before := e1.Cache().Len()
+	_, err := e1.HashSplit([]string{"new1"}, []string{"e1", "new1"})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	// Failed push must not have deleted anything locally.
+	if e1.Cache().Len() != before {
+		t.Fatalf("source dropped items on failed split: %d → %d", before, e1.Cache().Len())
+	}
+	// Retry completes the move.
+	moved, err := e1.HashSplit([]string{"new1"}, []string{"e1", "new1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 || n1.Cache().Len() != moved {
+		t.Fatalf("retry moved %d, target holds %d", moved, n1.Cache().Len())
+	}
+	if e1.Cache().Len() != before-moved {
+		t.Fatalf("source holds %d, want %d", e1.Cache().Len(), before-moved)
+	}
+}

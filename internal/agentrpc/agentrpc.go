@@ -1,0 +1,452 @@
+// Package agentrpc carries ElMem's control-plane traffic over TCP:
+// Master → Agent commands (scoring, migration phases, hash split) and
+// Agent → Agent pushes (metadata offers, data imports). The paper pipes
+// metadata and data between nodes over ssh (Section III-D1); we use
+// persistent TCP connections with newline-delimited JSON frames, which
+// preserves the phase structure while staying dependency-free.
+//
+// The same wire protocol serves both directions: the Server exposes a
+// node's *agent.Agent, the Client implements core.MasterAgent and
+// agent.Peer, and the AddressBook maps node names to agent addresses,
+// acting as the agent.Transport and core.Directory for TCP deployments.
+package agentrpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// Op names one RPC operation.
+type Op string
+
+// The control-plane operations.
+const (
+	OpScore         Op = "score"
+	OpSendMetadata  Op = "send_metadata"
+	OpComputeTakes  Op = "compute_takes"
+	OpSendData      Op = "send_data"
+	OpHashSplit     Op = "hash_split"
+	OpOfferMetadata Op = "offer_metadata"
+	OpImportData    Op = "import_data"
+)
+
+// ErrRemote wraps an error string returned by the remote agent.
+var ErrRemote = errors.New("agentrpc: remote error")
+
+// request is one wire frame from caller to agent.
+type request struct {
+	Op Op `json:"op"`
+
+	// SendMetadata / SendData share Retained.
+	Retained []string `json:"retained,omitempty"`
+	// SendData.
+	Target string      `json:"target,omitempty"`
+	Takes  map[int]int `json:"takes,omitempty"`
+	// HashSplit.
+	NewMembers []string `json:"newMembers,omitempty"`
+	Full       []string `json:"full,omitempty"`
+	// OfferMetadata / ImportData.
+	From  string                   `json:"from,omitempty"`
+	Metas map[int][]cache.ItemMeta `json:"metas,omitempty"`
+	Pairs []cache.KV               `json:"pairs,omitempty"`
+}
+
+// response is one wire frame back.
+type response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Score *agent.ScoreReport `json:"score,omitempty"`
+	Takes agent.Takes        `json:"takes,omitempty"`
+	Sent  int                `json:"sent,omitempty"`
+}
+
+// Server exposes one node's Agent over TCP.
+type Server struct {
+	agent *agent.Agent
+	ln    net.Listener
+	log   *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts the RPC server on addr ("127.0.0.1:0" picks a port).
+func Serve(addr string, a *agent.Agent, logger *log.Logger) (*Server, error) {
+	if a == nil {
+		return nil, errors.New("agentrpc: nil agent")
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agentrpc: listen %s: %w", addr, err)
+	}
+	s := &Server{agent: a, ln: ln, log: logger, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and joins its goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	dec := json.NewDecoder(bufio.NewReaderSize(conn, 1<<20))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *request) *response {
+	switch req.Op {
+	case OpScore:
+		rep := s.agent.Score()
+		return &response{OK: true, Score: &rep}
+	case OpSendMetadata:
+		if err := s.agent.SendMetadata(req.Retained); err != nil {
+			return errResponse(err)
+		}
+		return &response{OK: true}
+	case OpComputeTakes:
+		takes, err := s.agent.ComputeTakes()
+		if err != nil {
+			return errResponse(err)
+		}
+		return &response{OK: true, Takes: takes}
+	case OpSendData:
+		sent, err := s.agent.SendData(req.Target, req.Takes, req.Retained)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &response{OK: true, Sent: sent}
+	case OpHashSplit:
+		sent, err := s.agent.HashSplit(req.NewMembers, req.Full)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &response{OK: true, Sent: sent}
+	case OpOfferMetadata:
+		if err := s.agent.OfferMetadata(req.From, req.Metas); err != nil {
+			return errResponse(err)
+		}
+		return &response{OK: true}
+	case OpImportData:
+		if err := s.agent.ImportData(req.From, req.Pairs); err != nil {
+			return errResponse(err)
+		}
+		return &response{OK: true}
+	default:
+		return &response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func errResponse(err error) *response {
+	return &response{Error: err.Error()}
+}
+
+// Client talks to one remote Agent. It implements core.MasterAgent and
+// agent.Peer over a single persistent connection with serialized calls,
+// redialling transparently after failures.
+type Client struct {
+	node        string
+	addr        string
+	dialTimeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// NewClient creates a client for the agent of node (its name) at addr.
+func NewClient(node, addr string) *Client {
+	return &Client{node: node, addr: addr, dialTimeout: 2 * time.Second}
+}
+
+// Node returns the remote node's name.
+func (c *Client) Node() string { return c.node }
+
+// Close drops the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// call performs one serialized RPC round trip.
+func (c *Client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("agentrpc: dial %s: %w", c.addr, err)
+		}
+		c.conn = conn
+		c.dec = json.NewDecoder(bufio.NewReaderSize(conn, 1<<20))
+		c.enc = json.NewEncoder(conn)
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.dropLocked()
+		return nil, fmt.Errorf("agentrpc: send to %s: %w", c.addr, err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.dropLocked()
+		return nil, fmt.Errorf("agentrpc: recv from %s: %w", c.addr, err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+	}
+	return &resp, nil
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Score implements core.MasterAgent.
+func (c *Client) Score() agent.ScoreReport {
+	resp, err := c.call(&request{Op: OpScore})
+	if err != nil || resp.Score == nil {
+		return agent.ScoreReport{Node: c.node}
+	}
+	return *resp.Score
+}
+
+// SendMetadata implements core.MasterAgent.
+func (c *Client) SendMetadata(retained []string) error {
+	_, err := c.call(&request{Op: OpSendMetadata, Retained: retained})
+	return err
+}
+
+// ComputeTakes implements core.MasterAgent.
+func (c *Client) ComputeTakes() (agent.Takes, error) {
+	resp, err := c.call(&request{Op: OpComputeTakes})
+	if err != nil {
+		// Map the remote no-metadata condition back onto the sentinel so
+		// the Master's errors.Is handling works across the wire.
+		if errors.Is(err, ErrRemote) && containsNoMetadata(err) {
+			return nil, agent.ErrNoMetadata
+		}
+		return nil, err
+	}
+	return resp.Takes, nil
+}
+
+func containsNoMetadata(err error) bool {
+	return err != nil && strings.Contains(err.Error(), agent.ErrNoMetadata.Error())
+}
+
+// SendData implements core.MasterAgent.
+func (c *Client) SendData(target string, takes map[int]int, retained []string) (int, error) {
+	resp, err := c.call(&request{Op: OpSendData, Target: target, Takes: takes, Retained: retained})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Sent, nil
+}
+
+// HashSplit implements core.MasterAgent.
+func (c *Client) HashSplit(newMembers, fullMembership []string) (int, error) {
+	resp, err := c.call(&request{Op: OpHashSplit, NewMembers: newMembers, Full: fullMembership})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Sent, nil
+}
+
+// OfferMetadata implements agent.Peer.
+func (c *Client) OfferMetadata(from string, metas map[int][]cache.ItemMeta) error {
+	_, err := c.call(&request{Op: OpOfferMetadata, From: from, Metas: metas})
+	return err
+}
+
+// ImportData implements agent.Peer.
+func (c *Client) ImportData(from string, pairs []cache.KV) error {
+	_, err := c.call(&request{Op: OpImportData, From: from, Pairs: pairs})
+	return err
+}
+
+var _ agent.Peer = (*Client)(nil)
+
+// AddressBook maps node names to their agent RPC addresses. It implements
+// agent.Transport (peer dialling for Agents) and serves as the Master's
+// core.Directory in TCP deployments. It is safe for concurrent use.
+type AddressBook struct {
+	mu      sync.RWMutex
+	addrs   map[string]string
+	clients map[string]*Client
+}
+
+// NewAddressBook creates an empty book.
+func NewAddressBook() *AddressBook {
+	return &AddressBook{
+		addrs:   make(map[string]string),
+		clients: make(map[string]*Client),
+	}
+}
+
+// Register maps a node name to its agent address.
+func (b *AddressBook) Register(node, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[node] = addr
+	delete(b.clients, node) // force re-dial at the new address
+}
+
+// Deregister removes a node.
+func (b *AddressBook) Deregister(node string) {
+	b.mu.Lock()
+	cl := b.clients[node]
+	delete(b.addrs, node)
+	delete(b.clients, node)
+	b.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
+}
+
+// client returns (creating if needed) the cached client for node.
+func (b *AddressBook) client(node string) (*Client, error) {
+	b.mu.RLock()
+	cl, ok := b.clients[node]
+	b.mu.RUnlock()
+	if ok {
+		return cl, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cl, ok := b.clients[node]; ok {
+		return cl, nil
+	}
+	addr, ok := b.addrs[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", agent.ErrUnknownPeer, node)
+	}
+	cl = NewClient(node, addr)
+	b.clients[node] = cl
+	return cl, nil
+}
+
+// Peer implements agent.Transport.
+func (b *AddressBook) Peer(node string) (agent.Peer, error) {
+	return b.client(node)
+}
+
+// Agent implements core.Directory (returns a core.MasterAgent).
+func (b *AddressBook) Agent(node string) (*Client, error) {
+	return b.client(node)
+}
+
+// Close drops every cached client connection.
+func (b *AddressBook) Close() {
+	b.mu.Lock()
+	clients := make([]*Client, 0, len(b.clients))
+	for _, cl := range b.clients {
+		clients = append(clients, cl)
+	}
+	b.clients = make(map[string]*Client)
+	b.mu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+}
+
+var _ agent.Transport = (*AddressBook)(nil)
+
+// Directory adapts an AddressBook to core.Directory, giving the Master
+// TCP reach to every agent.
+type Directory struct {
+	// Book is the backing address book.
+	Book *AddressBook
+}
+
+// Agent implements core.Directory.
+func (d Directory) Agent(node string) (core.MasterAgent, error) {
+	return d.Book.Agent(node)
+}
+
+var (
+	_ core.Directory   = Directory{}
+	_ core.MasterAgent = (*Client)(nil)
+)

@@ -1,0 +1,239 @@
+// Package autoscaler implements ElMem's scaling decision logic (Section
+// III-B, "When and how much to scale?").
+//
+// Given the database tier's maximum sustainable request rate r_DB and the
+// incoming request rate r, Eq. (1) of the paper bounds the minimum cache
+// hit rate:
+//
+//	r·(1 − p_min) < r_DB   ⇒   p_min > 1 − r_DB/r
+//
+// The AutoScaler then consults a stack-distance profile of the recent
+// request history to find the memory that achieves p_min, and converts the
+// difference from current capacity into a node count delta. The scaling
+// policy is pluggable (the paper's design makes Q1 a replaceable module);
+// this package provides the paper's stack-distance policy plus a simple
+// reactive comparator.
+package autoscaler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stackdist"
+)
+
+var (
+	// ErrInfeasible is returned when no finite cache achieves the target
+	// hit rate (the database alone cannot serve the load).
+	ErrInfeasible = errors.New("autoscaler: target hit rate unattainable at any cache size")
+	// ErrBadConfig is returned for invalid constructor parameters.
+	ErrBadConfig = errors.New("autoscaler: invalid configuration")
+)
+
+// MinHitRate evaluates Eq. (1): the smallest Memcached hit rate that keeps
+// database load under dbCapacity req/s at an incoming rate of r req/s.
+// A non-positive result means the database alone can carry the load.
+func MinHitRate(r, dbCapacity float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	p := 1 - dbCapacity/r
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Decision is the AutoScaler's output, relayed as a hint to the Master.
+type Decision struct {
+	// TargetNodes is the recommended Memcached tier size.
+	TargetNodes int
+	// CurrentNodes echoes the tier size at decision time.
+	CurrentNodes int
+	// MinHitRate is the Eq. (1) bound that produced the target.
+	MinHitRate float64
+	// RequiredItems is the cache size (items, cluster-wide) that achieves
+	// MinHitRate on the recent trace.
+	RequiredItems int
+	// Rate is the request rate the decision was computed for.
+	Rate float64
+}
+
+// Delta returns TargetNodes − CurrentNodes: positive for scale-out,
+// negative for scale-in, zero for hold.
+func (d Decision) Delta() int { return d.TargetNodes - d.CurrentNodes }
+
+// Config parameterizes the AutoScaler.
+type Config struct {
+	// DBCapacity is r_DB: the max request rate the database sustains
+	// within SLO (the paper profiles ~40,000 req/s for its ardb setup).
+	DBCapacity float64
+	// ItemsPerNode is each node's cache capacity in items (memory capacity
+	// normalized by mean item footprint).
+	ItemsPerNode int
+	// MinNodes and MaxNodes clamp the recommendation.
+	MinNodes int
+	MaxNodes int
+	// Headroom inflates the required memory multiplicatively (default
+	// 1.0 = none) so the tier does not ride exactly at p_min.
+	Headroom float64
+	// HitRateMargin is added to the Eq. (1) bound before sizing (default
+	// 0) — a second, additive way to keep slack.
+	HitRateMargin float64
+}
+
+func (c Config) validate() error {
+	if c.DBCapacity <= 0 {
+		return fmt.Errorf("%w: DBCapacity %v", ErrBadConfig, c.DBCapacity)
+	}
+	if c.ItemsPerNode <= 0 {
+		return fmt.Errorf("%w: ItemsPerNode %d", ErrBadConfig, c.ItemsPerNode)
+	}
+	if c.MinNodes < 1 || c.MaxNodes < c.MinNodes {
+		return fmt.Errorf("%w: node bounds [%d, %d]", ErrBadConfig, c.MinNodes, c.MaxNodes)
+	}
+	if c.Headroom != 0 && c.Headroom < 1 {
+		return fmt.Errorf("%w: Headroom %v must be >= 1", ErrBadConfig, c.Headroom)
+	}
+	if c.HitRateMargin < 0 || c.HitRateMargin >= 1 {
+		return fmt.Errorf("%w: HitRateMargin %v", ErrBadConfig, c.HitRateMargin)
+	}
+	return nil
+}
+
+// AutoScaler sizes the Memcached tier with the paper's stack-distance
+// policy. It samples the request stream (Record) and periodically answers
+// Decide. It is not safe for concurrent use; in the paper the AutoScaler
+// runs single-threaded on one web server.
+type AutoScaler struct {
+	cfg      Config
+	profiler *stackdist.Profiler
+}
+
+// New creates an AutoScaler.
+func New(cfg Config) (*AutoScaler, error) {
+	if cfg.Headroom == 0 {
+		cfg.Headroom = 1
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &AutoScaler{cfg: cfg, profiler: stackdist.NewProfiler()}, nil
+}
+
+// Record samples one requested key. The paper samples at a single web
+// server, which suffices because the load balancer spreads requests evenly.
+func (a *AutoScaler) Record(key string) {
+	a.profiler.Record(key)
+}
+
+// SampleCount reports how many requests have been recorded since the last
+// Reset.
+func (a *AutoScaler) SampleCount() uint64 { return a.profiler.Total() }
+
+// Reset discards the accumulated history; call it after each decision
+// period so decisions track the *recent* trace (Section III-B uses the
+// recent history of requests as the representative trace).
+func (a *AutoScaler) Reset() {
+	a.profiler = stackdist.NewProfiler()
+}
+
+// Decide computes the scaling decision for the measured request rate r
+// (req/s) and current tier size.
+func (a *AutoScaler) Decide(r float64, currentNodes int) (Decision, error) {
+	if currentNodes < 1 {
+		return Decision{}, fmt.Errorf("%w: currentNodes %d", ErrBadConfig, currentNodes)
+	}
+	pMin := MinHitRate(r, a.cfg.DBCapacity)
+	target := pMin + a.cfg.HitRateMargin
+	if target > 0.999 {
+		target = 0.999
+	}
+
+	d := Decision{
+		CurrentNodes: currentNodes,
+		MinHitRate:   pMin,
+		Rate:         r,
+	}
+	if target <= 0 {
+		// The database alone suffices; hold the floor.
+		d.TargetNodes = a.cfg.MinNodes
+		return d, nil
+	}
+
+	curve := a.profiler.Curve()
+	items, ok := curve.ItemsForHitRate(target)
+	if !ok {
+		// Not even an infinite cache reaches the bound on this history —
+		// scale to the ceiling and report the condition.
+		d.TargetNodes = a.cfg.MaxNodes
+		return d, fmt.Errorf("%w: p_min %.3f, max attainable %.3f",
+			ErrInfeasible, target, curve.MaxHitRate())
+	}
+	items = int(math.Ceil(float64(items) * a.cfg.Headroom))
+	d.RequiredItems = items
+
+	nodes := int(math.Ceil(float64(items) / float64(a.cfg.ItemsPerNode)))
+	if nodes < a.cfg.MinNodes {
+		nodes = a.cfg.MinNodes
+	}
+	if nodes > a.cfg.MaxNodes {
+		nodes = a.cfg.MaxNodes
+	}
+	d.TargetNodes = nodes
+	return d, nil
+}
+
+// Policy is the pluggable decision interface (Section III-B: "the exact
+// autoscaling algorithm is a pluggable module").
+type Policy interface {
+	// Record samples one requested key.
+	Record(key string)
+	// Decide recommends a tier size for rate r and the current size.
+	Decide(r float64, currentNodes int) (Decision, error)
+	// Reset starts a new decision period.
+	Reset()
+}
+
+var _ Policy = (*AutoScaler)(nil)
+
+// Reactive is a simple comparator policy that ignores content and sizes
+// the tier proportionally to the request rate, the "typical" autoscaler
+// the paper contrasts with. One node is provisioned per ratePerNode req/s.
+type Reactive struct {
+	ratePerNode float64
+	minNodes    int
+	maxNodes    int
+}
+
+// NewReactive creates the rate-proportional policy.
+func NewReactive(ratePerNode float64, minNodes, maxNodes int) (*Reactive, error) {
+	if ratePerNode <= 0 || minNodes < 1 || maxNodes < minNodes {
+		return nil, fmt.Errorf("%w: reactive(%v, %d, %d)", ErrBadConfig, ratePerNode, minNodes, maxNodes)
+	}
+	return &Reactive{ratePerNode: ratePerNode, minNodes: minNodes, maxNodes: maxNodes}, nil
+}
+
+// Record is a no-op: the reactive policy does not inspect keys.
+func (p *Reactive) Record(string) {}
+
+// Reset is a no-op.
+func (p *Reactive) Reset() {}
+
+// Decide sizes the tier at ceil(r / ratePerNode), clamped.
+func (p *Reactive) Decide(r float64, currentNodes int) (Decision, error) {
+	if currentNodes < 1 {
+		return Decision{}, fmt.Errorf("%w: currentNodes %d", ErrBadConfig, currentNodes)
+	}
+	nodes := int(math.Ceil(r / p.ratePerNode))
+	if nodes < p.minNodes {
+		nodes = p.minNodes
+	}
+	if nodes > p.maxNodes {
+		nodes = p.maxNodes
+	}
+	return Decision{TargetNodes: nodes, CurrentNodes: currentNodes, Rate: r}, nil
+}
+
+var _ Policy = (*Reactive)(nil)

@@ -1,0 +1,88 @@
+package autoscaler
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predictive wraps any Policy with a request-rate forecast, the
+// "predictive scaling framework" the paper names as a drop-in replacement
+// for its reactive stack-distance policy (Section III-B). It keeps a
+// window of observed rates, fits a linear trend, and asks the inner
+// policy to size the tier for the rate expected Horizon decision-periods
+// ahead — so a rising load provisions early and a falling load does not
+// scale in prematurely on a blip.
+type Predictive struct {
+	inner   Policy
+	window  int
+	horizon float64
+
+	rates []float64
+}
+
+// NewPredictive wraps inner with a trend forecast over a window of
+// observations, predicting horizon periods ahead.
+func NewPredictive(inner Policy, window int, horizon float64) (*Predictive, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("%w: nil inner policy", ErrBadConfig)
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("%w: window %d must be >= 2", ErrBadConfig, window)
+	}
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("%w: horizon %v", ErrBadConfig, horizon)
+	}
+	return &Predictive{inner: inner, window: window, horizon: horizon}, nil
+}
+
+// Record forwards key samples to the inner policy.
+func (p *Predictive) Record(key string) { p.inner.Record(key) }
+
+// Reset clears the inner policy's sampling window but keeps the rate
+// history — the trend spans decision periods by design.
+func (p *Predictive) Reset() { p.inner.Reset() }
+
+// Decide records the observed rate, forecasts the rate Horizon periods
+// ahead with a least-squares linear fit over the window, and delegates to
+// the inner policy at the forecast rate.
+func (p *Predictive) Decide(r float64, currentNodes int) (Decision, error) {
+	p.rates = append(p.rates, r)
+	if len(p.rates) > p.window {
+		p.rates = p.rates[len(p.rates)-p.window:]
+	}
+	forecast := p.forecast()
+	d, err := p.inner.Decide(forecast, currentNodes)
+	d.Rate = r // report the observed, not the forecast, rate
+	return d, err
+}
+
+// forecast extrapolates the linear trend of the rate window.
+func (p *Predictive) forecast() float64 {
+	n := len(p.rates)
+	if n == 1 {
+		return p.rates[0]
+	}
+	// Least squares over x = 0..n-1.
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range p.rates {
+		x := float64(i)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	fn := float64(n)
+	denom := fn*sumXX - sumX*sumX
+	if denom == 0 {
+		return p.rates[n-1]
+	}
+	slope := (fn*sumXY - sumX*sumY) / denom
+	intercept := (sumY - slope*sumX) / fn
+	predicted := intercept + slope*(fn-1+p.horizon)
+	if predicted < 0 {
+		predicted = 0
+	}
+	return predicted
+}
+
+var _ Policy = (*Predictive)(nil)

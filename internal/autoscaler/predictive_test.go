@@ -1,0 +1,166 @@
+package autoscaler
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewPredictiveValidation(t *testing.T) {
+	inner, err := NewReactive(1000, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPredictive(nil, 5, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("want ErrBadConfig for nil inner")
+	}
+	if _, err := NewPredictive(inner, 1, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("want ErrBadConfig for tiny window")
+	}
+	if _, err := NewPredictive(inner, 5, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("want ErrBadConfig for zero horizon")
+	}
+	if _, err := NewPredictive(inner, 5, math.NaN()); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("want ErrBadConfig for NaN horizon")
+	}
+}
+
+func TestPredictiveRisingTrendProvisionsEarly(t *testing.T) {
+	inner, err := NewReactive(1000, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictive(inner, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates rise 1000 per period; at 5000 observed, a +3-period forecast
+	// is ~8000 → 8 nodes, ahead of the reactive 5.
+	var d Decision
+	for _, r := range []float64{1000, 2000, 3000, 4000, 5000} {
+		d, err = p.Decide(r, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.TargetNodes <= 5 {
+		t.Fatalf("TargetNodes = %d, want early provisioning above the reactive 5", d.TargetNodes)
+	}
+	if d.Rate != 5000 {
+		t.Fatalf("reported rate %v, want the observed 5000", d.Rate)
+	}
+}
+
+func TestPredictiveFallingTrendScalesIn(t *testing.T) {
+	inner, err := NewReactive(1000, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictive(inner, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	for _, r := range []float64{8000, 6000, 4000, 2000} {
+		d, err = p.Decide(r, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Forecast ≈ 2000 − 2000·2 < 0 → clamp to 0 → MinNodes.
+	if d.TargetNodes != 1 {
+		t.Fatalf("TargetNodes = %d, want floor on a collapsing trend", d.TargetNodes)
+	}
+}
+
+func TestPredictiveFlatTrendMatchesInner(t *testing.T) {
+	inner, err := NewReactive(1000, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictive(inner, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	for i := 0; i < 6; i++ {
+		d, err = p.Decide(3000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.TargetNodes != 3 {
+		t.Fatalf("TargetNodes = %d, want the flat-rate 3", d.TargetNodes)
+	}
+}
+
+func TestPredictiveSingleObservation(t *testing.T) {
+	inner, err := NewReactive(1000, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictive(inner, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Decide(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TargetNodes != 5 {
+		t.Fatalf("TargetNodes = %d, want 5 (no trend yet)", d.TargetNodes)
+	}
+}
+
+func TestPredictiveWindowSlides(t *testing.T) {
+	inner, err := NewReactive(1000, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictive(inner, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a spike followed by a long flat tail: the window must forget
+	// the spike.
+	rates := []float64{40000, 3000, 3000, 3000, 3000, 3000}
+	var d Decision
+	for _, r := range rates {
+		d, err = p.Decide(r, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.TargetNodes != 3 {
+		t.Fatalf("TargetNodes = %d, spike not forgotten", d.TargetNodes)
+	}
+}
+
+func TestPredictiveWithStackDistanceInner(t *testing.T) {
+	inner, err := New(Config{
+		DBCapacity:   40_000,
+		ItemsPerNode: 1000,
+		MinNodes:     1,
+		MaxNodes:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictive(inner, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedUniform(inner, 5000, 10)
+	p.Record("extra-key") // exercised through the wrapper too
+	d, err := p.Decide(80_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MinHitRate <= 0 {
+		t.Fatalf("inner decision fields lost: %+v", d)
+	}
+	p.Reset()
+	if inner.SampleCount() != 0 {
+		t.Fatal("Reset did not reach the inner policy")
+	}
+}

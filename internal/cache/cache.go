@@ -1,0 +1,359 @@
+// Package cache is a faithful Go reimplementation of the Memcached storage
+// core the ElMem paper builds on (Section II-A), plus the two custom
+// extensions the paper adds to Memcached's source (Section V-A1):
+//
+//   - memory is split into 1 MiB pages, grouped into slab classes of
+//     fixed-size chunks (geometric size ladder) to minimize fragmentation;
+//   - each slab class keeps its items in a doubly-linked list in MRU order,
+//     so LRU eviction is O(1) tail removal;
+//   - every item records its most-recent-access (MRU) timestamp;
+//   - extension 1: a timestamp dump that writes a slab's (key, timestamp)
+//     metadata in MRU order (the LRU-crawler-based dump command);
+//   - extension 2: a batch import that prepends migrated KV pairs at the
+//     head of the MRU list, evicting colder tail items as needed.
+//
+// A Cache is one Memcached node's storage engine. It is safe for concurrent
+// use; like classic Memcached, a single lock guards the store (the paper's
+// cited lock-contention work — MemC3 et al. — is out of scope).
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+var (
+	// ErrNotFound is returned by Get/Delete for absent keys.
+	ErrNotFound = errors.New("cache: key not found")
+	// ErrOutOfMemory is returned when an insert cannot obtain a chunk: the
+	// class has no free chunks, no pages remain unassigned, and the class
+	// has nothing to evict.
+	ErrOutOfMemory = errors.New("cache: out of memory")
+	// ErrEmptyKey is returned for zero-length keys.
+	ErrEmptyKey = errors.New("cache: empty key")
+)
+
+// Item is one cached KV pair. The prev/next pointers chain it into its slab
+// class's MRU list.
+type Item struct {
+	// Key is the item's key.
+	Key string
+	// Value is the stored bytes.
+	Value []byte
+	// LastAccess is the MRU timestamp: the time of the most recent Get or
+	// Set. ElMem's hotness comparisons (Sections III-C, III-D) use it.
+	LastAccess time.Time
+	// ExpiresAt is the absolute expiry; zero means the item never expires.
+	ExpiresAt time.Time
+
+	classID    int
+	casID      uint64
+	prev, next *Item
+}
+
+// Stats is a point-in-time snapshot of a Cache.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Sets counts successful Set calls.
+	Sets uint64 `json:"sets"`
+	// Evictions counts LRU tail drops across all classes.
+	Evictions uint64 `json:"evictions"`
+	// Expirations counts items reclaimed by TTL expiry.
+	Expirations uint64 `json:"expirations"`
+	// Items is the number of resident items.
+	Items int `json:"items"`
+	// BytesUsed is the chunk-accounted resident size.
+	BytesUsed int64 `json:"bytesUsed"`
+	// AssignedPages and MaxPages describe page-pool usage.
+	AssignedPages int `json:"assignedPages"`
+	MaxPages      int `json:"maxPages"`
+	// Slabs holds per-class snapshots for classes with at least one page.
+	Slabs []SlabStats `json:"slabs"`
+}
+
+// Cache is one node's Memcached storage engine.
+type Cache struct {
+	mu sync.Mutex
+
+	classes []int   // chunk size per class index
+	slabs   []*slab // lazily populated per class
+	table   map[string]*Item
+
+	maxPages      int
+	assignedPages int
+
+	now func() time.Time
+
+	hits, misses, sets, evictions uint64
+	expirations                   uint64
+	casSeq                        uint64
+}
+
+// Option configures a Cache.
+type Option interface {
+	apply(*cacheOptions)
+}
+
+type cacheOptions struct {
+	growthFactor float64
+	now          func() time.Time
+}
+
+type growthFactorOption float64
+
+func (o growthFactorOption) apply(opts *cacheOptions) { opts.growthFactor = float64(o) }
+
+// WithGrowthFactor overrides the slab chunk growth factor (default 1.25).
+func WithGrowthFactor(f float64) Option { return growthFactorOption(f) }
+
+type clockOption struct{ now func() time.Time }
+
+func (o clockOption) apply(opts *cacheOptions) { opts.now = o.now }
+
+// WithClock injects the time source used for MRU timestamps. The simulator
+// passes its virtual clock; the default is time.Now.
+func WithClock(now func() time.Time) Option { return clockOption{now: now} }
+
+// New creates a Cache with the given memory budget in bytes. The budget is
+// rounded down to whole pages and must cover at least one page.
+func New(memoryBytes int64, opts ...Option) (*Cache, error) {
+	options := cacheOptions{growthFactor: DefaultGrowthFactor, now: time.Now}
+	for _, o := range opts {
+		o.apply(&options)
+	}
+	maxPages := int(memoryBytes / PageSize)
+	if maxPages < 1 {
+		return nil, fmt.Errorf("cache: memory budget %d bytes is below one %d-byte page", memoryBytes, PageSize)
+	}
+	classes := sizeClasses(options.growthFactor)
+	return &Cache{
+		classes:  classes,
+		slabs:    make([]*slab, len(classes)),
+		table:    make(map[string]*Item),
+		maxPages: maxPages,
+		now:      options.now,
+	}, nil
+}
+
+// Get returns the value for key and refreshes its MRU position and
+// timestamp, or ErrNotFound.
+func (c *Cache) Get(key string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.lookupLocked(key, c.now())
+	if !ok {
+		c.misses++
+		return nil, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	c.hits++
+	it.LastAccess = c.now()
+	c.slabs[it.classID].list.moveToFront(it)
+	return it.Value, nil
+}
+
+// Peek returns the value for key without refreshing recency or counting a
+// hit/miss. Agents use it during migration so metadata reads do not perturb
+// hotness.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.table[key]
+	if !ok || it.expired(c.now()) {
+		return nil, false
+	}
+	return it.Value, true
+}
+
+// Contains reports key residence without touching recency.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.table[key]
+	return ok && !it.expired(c.now())
+}
+
+// Set stores the value under key, updating MRU state. It evicts LRU items
+// of the same class as needed.
+func (c *Cache) Set(key string, value []byte) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.setLocked(key, value, c.now())
+}
+
+// setLocked is the core insert path; callers hold c.mu.
+func (c *Cache) setLocked(key string, value []byte, ts time.Time) error {
+	need := len(key) + len(value) + ItemOverhead
+	classID := classForSize(c.classes, need)
+	if classID < 0 {
+		return &ValueTooLargeError{Key: key, Need: need}
+	}
+
+	c.casSeq++
+	if it, ok := c.table[key]; ok {
+		if it.classID == classID {
+			// In-place update within the same chunk class.
+			it.Value = value
+			it.LastAccess = ts
+			it.ExpiresAt = time.Time{}
+			it.casID = c.casSeq
+			c.slabs[classID].list.moveToFront(it)
+			c.sets++
+			return nil
+		}
+		// Size class changed: drop and reinsert.
+		c.removeLocked(it)
+	}
+
+	sl := c.slab(classID)
+	if err := c.reserveChunkLocked(sl); err != nil {
+		return fmt.Errorf("set %q: %w", key, err)
+	}
+	it := &Item{Key: key, Value: value, LastAccess: ts, classID: classID, casID: c.casSeq}
+	sl.list.pushFront(it)
+	sl.used++
+	c.table[key] = it
+	c.sets++
+	return nil
+}
+
+// Delete removes key, or returns ErrNotFound.
+func (c *Cache) Delete(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.table[key]
+	if !ok {
+		return fmt.Errorf("delete %q: %w", key, ErrNotFound)
+	}
+	c.removeLocked(it)
+	return nil
+}
+
+// FlushAll drops every item but keeps page assignments, like memcached's
+// flush_all.
+func (c *Cache) FlushAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table = make(map[string]*Item)
+	for _, sl := range c.slabs {
+		if sl == nil {
+			continue
+		}
+		sl.list = mruList{}
+		sl.used = 0
+	}
+}
+
+// Len returns the number of resident items.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.table)
+}
+
+// Capacity returns the total item capacity of currently assigned pages plus
+// pages still unassigned, in bytes (page-granular budget).
+func (c *Cache) Capacity() int64 {
+	return int64(c.maxPages) * PageSize
+}
+
+// Stats snapshots counters and per-slab state.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Sets:          c.sets,
+		Evictions:     c.evictions,
+		Expirations:   c.expirations,
+		Items:         len(c.table),
+		AssignedPages: c.assignedPages,
+		MaxPages:      c.maxPages,
+	}
+	for _, sl := range c.slabs {
+		if sl == nil || sl.pages == 0 {
+			continue
+		}
+		st.BytesUsed += int64(sl.used) * int64(sl.chunkSize)
+		st.Slabs = append(st.Slabs, SlabStats{
+			ClassID:    sl.classID,
+			ChunkSize:  sl.chunkSize,
+			Pages:      sl.pages,
+			Items:      sl.list.size,
+			UsedChunks: sl.used,
+			Evictions:  sl.evictions,
+		})
+	}
+	return st
+}
+
+// ClassForItem reports which slab class an item of the given key and value
+// lengths lands in, mirroring the paper's constraint that an item from a
+// slab with chunk size b must migrate into a slab with chunk size b.
+func (c *Cache) ClassForItem(keyLen, valueLen int) (classID, chunkSize int, err error) {
+	need := keyLen + valueLen + ItemOverhead
+	id := classForSize(c.classes, need)
+	if id < 0 {
+		return 0, 0, &ValueTooLargeError{Need: need}
+	}
+	return id, c.classes[id], nil
+}
+
+// ChunkSizes returns the slab class ladder.
+func (c *Cache) ChunkSizes() []int {
+	out := make([]int, len(c.classes))
+	copy(out, c.classes)
+	return out
+}
+
+// slab returns the slab for classID, creating it on first use.
+func (c *Cache) slab(classID int) *slab {
+	if c.slabs[classID] == nil {
+		c.slabs[classID] = newSlab(classID, c.classes[classID])
+	}
+	return c.slabs[classID]
+}
+
+// reserveChunkLocked guarantees sl has a free chunk: first by assigning an
+// unallocated page, then by evicting the class's LRU tail. Mirrors
+// memcached: pages, once assigned to a class, are never reassigned.
+func (c *Cache) reserveChunkLocked(sl *slab) error {
+	if sl.freeChunks() > 0 {
+		return nil
+	}
+	if c.assignedPages < c.maxPages {
+		sl.pages++
+		c.assignedPages++
+		return nil
+	}
+	if sl.list.tail == nil {
+		return ErrOutOfMemory
+	}
+	c.evictLocked(sl)
+	return nil
+}
+
+// evictLocked drops the LRU tail of sl.
+func (c *Cache) evictLocked(sl *slab) {
+	victim := sl.list.tail
+	sl.list.remove(victim)
+	sl.used--
+	delete(c.table, victim.Key)
+	sl.evictions++
+	c.evictions++
+}
+
+// removeLocked unlinks an item and frees its chunk; callers hold c.mu.
+func (c *Cache) removeLocked(it *Item) {
+	sl := c.slabs[it.classID]
+	sl.list.remove(it)
+	sl.used--
+	delete(c.table, it.Key)
+}

@@ -1,0 +1,267 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// This file implements the rest of memcached's storage command set on the
+// slab core: conditional stores (add/replace/cas), value edits
+// (append/prepend/incr/decr), and TTL expiration. ElMem itself only needs
+// get/set plus the migration extensions, but the testbed is meant to be a
+// drop-in Memcached stand-in, and expiration interacts with migration
+// (expired items must not be offered or shipped).
+var (
+	// ErrExists is returned by CompareAndSwap when the item changed since
+	// the token was issued (memcached's EXISTS).
+	ErrExists = errors.New("cache: item changed since gets")
+	// ErrNotStored is returned by Add/Replace when their condition fails.
+	ErrNotStored = errors.New("cache: condition failed, not stored")
+	// ErrNotNumber is returned by Incr/Decr on non-numeric values.
+	ErrNotNumber = errors.New("cache: value is not a number")
+)
+
+// expired reports whether the item is past its expiry at time now.
+func (it *Item) expired(now time.Time) bool {
+	return !it.ExpiresAt.IsZero() && !now.Before(it.ExpiresAt)
+}
+
+// expireLocked lazily removes an expired item, counting like memcached: a
+// get on an expired item is a miss.
+func (c *Cache) expireLocked(it *Item) {
+	c.removeLocked(it)
+	c.expirations++
+}
+
+// lookupLocked finds a live item, lazily expiring a dead one. Callers
+// hold c.mu.
+func (c *Cache) lookupLocked(key string, now time.Time) (*Item, bool) {
+	it, ok := c.table[key]
+	if !ok {
+		return nil, false
+	}
+	if it.expired(now) {
+		c.expireLocked(it)
+		return nil, false
+	}
+	return it, true
+}
+
+// SetExpiring stores the value with an absolute expiry (zero = never).
+func (c *Cache) SetExpiring(key string, value []byte, expiresAt time.Time) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	if err := c.setLocked(key, value, now); err != nil {
+		return err
+	}
+	c.table[key].ExpiresAt = expiresAt
+	return nil
+}
+
+// GetWithCAS returns the value and the item's CAS token (memcached's
+// gets), refreshing recency.
+func (c *Cache) GetWithCAS(key string) (value []byte, casToken uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.lookupLocked(key, c.now())
+	if !ok {
+		c.misses++
+		return nil, 0, fmt.Errorf("gets %q: %w", key, ErrNotFound)
+	}
+	c.hits++
+	it.LastAccess = c.now()
+	c.slabs[it.classID].list.moveToFront(it)
+	return it.Value, it.casID, nil
+}
+
+// Add stores only if the key is absent (memcached's add).
+func (c *Cache) Add(key string, value []byte, expiresAt time.Time) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	if _, ok := c.lookupLocked(key, now); ok {
+		return fmt.Errorf("add %q: %w", key, ErrNotStored)
+	}
+	if err := c.setLocked(key, value, now); err != nil {
+		return err
+	}
+	c.table[key].ExpiresAt = expiresAt
+	return nil
+}
+
+// Replace stores only if the key is present (memcached's replace).
+func (c *Cache) Replace(key string, value []byte, expiresAt time.Time) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	if _, ok := c.lookupLocked(key, now); !ok {
+		return fmt.Errorf("replace %q: %w", key, ErrNotStored)
+	}
+	if err := c.setLocked(key, value, now); err != nil {
+		return err
+	}
+	c.table[key].ExpiresAt = expiresAt
+	return nil
+}
+
+// CompareAndSwap stores only if the item's CAS token still matches
+// (memcached's cas).
+func (c *Cache) CompareAndSwap(key string, value []byte, expiresAt time.Time, casToken uint64) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	it, ok := c.lookupLocked(key, now)
+	if !ok {
+		return fmt.Errorf("cas %q: %w", key, ErrNotFound)
+	}
+	if it.casID != casToken {
+		return fmt.Errorf("cas %q: %w", key, ErrExists)
+	}
+	if err := c.setLocked(key, value, now); err != nil {
+		return err
+	}
+	c.table[key].ExpiresAt = expiresAt
+	return nil
+}
+
+// Append concatenates data after the existing value (memcached's append).
+// The expiry and flags of the existing item are preserved.
+func (c *Cache) Append(key string, data []byte) error {
+	return c.edit(key, func(old []byte) []byte {
+		out := make([]byte, 0, len(old)+len(data))
+		out = append(out, old...)
+		return append(out, data...)
+	})
+}
+
+// Prepend concatenates data before the existing value.
+func (c *Cache) Prepend(key string, data []byte) error {
+	return c.edit(key, func(old []byte) []byte {
+		out := make([]byte, 0, len(old)+len(data))
+		out = append(out, data...)
+		return append(out, old...)
+	})
+}
+
+// edit rewrites an existing item's value in place, preserving expiry.
+func (c *Cache) edit(key string, fn func(old []byte) []byte) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	it, ok := c.lookupLocked(key, now)
+	if !ok {
+		return fmt.Errorf("edit %q: %w", key, ErrNotStored)
+	}
+	expiresAt := it.ExpiresAt
+	if err := c.setLocked(key, fn(it.Value), now); err != nil {
+		return err
+	}
+	c.table[key].ExpiresAt = expiresAt
+	return nil
+}
+
+// Incr adds delta to a decimal-uint64 value (memcached's incr), returning
+// the new value. Overflow wraps, as in memcached.
+func (c *Cache) Incr(key string, delta uint64) (uint64, error) {
+	return c.arith(key, func(v uint64) uint64 { return v + delta })
+}
+
+// Decr subtracts delta, clamping at zero (memcached's decr semantics).
+func (c *Cache) Decr(key string, delta uint64) (uint64, error) {
+	return c.arith(key, func(v uint64) uint64 {
+		if delta > v {
+			return 0
+		}
+		return v - delta
+	})
+}
+
+func (c *Cache) arith(key string, fn func(uint64) uint64) (uint64, error) {
+	if key == "" {
+		return 0, ErrEmptyKey
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	it, ok := c.lookupLocked(key, now)
+	if !ok {
+		return 0, fmt.Errorf("arith %q: %w", key, ErrNotFound)
+	}
+	v, err := strconv.ParseUint(string(it.Value), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("arith %q: %w", key, ErrNotNumber)
+	}
+	out := fn(v)
+	expiresAt := it.ExpiresAt
+	if err := c.setLocked(key, []byte(strconv.FormatUint(out, 10)), now); err != nil {
+		return 0, err
+	}
+	c.table[key].ExpiresAt = expiresAt
+	return out, nil
+}
+
+// TouchExpiry updates an item's expiry and recency (memcached's touch).
+func (c *Cache) TouchExpiry(key string, expiresAt time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	it, ok := c.lookupLocked(key, now)
+	if !ok {
+		return fmt.Errorf("touch %q: %w", key, ErrNotFound)
+	}
+	it.ExpiresAt = expiresAt
+	it.LastAccess = now
+	c.slabs[it.classID].list.moveToFront(it)
+	return nil
+}
+
+// CrawlExpired sweeps every slab class and removes expired items, like
+// memcached's LRU crawler. Returns the number reclaimed.
+func (c *Cache) CrawlExpired() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	reclaimed := 0
+	for _, sl := range c.slabs {
+		if sl == nil {
+			continue
+		}
+		var dead []*Item
+		sl.list.each(func(it *Item) bool {
+			if it.expired(now) {
+				dead = append(dead, it)
+			}
+			return true
+		})
+		for _, it := range dead {
+			c.expireLocked(it)
+			reclaimed++
+		}
+	}
+	return reclaimed
+}
+
+// Expirations reports items reclaimed by expiry (lazy or crawler).
+func (c *Cache) Expirations() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.expirations
+}

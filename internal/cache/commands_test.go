@@ -1,0 +1,364 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// expiryCache builds a cache plus a clock whose time the test controls.
+func expiryCache(t *testing.T) (*Cache, *fakeClock) {
+	t.Helper()
+	return newTestCache(t, 2)
+}
+
+func TestSetExpiringAndLazyExpiry(t *testing.T) {
+	c, clk := expiryCache(t)
+	deadline := clk.Now().Add(time.Minute)
+	if err := c.SetExpiring("k", []byte("v"), deadline); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal("item expired early")
+	}
+	clk.mu.Lock()
+	clk.t = deadline.Add(time.Second)
+	clk.mu.Unlock()
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound after expiry", err)
+	}
+	if c.Expirations() != 1 {
+		t.Fatalf("expirations = %d, want 1", c.Expirations())
+	}
+	// The chunk was reclaimed.
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after expiry", c.Len())
+	}
+}
+
+func TestExpiredItemInvisibleToPeekAndContains(t *testing.T) {
+	c, clk := expiryCache(t)
+	deadline := clk.Now().Add(time.Second)
+	if err := c.SetExpiring("k", []byte("v"), deadline); err != nil {
+		t.Fatal(err)
+	}
+	clk.mu.Lock()
+	clk.t = deadline.Add(time.Hour)
+	clk.mu.Unlock()
+	if _, ok := c.Peek("k"); ok {
+		t.Fatal("Peek saw an expired item")
+	}
+	if c.Contains("k") {
+		t.Fatal("Contains saw an expired item")
+	}
+}
+
+func TestExpiredItemsExcludedFromDumpAndFetch(t *testing.T) {
+	c, clk := expiryCache(t)
+	if err := c.Set("live", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := clk.Now().Add(time.Second)
+	if err := c.SetExpiring("dead", []byte("v"), deadline); err != nil {
+		t.Fatal(err)
+	}
+	clk.mu.Lock()
+	clk.t = deadline.Add(time.Minute)
+	clk.mu.Unlock()
+
+	metas, err := c.DumpClass(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].Key != "live" {
+		t.Fatalf("dump = %v, want only live", metas)
+	}
+	kvs, err := c.FetchTop(0, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || kvs[0].Key != "live" {
+		t.Fatalf("fetch = %v, want only live", kvs)
+	}
+}
+
+func TestPlainSetClearsExpiry(t *testing.T) {
+	c, clk := expiryCache(t)
+	deadline := clk.Now().Add(time.Second)
+	if err := c.SetExpiring("k", []byte("v1"), deadline); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	clk.mu.Lock()
+	clk.t = deadline.Add(time.Hour)
+	clk.mu.Unlock()
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal("plain Set should have cleared the expiry")
+	}
+}
+
+func TestCrawlExpired(t *testing.T) {
+	c, clk := expiryCache(t)
+	deadline := clk.Now().Add(time.Second)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := c.SetExpiring(k, []byte("v"), deadline); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Set("keep", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	clk.mu.Lock()
+	clk.t = deadline.Add(time.Minute)
+	clk.mu.Unlock()
+	if got := c.CrawlExpired(); got != 3 {
+		t.Fatalf("crawler reclaimed %d, want 3", got)
+	}
+	if c.Len() != 1 || !c.Contains("keep") {
+		t.Fatalf("Len = %d after crawl", c.Len())
+	}
+	if got := c.CrawlExpired(); got != 0 {
+		t.Fatalf("second crawl reclaimed %d, want 0", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	c, _ := expiryCache(t)
+	if err := c.Add("k", []byte("v1"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("k", []byte("v2"), time.Time{}); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("err = %v, want ErrNotStored for existing key", err)
+	}
+	got, _ := c.Peek("k")
+	if string(got) != "v1" {
+		t.Fatalf("value = %q, add overwrote", got)
+	}
+}
+
+func TestAddSucceedsAfterExpiry(t *testing.T) {
+	c, clk := expiryCache(t)
+	deadline := clk.Now().Add(time.Second)
+	if err := c.SetExpiring("k", []byte("old"), deadline); err != nil {
+		t.Fatal(err)
+	}
+	clk.mu.Lock()
+	clk.t = deadline.Add(time.Minute)
+	clk.mu.Unlock()
+	if err := c.Add("k", []byte("new"), time.Time{}); err != nil {
+		t.Fatalf("add after expiry failed: %v", err)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	c, _ := expiryCache(t)
+	if err := c.Replace("k", []byte("v"), time.Time{}); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("err = %v, want ErrNotStored for missing key", err)
+	}
+	if err := c.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Replace("k", []byte("v2"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Peek("k")
+	if string(got) != "v2" {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestGetWithCASAndCompareAndSwap(t *testing.T) {
+	c, _ := expiryCache(t)
+	if err := c.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	_, token, err := c.GetWithCAS("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompareAndSwap("k", []byte("v2"), time.Time{}, token); err != nil {
+		t.Fatal(err)
+	}
+	// The old token is now stale.
+	if err := c.CompareAndSwap("k", []byte("v3"), time.Time{}, token); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists for stale token", err)
+	}
+	got, _ := c.Peek("k")
+	if string(got) != "v2" {
+		t.Fatalf("value = %q", got)
+	}
+	if err := c.CompareAndSwap("missing", []byte("v"), time.Time{}, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCASTokenChangesOnEverySet(t *testing.T) {
+	c, _ := expiryCache(t)
+	if err := c.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	_, t1, err := c.GetWithCAS("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	_, t2, err := c.GetWithCAS("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 == t2 {
+		t.Fatal("CAS token did not change across sets")
+	}
+}
+
+func TestGetWithCASMiss(t *testing.T) {
+	c, _ := expiryCache(t)
+	if _, _, err := c.GetWithCAS("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestAppendPrepend(t *testing.T) {
+	c, _ := expiryCache(t)
+	if err := c.Append("k", []byte("x")); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("append to missing: err = %v, want ErrNotStored", err)
+	}
+	if err := c.Set("k", []byte("mid")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append("k", []byte("-end")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepend("k", []byte("start-")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Peek("k")
+	if string(got) != "start-mid-end" {
+		t.Fatalf("value = %q, want start-mid-end", got)
+	}
+}
+
+func TestAppendPreservesExpiry(t *testing.T) {
+	c, clk := expiryCache(t)
+	deadline := clk.Now().Add(time.Minute)
+	if err := c.SetExpiring("k", []byte("a"), deadline); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append("k", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	clk.mu.Lock()
+	clk.t = deadline.Add(time.Second)
+	clk.mu.Unlock()
+	if c.Contains("k") {
+		t.Fatal("append dropped the expiry")
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	c, _ := expiryCache(t)
+	if err := c.Set("n", []byte("10")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Incr("n", 5)
+	if err != nil || got != 15 {
+		t.Fatalf("Incr = %d, %v; want 15", got, err)
+	}
+	got, err = c.Decr("n", 20)
+	if err != nil || got != 0 {
+		t.Fatalf("Decr = %d, %v; want clamp at 0", got, err)
+	}
+	v, _ := c.Peek("n")
+	if string(v) != "0" {
+		t.Fatalf("stored value = %q", v)
+	}
+}
+
+func TestIncrErrors(t *testing.T) {
+	c, _ := expiryCache(t)
+	if _, err := c.Incr("missing", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if err := c.Set("s", []byte("not-a-number")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Incr("s", 1); !errors.Is(err, ErrNotNumber) {
+		t.Fatalf("err = %v, want ErrNotNumber", err)
+	}
+}
+
+func TestIncrWraps(t *testing.T) {
+	c, _ := expiryCache(t)
+	if err := c.Set("n", []byte("18446744073709551615")); err != nil { // max uint64
+		t.Fatal(err)
+	}
+	got, err := c.Incr("n", 1)
+	if err != nil || got != 0 {
+		t.Fatalf("Incr at max = %d, %v; memcached wraps to 0", got, err)
+	}
+}
+
+func TestTouchExpiry(t *testing.T) {
+	c, clk := expiryCache(t)
+	d1 := clk.Now().Add(time.Second)
+	if err := c.SetExpiring("k", []byte("v"), d1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := d1.Add(time.Hour)
+	if err := c.TouchExpiry("k", d2); err != nil {
+		t.Fatal(err)
+	}
+	clk.mu.Lock()
+	clk.t = d1.Add(time.Minute) // past the original deadline
+	clk.mu.Unlock()
+	if !c.Contains("k") {
+		t.Fatal("touch did not extend the expiry")
+	}
+	if err := c.TouchExpiry("missing", d2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStatsCountExpirations(t *testing.T) {
+	c, clk := expiryCache(t)
+	deadline := clk.Now().Add(time.Second)
+	if err := c.SetExpiring("k", []byte("v"), deadline); err != nil {
+		t.Fatal(err)
+	}
+	clk.mu.Lock()
+	clk.t = deadline.Add(time.Minute)
+	clk.mu.Unlock()
+	_, _ = c.Get("k")
+	if st := c.Stats(); st.Expirations != 1 {
+		t.Fatalf("Stats.Expirations = %d, want 1", st.Expirations)
+	}
+}
+
+func TestCommandsRejectEmptyKeys(t *testing.T) {
+	c, _ := expiryCache(t)
+	if err := c.SetExpiring("", nil, time.Time{}); !errors.Is(err, ErrEmptyKey) {
+		t.Fatal("SetExpiring accepted empty key")
+	}
+	if err := c.Add("", nil, time.Time{}); !errors.Is(err, ErrEmptyKey) {
+		t.Fatal("Add accepted empty key")
+	}
+	if err := c.Replace("", nil, time.Time{}); !errors.Is(err, ErrEmptyKey) {
+		t.Fatal("Replace accepted empty key")
+	}
+	if err := c.CompareAndSwap("", nil, time.Time{}, 0); !errors.Is(err, ErrEmptyKey) {
+		t.Fatal("CompareAndSwap accepted empty key")
+	}
+	if err := c.Append("", nil); !errors.Is(err, ErrEmptyKey) {
+		t.Fatal("Append accepted empty key")
+	}
+	if _, err := c.Incr("", 1); !errors.Is(err, ErrEmptyKey) {
+		t.Fatal("Incr accepted empty key")
+	}
+}

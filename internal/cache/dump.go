@@ -1,0 +1,334 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file implements the paper's two Memcached modifications
+// (Section V-A1) and the metadata queries the ElMem control plane needs:
+//
+//   - the timestamp dump command (LRU-crawler style) that emits a slab's
+//     (key, MRU timestamp) metadata in MRU order;
+//   - the batch import that writes migrated KV pairs by prepending them to
+//     the MRU list head, evicting colder tail items;
+//   - median-timestamp queries per slab for the Master's node scoring
+//     (Section III-C).
+
+// ItemMeta is one entry of a timestamp dump: everything phase 1 of the
+// migration ships over the network (keys are ~10s of bytes, timestamps 10
+// bytes — values are deliberately not included; Section III-D1).
+type ItemMeta struct {
+	// Key is the item key.
+	Key string `json:"key"`
+	// LastAccess is the MRU timestamp.
+	LastAccess time.Time `json:"lastAccess"`
+	// ValueSize is the stored value length in bytes, needed by the receiver
+	// to validate slab-class agreement.
+	ValueSize int `json:"valueSize"`
+	// ClassID is the slab class holding the item.
+	ClassID int `json:"classId"`
+}
+
+// DumpClass returns the metadata of every item in the slab class, in MRU
+// order (hottest first). If filter is non-nil only items whose key passes
+// are included — retiring Agents filter by consistent-hash target.
+func (c *Cache) DumpClass(classID int, filter func(key string) bool) ([]ItemMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if classID < 0 || classID >= len(c.slabs) {
+		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
+	}
+	sl := c.slabs[classID]
+	if sl == nil {
+		return nil, nil
+	}
+	now := c.now()
+	out := make([]ItemMeta, 0, sl.list.size)
+	sl.list.each(func(it *Item) bool {
+		if it.expired(now) {
+			return true // dead items are not migration candidates
+		}
+		if filter == nil || filter(it.Key) {
+			out = append(out, ItemMeta{
+				Key:        it.Key,
+				LastAccess: it.LastAccess,
+				ValueSize:  len(it.Value),
+				ClassID:    classID,
+			})
+		}
+		return true
+	})
+	return out, nil
+}
+
+// DumpAll returns the timestamp dump of every populated slab class, keyed
+// by class ID, each in MRU order.
+func (c *Cache) DumpAll(filter func(key string) bool) map[int][]ItemMeta {
+	c.mu.Lock()
+	populated := make([]int, 0, len(c.slabs))
+	for id, sl := range c.slabs {
+		if sl != nil && sl.list.size > 0 {
+			populated = append(populated, id)
+		}
+	}
+	c.mu.Unlock()
+
+	out := make(map[int][]ItemMeta, len(populated))
+	for _, id := range populated {
+		metas, err := c.DumpClass(id, filter)
+		if err != nil || len(metas) == 0 {
+			continue
+		}
+		out[id] = metas
+	}
+	return out
+}
+
+// MedianTimestamp returns the MRU timestamp of the median item (by MRU
+// position) of the slab class. The boolean is false when the class is
+// empty. The Master compares these medians across nodes to score retiring
+// candidates (Section III-C).
+func (c *Cache) MedianTimestamp(classID int) (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if classID < 0 || classID >= len(c.slabs) {
+		return time.Time{}, false
+	}
+	sl := c.slabs[classID]
+	if sl == nil || sl.list.size == 0 {
+		return time.Time{}, false
+	}
+	mid := sl.list.size / 2
+	it := sl.list.head
+	for i := 0; i < mid; i++ {
+		it = it.next
+	}
+	return it.LastAccess, true
+}
+
+// SlabPageWeights returns w_b for every populated class: the fraction of
+// this node's assigned pages held by the class (Section III-C).
+func (c *Cache) SlabPageWeights() map[int]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]float64)
+	if c.assignedPages == 0 {
+		return out
+	}
+	for id, sl := range c.slabs {
+		if sl == nil || sl.pages == 0 {
+			continue
+		}
+		out[id] = float64(sl.pages) / float64(c.assignedPages)
+	}
+	return out
+}
+
+// PopulatedClasses returns the IDs of classes holding at least one item, in
+// ascending order.
+func (c *Cache) PopulatedClasses() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for id, sl := range c.slabs {
+		if sl != nil && sl.list.size > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ClassLen returns the number of items resident in the class.
+func (c *Cache) ClassLen(classID int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if classID < 0 || classID >= len(c.slabs) || c.slabs[classID] == nil {
+		return 0
+	}
+	return c.slabs[classID].list.size
+}
+
+// ClassCapacity returns the chunk capacity of the class's assigned pages.
+func (c *Cache) ClassCapacity(classID int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if classID < 0 || classID >= len(c.slabs) || c.slabs[classID] == nil {
+		return 0
+	}
+	return c.slabs[classID].capacity()
+}
+
+// ClassAbsorbCapacity returns how many items of the class this cache can
+// hold in the best case: chunks in already-assigned pages plus every
+// still-unassigned page converted to this class. FuseCache sizes its
+// selection target n from this (Section IV-A) — it is exactly the space
+// the migration's batch import can fill without dropping pairs.
+func (c *Cache) ClassAbsorbCapacity(classID int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if classID < 0 || classID >= len(c.classes) {
+		return 0
+	}
+	chunksPerPage := PageSize / c.classes[classID]
+	capacity := (c.maxPages - c.assignedPages) * chunksPerPage
+	if sl := c.slabs[classID]; sl != nil {
+		capacity += sl.capacity()
+	}
+	return capacity
+}
+
+// KV is a key/value/timestamp triple shipped in migration phase 3.
+type KV struct {
+	// Key and Value carry the pair.
+	Key   string `json:"key"`
+	Value []byte `json:"value"`
+	// LastAccess preserves the MRU timestamp across the move so merged
+	// hotness stays meaningful.
+	LastAccess time.Time `json:"lastAccess"`
+}
+
+// FetchTop returns the hottest count items of the class in MRU order whose
+// keys pass filter (nil = all). Retiring Agents call this in phase 3 with
+// the per-list take counts FuseCache computed.
+func (c *Cache) FetchTop(classID, count int, filter func(key string) bool) ([]KV, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if classID < 0 || classID >= len(c.slabs) {
+		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
+	}
+	sl := c.slabs[classID]
+	if sl == nil || count <= 0 {
+		return nil, nil
+	}
+	now := c.now()
+	out := make([]KV, 0, count)
+	sl.list.each(func(it *Item) bool {
+		if it.expired(now) {
+			return true // never ship dead items
+		}
+		if filter == nil || filter(it.Key) {
+			v := make([]byte, len(it.Value))
+			copy(v, it.Value)
+			out = append(out, KV{Key: it.Key, Value: v, LastAccess: it.LastAccess})
+			if len(out) == count {
+				return false
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// BatchImport writes migrated KV pairs into the cache by prepending them at
+// the head of their slab class's MRU list in the given order (so
+// pairs[len-1] ends up hottest if the slice is coldest-first, and
+// pairs[0] ends up hottest when reverse is true and the slice is
+// hottest-first). Colder items at the tail are evicted to make room, which
+// by FuseCache's construction are strictly colder than the imports
+// (Section III-D3). Timestamps of the imported items are preserved.
+//
+// It mirrors the paper's custom import: the normal set data checks are
+// skipped because the pairs were just read from a live cache. An item
+// whose slab class cannot obtain a chunk (page pool exhausted, nothing of
+// that class to evict) is skipped, exactly as a real memcached set fails
+// with SERVER_ERROR under slab exhaustion; the returned count reports how
+// many pairs were actually imported.
+func (c *Cache) BatchImport(pairs []KV, reverse bool) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	imported := 0
+	importOne := func(p KV) error {
+		err := c.importOneLocked(p)
+		switch {
+		case err == nil:
+			imported++
+			return nil
+		case errors.Is(err, ErrOutOfMemory):
+			return nil // slab exhaustion: drop the pair, keep going
+		default:
+			return err
+		}
+	}
+	if reverse {
+		for i := len(pairs) - 1; i >= 0; i-- {
+			if err := importOne(pairs[i]); err != nil {
+				return imported, err
+			}
+		}
+		return imported, nil
+	}
+	for _, p := range pairs {
+		if err := importOne(p); err != nil {
+			return imported, err
+		}
+	}
+	return imported, nil
+}
+
+// importOneLocked inserts one migrated pair at its class's MRU head.
+func (c *Cache) importOneLocked(p KV) error {
+	if p.Key == "" {
+		return ErrEmptyKey
+	}
+	need := len(p.Key) + len(p.Value) + ItemOverhead
+	classID := classForSize(c.classes, need)
+	if classID < 0 {
+		return &ValueTooLargeError{Key: p.Key, Need: need}
+	}
+	if it, ok := c.table[p.Key]; ok {
+		// The receiver may already hold the key (set while metadata was in
+		// flight). Keep the fresher timestamp and move to head.
+		if p.LastAccess.After(it.LastAccess) {
+			it.LastAccess = p.LastAccess
+		}
+		if it.classID == classID {
+			it.Value = p.Value
+			c.slabs[classID].list.moveToFront(it)
+			return nil
+		}
+		c.removeLocked(it)
+	}
+	sl := c.slab(classID)
+	if err := c.reserveChunkLocked(sl); err != nil {
+		return fmt.Errorf("import %q: %w", p.Key, err)
+	}
+	it := &Item{Key: p.Key, Value: p.Value, LastAccess: p.LastAccess, classID: classID}
+	sl.list.pushFront(it)
+	sl.used++
+	c.table[p.Key] = it
+	return nil
+}
+
+// EvictColdest drops the n coldest items of a class (tail-first); used by
+// tests and by policies that emulate naive migration's evictions. It
+// returns the number actually evicted.
+func (c *Cache) EvictColdest(classID, n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if classID < 0 || classID >= len(c.slabs) || c.slabs[classID] == nil {
+		return 0
+	}
+	sl := c.slabs[classID]
+	evicted := 0
+	for evicted < n && sl.list.tail != nil {
+		c.evictLocked(sl)
+		evicted++
+	}
+	return evicted
+}
+
+// Keys returns every resident key in no particular order. Intended for
+// tests and the scale-out hash split, not hot paths.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.table))
+	for k := range c.table {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fill(t *testing.T, c *Cache, n int, prefix string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := c.Set(fmt.Sprintf("%s-%04d", prefix, i), []byte("val")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDumpClassMRUOrder(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	fill(t, c, 10, "key")
+	metas, err := c.DumpClass(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 10 {
+		t.Fatalf("dump has %d entries, want 10", len(metas))
+	}
+	// Insertion order means the last-set key is hottest.
+	if metas[0].Key != "key-0009" {
+		t.Fatalf("head = %q, want key-0009", metas[0].Key)
+	}
+	for i := 1; i < len(metas); i++ {
+		if metas[i].LastAccess.After(metas[i-1].LastAccess) {
+			t.Fatalf("dump not in non-increasing timestamp order at %d", i)
+		}
+	}
+}
+
+func TestDumpClassGetPromotes(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	fill(t, c, 5, "key")
+	if _, err := c.Get("key-0000"); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := c.DumpClass(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metas[0].Key != "key-0000" {
+		t.Fatalf("head = %q after Get, want key-0000", metas[0].Key)
+	}
+}
+
+func TestDumpClassFilter(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	fill(t, c, 10, "keep")
+	fill(t, c, 10, "drop")
+	metas, err := c.DumpClass(0, func(k string) bool { return strings.HasPrefix(k, "keep") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 10 {
+		t.Fatalf("filtered dump has %d entries, want 10", len(metas))
+	}
+	for _, m := range metas {
+		if !strings.HasPrefix(m.Key, "keep") {
+			t.Fatalf("filter leaked key %q", m.Key)
+		}
+	}
+}
+
+func TestDumpClassOutOfRange(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	if _, err := c.DumpClass(-1, nil); err == nil {
+		t.Fatal("want error for negative class")
+	}
+	if _, err := c.DumpClass(10_000, nil); err == nil {
+		t.Fatal("want error for out-of-range class")
+	}
+}
+
+func TestDumpClassEmpty(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	metas, err := c.DumpClass(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metas != nil {
+		t.Fatalf("dump of untouched class = %v, want nil", metas)
+	}
+}
+
+func TestDumpAll(t *testing.T) {
+	c, _ := newTestCache(t, 4)
+	fill(t, c, 5, "small")
+	big := bytes.Repeat([]byte("x"), 3000)
+	for i := 0; i < 3; i++ {
+		if err := c.Set(fmt.Sprintf("big-%d", i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := c.DumpAll(nil)
+	if len(all) != 2 {
+		t.Fatalf("DumpAll returned %d classes, want 2", len(all))
+	}
+	total := 0
+	for _, metas := range all {
+		total += len(metas)
+	}
+	if total != 8 {
+		t.Fatalf("DumpAll total = %d items, want 8", total)
+	}
+}
+
+func TestMedianTimestamp(t *testing.T) {
+	c, clk := newTestCache(t, 1)
+	_ = clk
+	fill(t, c, 9, "key")
+	median, ok := c.MedianTimestamp(0)
+	if !ok {
+		t.Fatal("median missing for populated class")
+	}
+	metas, err := c.DumpClass(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 9 items the median (index 4) is key-0004 counting from the
+	// hottest (key-0008).
+	if !median.Equal(metas[4].LastAccess) {
+		t.Fatalf("median = %v, want the MRU-position-4 timestamp %v", median, metas[4].LastAccess)
+	}
+}
+
+func TestMedianTimestampEmpty(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	if _, ok := c.MedianTimestamp(0); ok {
+		t.Fatal("median reported for empty class")
+	}
+	if _, ok := c.MedianTimestamp(-5); ok {
+		t.Fatal("median reported for invalid class")
+	}
+}
+
+func TestSlabPageWeightsSumToOne(t *testing.T) {
+	c, _ := newTestCache(t, 8)
+	fill(t, c, 100, "small")
+	big := bytes.Repeat([]byte("x"), 4000)
+	for i := 0; i < 600; i++ { // forces several pages in the big class
+		if err := c.Set(fmt.Sprintf("big-%04d", i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	weights := c.SlabPageWeights()
+	if len(weights) < 2 {
+		t.Fatalf("weights cover %d classes, want >= 2", len(weights))
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight %v out of (0, 1]", w)
+		}
+		sum += w
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+}
+
+func TestSlabPageWeightsEmpty(t *testing.T) {
+	c, _ := newTestCache(t, 2)
+	if w := c.SlabPageWeights(); len(w) != 0 {
+		t.Fatalf("weights on empty cache = %v, want empty", w)
+	}
+}
+
+func TestPopulatedClassesAndClassLen(t *testing.T) {
+	c, _ := newTestCache(t, 4)
+	fill(t, c, 7, "small")
+	if err := c.Set("big", bytes.Repeat([]byte("x"), 2000)); err != nil {
+		t.Fatal(err)
+	}
+	classes := c.PopulatedClasses()
+	if len(classes) != 2 {
+		t.Fatalf("populated classes = %v, want 2 entries", classes)
+	}
+	if got := c.ClassLen(classes[0]); got != 7 {
+		t.Fatalf("ClassLen(small) = %d, want 7", got)
+	}
+	if got := c.ClassLen(classes[1]); got != 1 {
+		t.Fatalf("ClassLen(big) = %d, want 1", got)
+	}
+	if got := c.ClassLen(-1); got != 0 {
+		t.Fatalf("ClassLen(-1) = %d, want 0", got)
+	}
+}
+
+func TestClassCapacity(t *testing.T) {
+	c, _ := newTestCache(t, 4)
+	fill(t, c, 1, "k")
+	if got := c.ClassCapacity(0); got != PageSize/MinChunkSize {
+		t.Fatalf("ClassCapacity = %d, want %d", got, PageSize/MinChunkSize)
+	}
+	if got := c.ClassCapacity(5000); got != 0 {
+		t.Fatalf("ClassCapacity(out of range) = %d, want 0", got)
+	}
+}
+
+func TestFetchTop(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	fill(t, c, 10, "key")
+	kvs, err := c.FetchTop(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 3 {
+		t.Fatalf("FetchTop returned %d, want 3", len(kvs))
+	}
+	if kvs[0].Key != "key-0009" || kvs[2].Key != "key-0007" {
+		t.Fatalf("FetchTop order wrong: %q ... %q", kvs[0].Key, kvs[2].Key)
+	}
+}
+
+func TestFetchTopFiltered(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	fill(t, c, 10, "keep")
+	fill(t, c, 10, "drop")
+	kvs, err := c.FetchTop(0, 5, func(k string) bool { return strings.HasPrefix(k, "keep") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 5 {
+		t.Fatalf("FetchTop returned %d, want 5", len(kvs))
+	}
+	for _, kv := range kvs {
+		if !strings.HasPrefix(kv.Key, "keep") {
+			t.Fatalf("filter leaked %q", kv.Key)
+		}
+	}
+}
+
+func TestFetchTopCopiesValues(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	if err := c.Set("k", []byte("orig")); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := c.FetchTop(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs[0].Value[0] = 'X'
+	got, _ := c.Peek("k")
+	if string(got) != "orig" {
+		t.Fatal("FetchTop exposed internal value storage")
+	}
+}
+
+func TestFetchTopEdgeCases(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	if _, err := c.FetchTop(-1, 1, nil); err == nil {
+		t.Fatal("want error for bad class")
+	}
+	kvs, err := c.FetchTop(0, 0, nil)
+	if err != nil || kvs != nil {
+		t.Fatalf("FetchTop(0 count) = %v, %v; want nil, nil", kvs, err)
+	}
+}
+
+func TestBatchImportPrependsAtHead(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	fill(t, c, 3, "local")
+	ts := time.Unix(1_800_000_000, 0)
+	pairs := []KV{
+		{Key: "mig-hot", Value: []byte("h"), LastAccess: ts.Add(2 * time.Second)},
+		{Key: "mig-mid", Value: []byte("m"), LastAccess: ts.Add(time.Second)},
+	}
+	// Hottest-first slice with reverse=true: mig-hot must end at the head.
+	if _, err := c.BatchImport(pairs, true); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := c.DumpClass(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metas[0].Key != "mig-hot" || metas[1].Key != "mig-mid" {
+		t.Fatalf("head order = %q, %q; want mig-hot, mig-mid", metas[0].Key, metas[1].Key)
+	}
+	if !metas[0].LastAccess.Equal(ts.Add(2 * time.Second)) {
+		t.Fatal("import did not preserve the migrated timestamp")
+	}
+}
+
+func TestBatchImportForwardOrder(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	pairs := []KV{
+		{Key: "cold", Value: []byte("c"), LastAccess: time.Unix(1, 0)},
+		{Key: "hot", Value: []byte("h"), LastAccess: time.Unix(2, 0)},
+	}
+	// Coldest-first slice with reverse=false: last prepend wins the head.
+	if _, err := c.BatchImport(pairs, false); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := c.DumpClass(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metas[0].Key != "hot" {
+		t.Fatalf("head = %q, want hot", metas[0].Key)
+	}
+}
+
+func TestBatchImportEvictsColdTail(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	val := bytes.Repeat([]byte("v"), 16)
+	perPage := PageSize / MinChunkSize
+	for i := 0; i < perPage; i++ {
+		if err := c.Set(fmt.Sprintf("key-%05d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs := []KV{{Key: "migrated", Value: val, LastAccess: time.Unix(2_000_000_000, 0)}}
+	if _, err := c.BatchImport(pairs, true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains("migrated") {
+		t.Fatal("import lost the migrated item")
+	}
+	// The coldest local item (key-00000) must have been evicted.
+	if c.Contains("key-00000") {
+		t.Fatal("import did not evict the cold tail")
+	}
+	if c.Len() != perPage {
+		t.Fatalf("Len = %d, want %d", c.Len(), perPage)
+	}
+}
+
+func TestBatchImportExistingKeyKeepsFresherTimestamp(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	if err := c.Set("k", []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	metas, _ := c.DumpClass(0, nil)
+	localTS := metas[0].LastAccess
+
+	older := localTS.Add(-time.Hour)
+	if _, err := c.BatchImport([]KV{{Key: "k", Value: []byte("migrated"), LastAccess: older}}, true); err != nil {
+		t.Fatal(err)
+	}
+	metas, _ = c.DumpClass(0, nil)
+	if !metas[0].LastAccess.Equal(localTS) {
+		t.Fatal("import regressed a fresher local timestamp")
+	}
+	got, _ := c.Peek("k")
+	if string(got) != "migrated" {
+		t.Fatalf("value = %q, want imported value", got)
+	}
+}
+
+func TestBatchImportRejectsEmptyKeyAndHugeValue(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	if _, err := c.BatchImport([]KV{{Key: ""}}, true); err == nil {
+		t.Fatal("want error for empty key")
+	}
+	if _, err := c.BatchImport([]KV{{Key: "k", Value: make([]byte, PageSize+1)}}, true); err == nil {
+		t.Fatal("want error for oversized value")
+	}
+}
+
+func TestEvictColdest(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	fill(t, c, 10, "key")
+	if got := c.EvictColdest(0, 3); got != 3 {
+		t.Fatalf("evicted %d, want 3", got)
+	}
+	// The three oldest inserts are gone.
+	for i := 0; i < 3; i++ {
+		if c.Contains(fmt.Sprintf("key-%04d", i)) {
+			t.Fatalf("key-%04d survived EvictColdest", i)
+		}
+	}
+	if got := c.EvictColdest(0, 100); got != 7 {
+		t.Fatalf("evicted %d, want the remaining 7", got)
+	}
+	if got := c.EvictColdest(500, 1); got != 0 {
+		t.Fatalf("evicted %d from bogus class, want 0", got)
+	}
+}

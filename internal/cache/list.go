@@ -1,0 +1,99 @@
+package cache
+
+// mruList is an intrusive doubly-linked list of items kept in
+// Most-Recently-Used order: head is the hottest item, tail the coldest.
+// Memcached stores each slab class's items this way so that LRU eviction is
+// O(1) — delete the tail (Section II-A).
+type mruList struct {
+	head *Item
+	tail *Item
+	size int
+}
+
+// pushFront inserts an item at the MRU head.
+func (l *mruList) pushFront(it *Item) {
+	it.prev = nil
+	it.next = l.head
+	if l.head != nil {
+		l.head.prev = it
+	}
+	l.head = it
+	if l.tail == nil {
+		l.tail = it
+	}
+	l.size++
+}
+
+// remove unlinks an item from the list.
+func (l *mruList) remove(it *Item) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		l.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		l.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+	l.size--
+}
+
+// moveToFront relinks an existing member at the head.
+func (l *mruList) moveToFront(it *Item) {
+	if l.head == it {
+		return
+	}
+	l.remove(it)
+	l.pushFront(it)
+}
+
+// pushBack inserts an item at the LRU tail. Batch import uses pushFront for
+// migrated hot data; pushBack exists for completeness and tests.
+func (l *mruList) pushBack(it *Item) {
+	it.next = nil
+	it.prev = l.tail
+	if l.tail != nil {
+		l.tail.next = it
+	}
+	l.tail = it
+	if l.head == nil {
+		l.head = it
+	}
+	l.size++
+}
+
+// each walks the list head→tail, stopping early if fn returns false.
+func (l *mruList) each(fn func(*Item) bool) {
+	for it := l.head; it != nil; {
+		next := it.next // capture: fn may unlink it
+		if !fn(it) {
+			return
+		}
+		it = next
+	}
+}
+
+// validate checks structural invariants; used by tests and property checks.
+func (l *mruList) validate() bool {
+	if l.size == 0 {
+		return l.head == nil && l.tail == nil
+	}
+	if l.head == nil || l.tail == nil || l.head.prev != nil || l.tail.next != nil {
+		return false
+	}
+	n := 0
+	var prev *Item
+	for it := l.head; it != nil; it = it.next {
+		if it.prev != prev {
+			return false
+		}
+		prev = it
+		n++
+		if n > l.size {
+			return false
+		}
+	}
+	return n == l.size && prev == l.tail
+}

@@ -1,0 +1,299 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func listKeys(l *mruList) []string {
+	var out []string
+	l.each(func(it *Item) bool {
+		out = append(out, it.Key)
+		return true
+	})
+	return out
+}
+
+func TestListPushFrontOrder(t *testing.T) {
+	var l mruList
+	for _, k := range []string{"a", "b", "c"} {
+		l.pushFront(&Item{Key: k})
+	}
+	got := listKeys(&l)
+	want := []string{"c", "b", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if !l.validate() {
+		t.Fatal("invariants broken")
+	}
+}
+
+func TestListPushBack(t *testing.T) {
+	var l mruList
+	for _, k := range []string{"a", "b"} {
+		l.pushBack(&Item{Key: k})
+	}
+	got := listKeys(&l)
+	if got[0] != "a" || got[1] != "b" {
+		t.Fatalf("order = %v, want [a b]", got)
+	}
+	if !l.validate() {
+		t.Fatal("invariants broken")
+	}
+}
+
+func TestListRemoveHeadTailMiddle(t *testing.T) {
+	items := map[string]*Item{}
+	var l mruList
+	for _, k := range []string{"a", "b", "c", "d"} {
+		it := &Item{Key: k}
+		items[k] = it
+		l.pushBack(it)
+	}
+	l.remove(items["a"]) // head
+	l.remove(items["d"]) // tail
+	l.remove(items["b"]) // middle
+	got := listKeys(&l)
+	if len(got) != 1 || got[0] != "c" {
+		t.Fatalf("remaining = %v, want [c]", got)
+	}
+	if !l.validate() {
+		t.Fatal("invariants broken")
+	}
+	l.remove(items["c"])
+	if l.head != nil || l.tail != nil || l.size != 0 {
+		t.Fatal("empty-list state wrong after removing last item")
+	}
+}
+
+func TestListMoveToFront(t *testing.T) {
+	items := map[string]*Item{}
+	var l mruList
+	for _, k := range []string{"a", "b", "c"} {
+		it := &Item{Key: k}
+		items[k] = it
+		l.pushBack(it)
+	}
+	l.moveToFront(items["c"])
+	if got := listKeys(&l); got[0] != "c" {
+		t.Fatalf("head = %q, want c", got[0])
+	}
+	l.moveToFront(items["c"]) // no-op on head
+	if got := listKeys(&l); got[0] != "c" || l.size != 3 {
+		t.Fatal("moveToFront of head corrupted list")
+	}
+	if !l.validate() {
+		t.Fatal("invariants broken")
+	}
+}
+
+func TestListEachEarlyStop(t *testing.T) {
+	var l mruList
+	for i := 0; i < 5; i++ {
+		l.pushBack(&Item{Key: fmt.Sprintf("k%d", i)})
+	}
+	n := 0
+	l.each(func(*Item) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("each visited %d items, want early stop at 2", n)
+	}
+}
+
+// TestListPropertyRandomOps drives the list with random operations and
+// checks structural invariants plus agreement with a reference slice model.
+func TestListPropertyRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var l mruList
+		var model []string // head-first
+		items := make(map[string]*Item)
+		for op := 0; op < 300; op++ {
+			switch r := rng.Intn(4); {
+			case r == 0 || len(model) == 0: // pushFront
+				k := fmt.Sprintf("k%d", op)
+				it := &Item{Key: k}
+				items[k] = it
+				l.pushFront(it)
+				model = append([]string{k}, model...)
+			case r == 1: // remove random
+				i := rng.Intn(len(model))
+				k := model[i]
+				l.remove(items[k])
+				delete(items, k)
+				model = append(model[:i:i], model[i+1:]...)
+			case r == 2: // moveToFront random
+				i := rng.Intn(len(model))
+				k := model[i]
+				l.moveToFront(items[k])
+				model = append(model[:i:i], model[i+1:]...)
+				model = append([]string{k}, model...)
+			default: // pushBack
+				k := fmt.Sprintf("k%d", op)
+				it := &Item{Key: k}
+				items[k] = it
+				l.pushBack(it)
+				model = append(model, k)
+			}
+			if !l.validate() {
+				return false
+			}
+			got := listKeys(&l)
+			if len(got) != len(model) {
+				return false
+			}
+			for i := range got {
+				if got[i] != model[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCachePropertyNeverExceedsCapacity checks the global memory invariant
+// under random workloads: used chunks never exceed page capacity, and the
+// table and lists always agree.
+func TestCachePropertyNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := newFakeClock()
+		c, err := New(2*PageSize, WithClock(clk.Now))
+		if err != nil {
+			return false
+		}
+		for op := 0; op < 2000; op++ {
+			key := fmt.Sprintf("k%d", rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0, 1:
+				val := make([]byte, rng.Intn(3000)+1)
+				// ErrOutOfMemory is legitimate: a class whose page demand
+				// arrives after the pool is exhausted has nothing to evict.
+				if err := c.Set(key, val); err != nil && !errors.Is(err, ErrOutOfMemory) {
+					return false
+				}
+			default:
+				_, _ = c.Get(key)
+			}
+		}
+		st := c.Stats()
+		if st.AssignedPages > st.MaxPages {
+			return false
+		}
+		items := 0
+		for _, sl := range st.Slabs {
+			if sl.UsedChunks > sl.Pages*(PageSize/sl.ChunkSize) {
+				return false
+			}
+			if sl.Items != sl.UsedChunks {
+				return false
+			}
+			items += sl.Items
+		}
+		return items == st.Items
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCachePropertyDumpMatchesTable: every dumped key must be resident and
+// dumps must cover exactly the resident set.
+func TestCachePropertyDumpMatchesTable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := newFakeClock()
+		c, err := New(PageSize, WithClock(clk.Now))
+		if err != nil {
+			return false
+		}
+		for op := 0; op < 500; op++ {
+			key := fmt.Sprintf("k%d", rng.Intn(100))
+			if rng.Intn(5) == 0 {
+				_ = c.Delete(key) // ErrNotFound is fine
+				continue
+			}
+			if err := c.Set(key, make([]byte, rng.Intn(500)+1)); err != nil && !errors.Is(err, ErrOutOfMemory) {
+				return false
+			}
+		}
+		dumped := 0
+		for _, metas := range c.DumpAll(nil) {
+			for _, m := range metas {
+				if !c.Contains(m.Key) {
+					return false
+				}
+				dumped++
+			}
+		}
+		return dumped == c.Len()
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCachePropertyImportedHotterThanEvicted: after a batch import that
+// causes evictions, every surviving imported item is hotter than the
+// timestamps that were evicted — the paper's III-D3 guarantee, given
+// FuseCache-chosen inputs (imports hotter than the local tail).
+func TestCachePropertyImportedHotterThanEvicted(t *testing.T) {
+	clk := newFakeClock()
+	c, err := New(PageSize, WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 16)
+	perPage := PageSize / MinChunkSize
+	for i := 0; i < perPage; i++ {
+		if err := c.Set(fmt.Sprintf("local-%05d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas, err := c.DumpClass(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldestSurvivorBefore := metas[len(metas)-1].LastAccess
+
+	// Imports strictly hotter than everything local.
+	future := time.Unix(2_000_000_000, 0)
+	var pairs []KV
+	for i := 0; i < 50; i++ {
+		pairs = append(pairs, KV{
+			Key:        fmt.Sprintf("mig-%03d", i),
+			Value:      val,
+			LastAccess: future.Add(time.Duration(50-i) * time.Second), // hottest first
+		})
+	}
+	if _, err := c.BatchImport(pairs, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if !c.Contains(p.Key) {
+			t.Fatalf("imported %q missing", p.Key)
+		}
+		if !p.LastAccess.After(coldestSurvivorBefore) {
+			t.Fatal("test setup broken: import not hotter than evicted tail")
+		}
+	}
+	if c.Len() != perPage {
+		t.Fatalf("Len = %d, want steady %d", c.Len(), perPage)
+	}
+}

@@ -1,0 +1,119 @@
+package cache
+
+import "fmt"
+
+// Memcached slab constants (Section II-A): memory is divided into 1 MiB
+// pages; pages are grouped into slab classes, each storing items of a given
+// size range in fixed-size chunks to minimize fragmentation.
+const (
+	// PageSize is the memcached page size.
+	PageSize = 1 << 20
+	// MinChunkSize is the smallest chunk (memcached default is 80–96 bytes
+	// depending on build; we use 96).
+	MinChunkSize = 96
+	// DefaultGrowthFactor is memcached's default chunk growth factor.
+	DefaultGrowthFactor = 1.25
+	// ItemOverhead approximates memcached's per-item header (hash chain,
+	// LRU pointers, CAS, flags, key length, suffix).
+	ItemOverhead = 48
+)
+
+// sizeClasses computes the chunk sizes for every slab class: a geometric
+// ladder from MinChunkSize up to PageSize with the given growth factor,
+// always ending with one PageSize class so any item up to a page fits.
+func sizeClasses(factor float64) []int {
+	if factor <= 1.01 {
+		factor = DefaultGrowthFactor
+	}
+	var classes []int
+	size := MinChunkSize
+	for size < PageSize {
+		classes = append(classes, size)
+		next := int(float64(size) * factor)
+		if next <= size {
+			next = size + 8
+		}
+		// Memcached aligns chunk sizes to 8 bytes.
+		next = (next + 7) &^ 7
+		size = next
+	}
+	classes = append(classes, PageSize)
+	return classes
+}
+
+// slab is one slab class: a chunk size, its page and chunk accounting, and
+// the MRU-ordered list of resident items.
+type slab struct {
+	classID   int
+	chunkSize int
+
+	// pages is the number of 1 MiB pages assigned to this class. Classic
+	// memcached never returns pages to the global pool.
+	pages int
+	// chunksPerPage is how many chunks one page yields.
+	chunksPerPage int
+	// used is the number of occupied chunks.
+	used int
+
+	// list holds the class's items in MRU order.
+	list mruList
+
+	// evictions counts LRU tail drops from this class.
+	evictions uint64
+}
+
+func newSlab(classID, chunkSize int) *slab {
+	return &slab{
+		classID:       classID,
+		chunkSize:     chunkSize,
+		chunksPerPage: PageSize / chunkSize,
+	}
+}
+
+// capacity is the total chunks across assigned pages.
+func (s *slab) capacity() int { return s.pages * s.chunksPerPage }
+
+// freeChunks is the number of unoccupied chunks in assigned pages.
+func (s *slab) freeChunks() int { return s.capacity() - s.used }
+
+// SlabStats is a point-in-time snapshot of one slab class, exposed through
+// Cache.Stats and used by the Master's node-scoring (III-C) for the page
+// weight w_b.
+type SlabStats struct {
+	// ClassID identifies the slab class.
+	ClassID int `json:"classId"`
+	// ChunkSize is the fixed chunk size in bytes.
+	ChunkSize int `json:"chunkSize"`
+	// Pages is the number of 1 MiB pages assigned.
+	Pages int `json:"pages"`
+	// Items is the number of resident items.
+	Items int `json:"items"`
+	// UsedChunks is the number of occupied chunks (== Items).
+	UsedChunks int `json:"usedChunks"`
+	// Evictions counts LRU evictions from this class.
+	Evictions uint64 `json:"evictions"`
+}
+
+// classForSize returns the index of the smallest class whose chunk fits
+// need bytes, or -1 if the item exceeds a page.
+func classForSize(classes []int, need int) int {
+	// Linear scan is fine: there are ~40 classes and the loop is branch-
+	// predictable; callers on hot paths cache the result per size anyway.
+	for i, c := range classes {
+		if need <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ErrValueTooLarge is wrapped by Set when an item exceeds the page size.
+type ValueTooLargeError struct {
+	Key  string
+	Need int
+}
+
+// Error implements the error interface.
+func (e *ValueTooLargeError) Error() string {
+	return fmt.Sprintf("cache: item %q needs %d bytes, exceeding the %d-byte page", e.Key, e.Need, PageSize)
+}

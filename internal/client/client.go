@@ -1,0 +1,428 @@
+// Package client is the libmemcached analog of the paper's testbed
+// (Section II-A): a cluster client that hashes keys onto nodes with
+// consistent hashing, fans multi-gets out per owner node, and swaps its
+// membership when the ElMem Master announces a scaling action. The client
+// — not the servers — decides which node owns a key.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hashring"
+	"repro/internal/memproto"
+)
+
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("client: closed")
+	// ErrNoMembers is returned when the membership is empty.
+	ErrNoMembers = errors.New("client: no members")
+)
+
+// Cluster is a consistent-hashing Memcached cluster client. Member names
+// are their TCP addresses. It is safe for concurrent use.
+type Cluster struct {
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+	maxIdle     int
+	replicas    int
+
+	mu     sync.RWMutex
+	ring   *hashring.Ring
+	pools  map[string]*pool
+	closed bool
+}
+
+// Option configures a Cluster.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+	maxIdle     int
+	replicas    int
+}
+
+type dialTimeoutOption time.Duration
+
+func (o dialTimeoutOption) apply(opts *options) { opts.dialTimeout = time.Duration(o) }
+
+// WithDialTimeout bounds connection establishment (default 2s).
+func WithDialTimeout(d time.Duration) Option { return dialTimeoutOption(d) }
+
+type opTimeoutOption time.Duration
+
+func (o opTimeoutOption) apply(opts *options) { opts.opTimeout = time.Duration(o) }
+
+// WithOpTimeout bounds each request/response exchange (default 5s).
+func WithOpTimeout(d time.Duration) Option { return opTimeoutOption(d) }
+
+type maxIdleOption int
+
+func (o maxIdleOption) apply(opts *options) { opts.maxIdle = int(o) }
+
+// WithMaxIdleConns bounds pooled idle connections per node (default 4).
+func WithMaxIdleConns(n int) Option { return maxIdleOption(n) }
+
+type replicasOption int
+
+func (o replicasOption) apply(opts *options) { opts.replicas = int(o) }
+
+// WithRingReplicas sets the consistent-hash virtual-node count; it must
+// match the Agents' setting.
+func WithRingReplicas(n int) Option { return replicasOption(n) }
+
+// New creates a cluster client over the given member addresses.
+func New(members []string, opts ...Option) (*Cluster, error) {
+	o := options{
+		dialTimeout: 2 * time.Second,
+		opTimeout:   5 * time.Second,
+		maxIdle:     4,
+		replicas:    hashring.DefaultReplicas,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	ring, err := hashring.New(members, hashring.WithReplicas(o.replicas))
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		dialTimeout: o.dialTimeout,
+		opTimeout:   o.opTimeout,
+		maxIdle:     o.maxIdle,
+		replicas:    o.replicas,
+		ring:        ring,
+		pools:       make(map[string]*pool),
+	}
+	return c, nil
+}
+
+// Members returns the current membership.
+func (c *Cluster) Members() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Members()
+}
+
+// MembershipChanged swaps the membership (core.MembershipListener).
+// Pools for departed members are closed lazily.
+func (c *Cluster) MembershipChanged(members []string) {
+	if len(members) == 0 {
+		return // an empty announcement would black-hole all traffic
+	}
+	ring, err := hashring.New(members, hashring.WithReplicas(c.replicas))
+	if err != nil {
+		return
+	}
+	current := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		current[m] = struct{}{}
+	}
+	c.mu.Lock()
+	c.ring = ring
+	var stale []*pool
+	for addr, p := range c.pools {
+		if _, ok := current[addr]; !ok {
+			stale = append(stale, p)
+			delete(c.pools, addr)
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range stale {
+		p.close()
+	}
+}
+
+// Owner reports which member owns the key under the current ring.
+func (c *Cluster) Owner(key string) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return "", ErrClosed
+	}
+	owner, err := c.ring.Get(key)
+	if errors.Is(err, hashring.ErrEmptyRing) {
+		return "", ErrNoMembers
+	}
+	return owner, err
+}
+
+// Get fetches one key. A miss returns (nil, false, nil).
+func (c *Cluster) Get(key string) ([]byte, bool, error) {
+	values, err := c.MultiGet([]string{key})
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := values[key]
+	return v, ok, nil
+}
+
+// MultiGet fetches many keys with one round trip per owner node,
+// mirroring libmemcached's multi-get (Section V-A). Missing keys are
+// simply absent from the result.
+func (c *Cluster) MultiGet(keys []string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	byOwner := make(map[string][]string)
+	for _, key := range keys {
+		owner, err := c.Owner(key)
+		if err != nil {
+			return nil, err
+		}
+		byOwner[owner] = append(byOwner[owner], key)
+	}
+
+	type result struct {
+		values map[string][]byte
+		err    error
+	}
+	owners := make([]string, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	results := make([]result, len(owners))
+	var wg sync.WaitGroup
+	for i, owner := range owners {
+		wg.Add(1)
+		go func(i int, owner string) {
+			defer wg.Done()
+			values, err := c.getFromNode(owner, byOwner[owner])
+			results[i] = result{values: values, err: err}
+		}(i, owner)
+	}
+	wg.Wait()
+
+	out := make(map[string][]byte, len(keys))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("multi-get from %s: %w", owners[i], r.err)
+		}
+		for k, v := range r.values {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// Set stores the value on the key's owner node.
+func (c *Cluster) Set(key string, value []byte) error {
+	owner, err := c.Owner(key)
+	if err != nil {
+		return err
+	}
+	return c.withConn(owner, func(conn *poolConn) error {
+		if err := conn.write(memproto.FormatSet(key, 0, 0, value, false)); err != nil {
+			return err
+		}
+		line, err := conn.reply.ReadSimple()
+		if err != nil {
+			return err
+		}
+		if line != "STORED" {
+			return fmt.Errorf("client: set %q: unexpected reply %q", key, line)
+		}
+		return nil
+	})
+}
+
+// Delete removes the key from its owner node; deleting a missing key is
+// not an error and returns false.
+func (c *Cluster) Delete(key string) (bool, error) {
+	owner, err := c.Owner(key)
+	if err != nil {
+		return false, err
+	}
+	deleted := false
+	err = c.withConn(owner, func(conn *poolConn) error {
+		if err := conn.write(memproto.FormatDelete(key, false)); err != nil {
+			return err
+		}
+		line, err := conn.reply.ReadSimple()
+		if err != nil {
+			return err
+		}
+		switch line {
+		case "DELETED":
+			deleted = true
+			return nil
+		case "NOT_FOUND":
+			return nil
+		default:
+			return fmt.Errorf("client: delete %q: unexpected reply %q", key, line)
+		}
+	})
+	return deleted, err
+}
+
+// StatsAll gathers stats from every member.
+func (c *Cluster) StatsAll() (map[string]map[string]string, error) {
+	out := make(map[string]map[string]string)
+	for _, member := range c.Members() {
+		var stats map[string]string
+		err := c.withConn(member, func(conn *poolConn) error {
+			if err := conn.write([]byte("stats\r\n")); err != nil {
+				return err
+			}
+			var err error
+			stats, err = conn.reply.ReadStats()
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stats from %s: %w", member, err)
+		}
+		out[member] = stats
+	}
+	return out, nil
+}
+
+// Close releases every pooled connection.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pools := make([]*pool, 0, len(c.pools))
+	for _, p := range c.pools {
+		pools = append(pools, p)
+	}
+	c.pools = make(map[string]*pool)
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
+}
+
+// getFromNode issues one multi-get to a node.
+func (c *Cluster) getFromNode(addr string, keys []string) (map[string][]byte, error) {
+	var values map[string][]byte
+	err := c.withConn(addr, func(conn *poolConn) error {
+		if err := conn.write(memproto.FormatGet(keys)); err != nil {
+			return err
+		}
+		var err error
+		values, err = conn.reply.ReadValues()
+		return err
+	})
+	return values, err
+}
+
+// withConn runs fn with a pooled connection to addr, discarding the
+// connection on error.
+func (c *Cluster) withConn(addr string, fn func(*poolConn) error) error {
+	p, err := c.pool(addr)
+	if err != nil {
+		return err
+	}
+	conn, err := p.get(c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	if c.opTimeout > 0 {
+		_ = conn.nc.SetDeadline(time.Now().Add(c.opTimeout))
+	}
+	if err := fn(conn); err != nil {
+		conn.discard()
+		return err
+	}
+	p.put(conn)
+	return nil
+}
+
+// pool returns (creating if needed) the pool for addr.
+func (c *Cluster) pool(addr string) (*pool, error) {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	p, ok := c.pools[addr]
+	c.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := c.pools[addr]; ok {
+		return p, nil
+	}
+	p = newPool(addr, c.maxIdle)
+	c.pools[addr] = p
+	return p, nil
+}
+
+// pool is a small idle-connection pool for one node.
+type pool struct {
+	addr string
+	idle chan *poolConn
+}
+
+func newPool(addr string, maxIdle int) *pool {
+	if maxIdle < 1 {
+		maxIdle = 1
+	}
+	return &pool{addr: addr, idle: make(chan *poolConn, maxIdle)}
+}
+
+// poolConn is one pooled connection.
+type poolConn struct {
+	nc    net.Conn
+	reply *memproto.ReplyReader
+	owner *pool
+}
+
+func (p *pool) get(dialTimeout time.Duration) (*poolConn, error) {
+	select {
+	case conn := <-p.idle:
+		return conn, nil
+	default:
+	}
+	nc, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", p.addr, err)
+	}
+	return &poolConn{nc: nc, reply: memproto.NewReplyReader(nc), owner: p}, nil
+}
+
+func (p *pool) put(conn *poolConn) {
+	_ = conn.nc.SetDeadline(time.Time{})
+	select {
+	case p.idle <- conn:
+	default:
+		_ = conn.nc.Close()
+	}
+}
+
+func (p *pool) close() {
+	for {
+		select {
+		case conn := <-p.idle:
+			_ = conn.nc.Close()
+		default:
+			return
+		}
+	}
+}
+
+func (conn *poolConn) write(b []byte) error {
+	_, err := conn.nc.Write(b)
+	return err
+}
+
+func (conn *poolConn) discard() {
+	_ = conn.nc.Close()
+}

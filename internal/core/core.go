@@ -1,0 +1,431 @@
+// Package core implements the ElMem Master (Section III-A): the
+// lightweight central controller that receives autoscaling hints, scores
+// nodes to pick which to retire (Section III-C), orchestrates the
+// three-phase pre-scaling data migration (Section III-D), and flips the
+// client-visible membership once migration completes.
+//
+// The Master is transport-agnostic: it drives agents through the
+// MasterAgent interface, satisfied in-process by *agent.Agent and over TCP
+// by the agentrpc client.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+)
+
+var (
+	// ErrNotMember is returned when an operation names a node outside the
+	// current membership.
+	ErrNotMember = errors.New("core: node is not a member")
+	// ErrBadScale is returned for impossible scaling requests.
+	ErrBadScale = errors.New("core: invalid scaling request")
+)
+
+// MasterAgent is the Master's view of one node's Agent.
+type MasterAgent interface {
+	// Node returns the agent's node name.
+	Node() string
+	// Score answers the III-C scoring query.
+	Score() agent.ScoreReport
+	// SendMetadata runs migration phase 1 on a retiring node.
+	SendMetadata(retained []string) error
+	// ComputeTakes runs migration phase 2 on a retained node.
+	ComputeTakes() (agent.Takes, error)
+	// SendData runs migration phase 3 on a retiring node.
+	SendData(target string, takes map[int]int, retained []string) (int, error)
+	// HashSplit runs the scale-out split on an existing node.
+	HashSplit(newMembers, fullMembership []string) (int, error)
+}
+
+var _ MasterAgent = (*agent.Agent)(nil)
+
+// Directory resolves node names to their agents.
+type Directory interface {
+	Agent(node string) (MasterAgent, error)
+}
+
+// RegistryDirectory adapts the in-process agent.Registry to Directory.
+type RegistryDirectory struct {
+	// Registry is the underlying in-process transport.
+	Registry *agent.Registry
+}
+
+// Agent implements Directory.
+func (d RegistryDirectory) Agent(node string) (MasterAgent, error) {
+	return d.Registry.Get(node)
+}
+
+// MembershipListener observes membership flips — in the paper, the Master
+// "informs the clients on the web servers about the change in Memcached
+// membership".
+type MembershipListener interface {
+	MembershipChanged(members []string)
+}
+
+// MembershipFunc adapts a function to MembershipListener.
+type MembershipFunc func(members []string)
+
+// MembershipChanged implements MembershipListener.
+func (f MembershipFunc) MembershipChanged(members []string) { f(members) }
+
+// NodeScore is one node's III-C score: the page-weighted average of its
+// per-slab median MRU timestamps. Colder (older) scores sort first, so the
+// head of a sorted slice is the cheapest node to retire.
+type NodeScore struct {
+	// Node names the scored node.
+	Node string
+	// Score is Σ_b median_ts(b)·w_b in Unix nanoseconds; smaller = colder.
+	Score float64
+	// Items is the node's resident item count.
+	Items int
+}
+
+// PhaseTiming records one migration phase's wall duration, feeding the
+// Section V-B2 overhead breakdown.
+type PhaseTiming struct {
+	// Phase names the step (score, metadata, fusecache, data, membership).
+	Phase string
+	// Duration is the measured wall time.
+	Duration time.Duration
+}
+
+// ScaleReport summarizes one scaling action.
+type ScaleReport struct {
+	// Direction is "in" or "out".
+	Direction string
+	// Retiring or Added lists the affected nodes.
+	Retiring []string
+	Added    []string
+	// ItemsMigrated counts KV pairs moved.
+	ItemsMigrated int
+	// Members is the membership after the action.
+	Members []string
+	// Timings holds the per-phase breakdown in execution order.
+	Timings []PhaseTiming
+}
+
+// Master orchestrates ElMem scaling.
+type Master struct {
+	dir Directory
+	now func() time.Time
+
+	// stop, when set, turns a retired node off after scale-in.
+	stop func(node string) error
+
+	mu        sync.Mutex
+	members   []string
+	listeners []MembershipListener
+}
+
+// Option configures a Master.
+type Option interface {
+	apply(*masterOptions)
+}
+
+type masterOptions struct {
+	now  func() time.Time
+	stop func(node string) error
+}
+
+type clockOption struct{ now func() time.Time }
+
+func (o clockOption) apply(opts *masterOptions) { opts.now = o.now }
+
+// WithClock injects the Master's time source for phase timings.
+func WithClock(now func() time.Time) Option { return clockOption{now: now} }
+
+type stopOption struct{ stop func(node string) error }
+
+func (o stopOption) apply(opts *masterOptions) { opts.stop = o.stop }
+
+// WithNodeStopper sets the callback that turns a retired node off.
+func WithNodeStopper(stop func(node string) error) Option { return stopOption{stop: stop} }
+
+// NewMaster creates a Master over the initial membership.
+func NewMaster(dir Directory, members []string, opts ...Option) (*Master, error) {
+	if dir == nil {
+		return nil, errors.New("core: nil directory")
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: empty initial membership", ErrBadScale)
+	}
+	o := masterOptions{now: time.Now}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	m := &Master{dir: dir, now: o.now, stop: o.stop}
+	m.members = append(m.members, members...)
+	sort.Strings(m.members)
+	return m, nil
+}
+
+// Members returns the current membership, sorted.
+func (m *Master) Members() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.members))
+	copy(out, m.members)
+	return out
+}
+
+// Subscribe registers a membership listener and immediately delivers the
+// current membership.
+func (m *Master) Subscribe(l MembershipListener) {
+	m.mu.Lock()
+	m.listeners = append(m.listeners, l)
+	members := make([]string, len(m.members))
+	copy(members, m.members)
+	m.mu.Unlock()
+	l.MembershipChanged(members)
+}
+
+// ScoreNodes queries every member's Agent and returns scores sorted
+// coldest-first (Section III-C).
+func (m *Master) ScoreNodes() ([]NodeScore, error) {
+	members := m.Members()
+	scores := make([]NodeScore, 0, len(members))
+	for _, node := range members {
+		ag, err := m.dir.Agent(node)
+		if err != nil {
+			return nil, fmt.Errorf("score %s: %w", node, err)
+		}
+		rep := ag.Score()
+		scores = append(scores, NodeScore{
+			Node:  node,
+			Score: weightedMedianScore(rep),
+			Items: rep.Items,
+		})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score < scores[j].Score
+		}
+		return scores[i].Node < scores[j].Node
+	})
+	return scores, nil
+}
+
+// weightedMedianScore computes Σ_b median_ts(b)·w_b. An empty node scores
+// zero — the coldest possible, which is correct: it is free to retire.
+func weightedMedianScore(rep agent.ScoreReport) float64 {
+	var score float64
+	for classID, ts := range rep.Medians {
+		score += float64(ts) * rep.Weights[classID]
+	}
+	return score
+}
+
+// SelectRetiring picks the x coldest nodes by weighted median score.
+func (m *Master) SelectRetiring(x int) ([]string, error) {
+	if x < 1 {
+		return nil, fmt.Errorf("%w: x=%d", ErrBadScale, x)
+	}
+	members := m.Members()
+	if x >= len(members) {
+		return nil, fmt.Errorf("%w: cannot retire %d of %d nodes", ErrBadScale, x, len(members))
+	}
+	scores, err := m.ScoreNodes()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, x)
+	for i := 0; i < x; i++ {
+		out[i] = scores[i].Node
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ScaleIn retires x nodes with the full ElMem flow: score → select →
+// three-phase migration → membership flip → node shutdown.
+func (m *Master) ScaleIn(x int) (*ScaleReport, error) {
+	t0 := m.now()
+	retiring, err := m.SelectRetiring(x)
+	if err != nil {
+		return nil, err
+	}
+	report, err := m.ScaleInNodes(retiring)
+	if err != nil {
+		return nil, err
+	}
+	report.Timings = append([]PhaseTiming{{Phase: "score", Duration: m.now().Sub(t0) - totalTiming(report.Timings)}}, report.Timings...)
+	return report, nil
+}
+
+// totalTiming sums recorded phase durations.
+func totalTiming(ts []PhaseTiming) time.Duration {
+	var sum time.Duration
+	for _, t := range ts {
+		sum += t.Duration
+	}
+	return sum
+}
+
+// ScaleInNodes retires an explicit node set (used by Fig 7's node-choice
+// sweep and by policies that override scoring).
+func (m *Master) ScaleInNodes(retiring []string) (*ScaleReport, error) {
+	members := m.Members()
+	memberSet := make(map[string]struct{}, len(members))
+	for _, n := range members {
+		memberSet[n] = struct{}{}
+	}
+	retSet := make(map[string]struct{}, len(retiring))
+	for _, n := range retiring {
+		if _, ok := memberSet[n]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotMember, n)
+		}
+		retSet[n] = struct{}{}
+	}
+	if len(retiring) == 0 || len(retiring) >= len(members) {
+		return nil, fmt.Errorf("%w: retire %d of %d", ErrBadScale, len(retiring), len(members))
+	}
+	var retained []string
+	for _, n := range members {
+		if _, ok := retSet[n]; !ok {
+			retained = append(retained, n)
+		}
+	}
+
+	report := &ScaleReport{Direction: "in", Retiring: append([]string(nil), retiring...)}
+
+	// Phase 1: metadata transfer from retiring to retained nodes.
+	t1 := m.now()
+	for _, node := range retiring {
+		ag, err := m.dir.Agent(node)
+		if err != nil {
+			return nil, fmt.Errorf("phase 1 on %s: %w", node, err)
+		}
+		if err := ag.SendMetadata(retained); err != nil {
+			return nil, fmt.Errorf("phase 1 on %s: %w", node, err)
+		}
+	}
+	report.Timings = append(report.Timings, PhaseTiming{Phase: "metadata", Duration: m.now().Sub(t1)})
+
+	// Phase 2: FuseCache on retained nodes. Aggregate the take counts per
+	// retiring node per target.
+	t2 := m.now()
+	// perRetiring: retiring node → target → class → count.
+	perRetiring := make(map[string]map[string]map[int]int)
+	for _, target := range retained {
+		ag, err := m.dir.Agent(target)
+		if err != nil {
+			return nil, fmt.Errorf("phase 2 on %s: %w", target, err)
+		}
+		takes, err := ag.ComputeTakes()
+		if errors.Is(err, agent.ErrNoMetadata) {
+			continue // nothing hashed to this target
+		}
+		if err != nil {
+			return nil, fmt.Errorf("phase 2 on %s: %w", target, err)
+		}
+		for sender, byClass := range takes {
+			if perRetiring[sender] == nil {
+				perRetiring[sender] = make(map[string]map[int]int)
+			}
+			perRetiring[sender][target] = byClass
+		}
+	}
+	report.Timings = append(report.Timings, PhaseTiming{Phase: "fusecache", Duration: m.now().Sub(t2)})
+
+	// Phase 3: data migration from retiring to retained nodes.
+	t3 := m.now()
+	for _, node := range retiring {
+		ag, err := m.dir.Agent(node)
+		if err != nil {
+			return nil, fmt.Errorf("phase 3 on %s: %w", node, err)
+		}
+		targets := make([]string, 0, len(perRetiring[node]))
+		for tgt := range perRetiring[node] {
+			targets = append(targets, tgt)
+		}
+		sort.Strings(targets)
+		for _, tgt := range targets {
+			sent, err := ag.SendData(tgt, perRetiring[node][tgt], retained)
+			if err != nil {
+				return nil, fmt.Errorf("phase 3 %s→%s: %w", node, tgt, err)
+			}
+			report.ItemsMigrated += sent
+		}
+	}
+	report.Timings = append(report.Timings, PhaseTiming{Phase: "data", Duration: m.now().Sub(t3)})
+
+	// Membership flip, then shut the retiring nodes down.
+	t4 := m.now()
+	m.setMembers(retained)
+	report.Members = append([]string(nil), retained...)
+	if m.stop != nil {
+		for _, node := range retiring {
+			if err := m.stop(node); err != nil {
+				return report, fmt.Errorf("stop %s: %w", node, err)
+			}
+		}
+	}
+	report.Timings = append(report.Timings, PhaseTiming{Phase: "membership", Duration: m.now().Sub(t4)})
+	return report, nil
+}
+
+// ScaleOut adds already-started nodes to the tier (Section III-D4): the
+// existing nodes hash-split their data to the newcomers, and only then is
+// the membership flipped.
+func (m *Master) ScaleOut(newNodes []string) (*ScaleReport, error) {
+	if len(newNodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes to add", ErrBadScale)
+	}
+	members := m.Members()
+	memberSet := make(map[string]struct{}, len(members))
+	for _, n := range members {
+		memberSet[n] = struct{}{}
+	}
+	for _, n := range newNodes {
+		if _, dup := memberSet[n]; dup {
+			return nil, fmt.Errorf("%w: %q already a member", ErrBadScale, n)
+		}
+		if _, err := m.dir.Agent(n); err != nil {
+			return nil, fmt.Errorf("scale out: new node %s unreachable: %w", n, err)
+		}
+	}
+	full := append(append([]string(nil), members...), newNodes...)
+	sort.Strings(full)
+
+	report := &ScaleReport{Direction: "out", Added: append([]string(nil), newNodes...)}
+	t1 := m.now()
+	for _, node := range members {
+		ag, err := m.dir.Agent(node)
+		if err != nil {
+			return nil, fmt.Errorf("hash split on %s: %w", node, err)
+		}
+		n, err := ag.HashSplit(newNodes, full)
+		if err != nil {
+			return nil, fmt.Errorf("hash split on %s: %w", node, err)
+		}
+		report.ItemsMigrated += n
+	}
+	report.Timings = append(report.Timings, PhaseTiming{Phase: "hashsplit", Duration: m.now().Sub(t1)})
+
+	t2 := m.now()
+	m.setMembers(full)
+	report.Members = full
+	report.Timings = append(report.Timings, PhaseTiming{Phase: "membership", Duration: m.now().Sub(t2)})
+	return report, nil
+}
+
+// setMembers swaps the membership and notifies listeners.
+func (m *Master) setMembers(members []string) {
+	m.mu.Lock()
+	m.members = append(m.members[:0:0], members...)
+	sort.Strings(m.members)
+	notify := make([]MembershipListener, len(m.listeners))
+	copy(notify, m.listeners)
+	snapshot := make([]string, len(m.members))
+	copy(snapshot, m.members)
+	m.mu.Unlock()
+	for _, l := range notify {
+		l.MembershipChanged(snapshot)
+	}
+}

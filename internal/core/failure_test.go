@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/agent"
+)
+
+// faultyDirectory wraps another Directory and makes chosen nodes
+// unreachable or their operations fail.
+type faultyDirectory struct {
+	inner       Directory
+	unreachable map[string]bool
+	failPhase   map[string]string // node → phase to fail ("metadata"|"takes"|"data"|"split")
+}
+
+var errInjected = errors.New("injected failure")
+
+func (d *faultyDirectory) Agent(node string) (MasterAgent, error) {
+	if d.unreachable[node] {
+		return nil, fmt.Errorf("agent %s: %w", node, errInjected)
+	}
+	inner, err := d.inner.Agent(node)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyAgent{inner: inner, failPhase: d.failPhase[node]}, nil
+}
+
+type faultyAgent struct {
+	inner     MasterAgent
+	failPhase string
+}
+
+func (a *faultyAgent) Node() string { return a.inner.Node() }
+
+func (a *faultyAgent) Score() agent.ScoreReport { return a.inner.Score() }
+
+func (a *faultyAgent) SendMetadata(retained []string) error {
+	if a.failPhase == "metadata" {
+		return errInjected
+	}
+	return a.inner.SendMetadata(retained)
+}
+
+func (a *faultyAgent) ComputeTakes() (agent.Takes, error) {
+	if a.failPhase == "takes" {
+		return nil, errInjected
+	}
+	return a.inner.ComputeTakes()
+}
+
+func (a *faultyAgent) SendData(target string, takes map[int]int, retained []string) (int, error) {
+	if a.failPhase == "data" {
+		return 0, errInjected
+	}
+	return a.inner.SendData(target, takes, retained)
+}
+
+func (a *faultyAgent) HashSplit(newMembers, full []string) (int, error) {
+	if a.failPhase == "split" {
+		return 0, errInjected
+	}
+	return a.inner.HashSplit(newMembers, full)
+}
+
+func newFaultyMaster(t *testing.T, c *cluster, members []string, d *faultyDirectory) *Master {
+	t.Helper()
+	d.inner = RegistryDirectory{Registry: c.reg}
+	m, err := NewMaster(d, members, WithClock(c.clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestScaleInAbortsOnUnreachableAgent(t *testing.T) {
+	members := names(3)
+	c := newCluster(t, members, 2)
+	c.populateByRing(t, members, 600)
+	d := &faultyDirectory{unreachable: map[string]bool{"node-01": true}}
+	m := newFaultyMaster(t, c, members, d)
+
+	if _, err := m.ScaleIn(1); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	// Membership untouched on abort: the flip happens only after all
+	// phases succeed.
+	if got := len(m.Members()); got != 3 {
+		t.Fatalf("membership shrank to %d despite aborted scale-in", got)
+	}
+}
+
+func TestScaleInAbortsPerPhase(t *testing.T) {
+	for _, phase := range []string{"metadata", "takes", "data"} {
+		t.Run(phase, func(t *testing.T) {
+			members := names(3)
+			c := newCluster(t, members, 2)
+			c.populateByRing(t, members, 600)
+			// Every node fails the phase; whichever is touched first
+			// aborts the flow.
+			failAll := make(map[string]string, len(members))
+			for _, n := range members {
+				failAll[n] = phase
+			}
+			d := &faultyDirectory{failPhase: failAll}
+			m := newFaultyMaster(t, c, members, d)
+
+			if _, err := m.ScaleIn(1); !errors.Is(err, errInjected) {
+				t.Fatalf("err = %v, want injected failure", err)
+			}
+			if got := len(m.Members()); got != 3 {
+				t.Fatalf("membership = %d after aborted %s phase", got, phase)
+			}
+		})
+	}
+}
+
+func TestScaleOutAbortsOnSplitFailure(t *testing.T) {
+	members := names(2)
+	c := newCluster(t, members, 2)
+	c.populateByRing(t, members, 400)
+	failAll := map[string]string{"node-00": "split", "node-01": "split"}
+	d := &faultyDirectory{failPhase: failAll}
+	m := newFaultyMaster(t, c, members, d)
+
+	c.addNode(t, "node-09", 2)
+	if _, err := m.ScaleOut([]string{"node-09"}); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if got := len(m.Members()); got != 2 {
+		t.Fatalf("membership = %d after aborted scale-out", got)
+	}
+}
+
+func TestScaleInRecoversAfterTransientFailure(t *testing.T) {
+	members := names(3)
+	c := newCluster(t, members, 2)
+	c.populateByRing(t, members, 600)
+	d := &faultyDirectory{failPhase: map[string]string{"node-00": "metadata"}}
+	m := newFaultyMaster(t, c, members, d)
+
+	// First attempt may fail if node-00 is the coldest choice; clear the
+	// fault and the same Master must complete.
+	_, firstErr := m.ScaleIn(1)
+	d.failPhase = nil
+	report, err := m.ScaleIn(1)
+	if err != nil {
+		t.Fatalf("post-recovery scale-in failed: %v (first attempt: %v)", err, firstErr)
+	}
+	if report.ItemsMigrated == 0 {
+		t.Fatal("recovered scale-in migrated nothing")
+	}
+	if got := len(m.Members()); got != 2 {
+		t.Fatalf("membership = %d", got)
+	}
+}
+
+func TestScoreNodesSurfacesDirectoryError(t *testing.T) {
+	members := names(2)
+	c := newCluster(t, members, 1)
+	d := &faultyDirectory{unreachable: map[string]bool{"node-00": true}}
+	m := newFaultyMaster(t, c, members, d)
+	if _, err := m.ScoreNodes(); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+}

@@ -1,0 +1,93 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPeakPowerMatchesPaper(t *testing.T) {
+	m := DefaultPowerModel
+	app := m.PeakPower(AppNode)
+	if math.Abs(app-204) > 2 {
+		t.Fatalf("app node power %.1f W, paper reports ≈204 W", app)
+	}
+	mc := m.PeakPower(MemcachedNode)
+	if math.Abs(mc-299) > 2 {
+		t.Fatalf("memcached node power %.1f W, paper reports ≈299 W", mc)
+	}
+}
+
+func TestPowerOverheadMatchesPaper(t *testing.T) {
+	got := DefaultPowerModel.PowerOverheadPercent(AppNode, MemcachedNode)
+	// Paper: "47% additional power".
+	if got < 44 || got > 50 {
+		t.Fatalf("power overhead %.1f%%, paper reports ≈47%%", got)
+	}
+}
+
+func TestCostOverheadMatchesPaper(t *testing.T) {
+	got := CostOverheadPercent(AppNode, MemcachedNode)
+	// Paper: "$0.166/hr, 66% higher cost" vs $0.10/hr.
+	if got < 64 || got > 68 {
+		t.Fatalf("cost overhead %.1f%%, paper reports ≈66%%", got)
+	}
+	if CostOverheadPercent(NodeSpec{}, MemcachedNode) != 0 {
+		t.Fatal("zero-cost base must yield 0")
+	}
+}
+
+func TestNodeSpecValidate(t *testing.T) {
+	bad := []NodeSpec{
+		{Sockets: 0, MemoryGB: 10},
+		{Sockets: 1, MemoryGB: 0},
+		{Sockets: 1, MemoryGB: 10, HourlyCost: -1},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("spec %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+	if err := AppNode.Validate(); err != nil {
+		t.Fatalf("AppNode invalid: %v", err)
+	}
+}
+
+func TestElasticSavings(t *testing.T) {
+	// A tier that needs 10 nodes at peak but averages 5 saves 50%.
+	counts := []int{10, 8, 5, 3, 3, 3, 3, 5}
+	tc, err := ElasticSavings(counts, MemcachedNode, DefaultPowerModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.StaticNodes != 10 {
+		t.Fatalf("StaticNodes = %v, want 10", tc.StaticNodes)
+	}
+	wantMean := 5.0
+	if math.Abs(tc.MeanNodes-wantMean) > 0.01 {
+		t.Fatalf("MeanNodes = %v, want %v", tc.MeanNodes, wantMean)
+	}
+	if tc.SavingsPercent < 49 || tc.SavingsPercent > 51 {
+		t.Fatalf("SavingsPercent = %v, want ≈50", tc.SavingsPercent)
+	}
+	if tc.HourlySavings <= 0 || tc.PowerSavingsWatts <= 0 {
+		t.Fatalf("savings not positive: %+v", tc)
+	}
+	// Paper's Section II-C band is 30–70% for its traces; this synthetic
+	// series sits inside it.
+	if tc.SavingsPercent < 30 || tc.SavingsPercent > 70 {
+		t.Fatalf("savings %.0f%% outside the paper's 30–70%% band", tc.SavingsPercent)
+	}
+}
+
+func TestElasticSavingsValidation(t *testing.T) {
+	if _, err := ElasticSavings(nil, MemcachedNode, DefaultPowerModel); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("want ErrBadConfig for empty series")
+	}
+	if _, err := ElasticSavings([]int{1, -1}, MemcachedNode, DefaultPowerModel); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("want ErrBadConfig for negative count")
+	}
+	if _, err := ElasticSavings([]int{1}, NodeSpec{}, DefaultPowerModel); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("want ErrBadConfig for bad spec")
+	}
+}

@@ -1,0 +1,423 @@
+// Package memproto implements the Memcached ASCII protocol subset the
+// ElMem testbed uses (Section II-A): get (multi-key), set, delete, touch,
+// stats, flush_all, version, and quit. It provides a parser and response
+// writers shared by the node server and the client library.
+package memproto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Command identifies a parsed request type.
+type Command int
+
+// The supported commands.
+const (
+	CmdGet  Command = iota + 1
+	CmdGets         // get returning CAS tokens
+	CmdSet
+	CmdAdd
+	CmdReplace
+	CmdAppend
+	CmdPrepend
+	CmdCas
+	CmdIncr
+	CmdDecr
+	CmdDelete
+	CmdTouch
+	CmdStats
+	CmdFlushAll
+	CmdVersion
+	CmdQuit
+)
+
+// Protocol limits mirroring memcached's.
+const (
+	// MaxKeyLen is memcached's 250-byte key limit.
+	MaxKeyLen = 250
+	// MaxValueLen bounds a single value (1 MiB, the page size).
+	MaxValueLen = 1 << 20
+	// maxLineLen bounds a request line (keys in a multi-get).
+	maxLineLen = 64 << 10
+)
+
+var (
+	// ErrProtocol is a malformed request (client error).
+	ErrProtocol = errors.New("memproto: protocol error")
+	// ErrTooLarge is an oversized key or value.
+	ErrTooLarge = errors.New("memproto: key or value too large")
+)
+
+// Request is one parsed client request.
+type Request struct {
+	// Command is the request type.
+	Command Command
+	// Keys holds the key (set/delete/touch) or keys (get).
+	Keys []string
+	// Value is the payload of a set.
+	Value []byte
+	// Flags and Exptime echo the set/touch parameters (stored opaquely).
+	Flags   uint32
+	Exptime int64
+	// CAS is the compare-and-swap token of a cas request.
+	CAS uint64
+	// Delta is the incr/decr amount.
+	Delta uint64
+	// NoReply suppresses the response when true.
+	NoReply bool
+}
+
+// Parser reads requests from a stream.
+type Parser struct {
+	r *bufio.Reader
+}
+
+// NewParser wraps a reader.
+func NewParser(r io.Reader) *Parser {
+	return &Parser{r: bufio.NewReaderSize(r, 16<<10)}
+}
+
+// Next reads and parses one request. io.EOF signals a clean close.
+func (p *Parser) Next() (*Request, error) {
+	line, err := p.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, fmt.Errorf("%w: empty command line", ErrProtocol)
+	}
+	fields := bytes.Fields(line)
+	cmd := string(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "get":
+		return p.parseGet(args, CmdGet)
+	case "gets":
+		return p.parseGet(args, CmdGets)
+	case "set":
+		return p.parseStore(args, CmdSet)
+	case "add":
+		return p.parseStore(args, CmdAdd)
+	case "replace":
+		return p.parseStore(args, CmdReplace)
+	case "append":
+		return p.parseStore(args, CmdAppend)
+	case "prepend":
+		return p.parseStore(args, CmdPrepend)
+	case "cas":
+		return p.parseCas(args)
+	case "incr":
+		return p.parseArith(args, CmdIncr)
+	case "decr":
+		return p.parseArith(args, CmdDecr)
+	case "delete":
+		return p.parseDelete(args)
+	case "touch":
+		return p.parseTouch(args)
+	case "stats":
+		return &Request{Command: CmdStats}, nil
+	case "flush_all":
+		req := &Request{Command: CmdFlushAll}
+		req.NoReply = hasNoReply(args)
+		return req, nil
+	case "version":
+		return &Request{Command: CmdVersion}, nil
+	case "quit":
+		return &Request{Command: CmdQuit}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, cmd)
+	}
+}
+
+func (p *Parser) readLine() ([]byte, error) {
+	line, err := p.r.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return nil, io.EOF
+		}
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if len(line) > maxLineLen {
+		return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrTooLarge, maxLineLen)
+	}
+	// Strip \r\n (tolerate bare \n).
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+func (p *Parser) parseGet(args [][]byte, cmd Command) (*Request, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("%w: get requires at least one key", ErrProtocol)
+	}
+	req := &Request{Command: cmd, Keys: make([]string, 0, len(args))}
+	for _, a := range args {
+		if err := validateKey(a); err != nil {
+			return nil, err
+		}
+		req.Keys = append(req.Keys, string(a))
+	}
+	return req, nil
+}
+
+// parseStore handles set/add/replace/append/prepend:
+// <cmd> <key> <flags> <exptime> <bytes> [noreply]
+func (p *Parser) parseStore(args [][]byte, cmd Command) (*Request, error) {
+	if len(args) < 4 || len(args) > 5 {
+		return nil, fmt.Errorf("%w: storage command requires 4 or 5 arguments", ErrProtocol)
+	}
+	if err := validateKey(args[0]); err != nil {
+		return nil, err
+	}
+	flags, err := strconv.ParseUint(string(args[1]), 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad flags: %v", ErrProtocol, err)
+	}
+	exptime, err := strconv.ParseInt(string(args[2]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad exptime: %v", ErrProtocol, err)
+	}
+	size, err := strconv.ParseInt(string(args[3]), 10, 64)
+	if err != nil || size < 0 {
+		return nil, fmt.Errorf("%w: bad byte count", ErrProtocol)
+	}
+	if size > MaxValueLen {
+		return nil, fmt.Errorf("%w: value of %d bytes", ErrTooLarge, size)
+	}
+	req := &Request{
+		Command: cmd,
+		Keys:    []string{string(args[0])},
+		Flags:   uint32(flags),
+		Exptime: exptime,
+	}
+	if len(args) == 5 {
+		if string(args[4]) != "noreply" {
+			return nil, fmt.Errorf("%w: unexpected token %q", ErrProtocol, args[4])
+		}
+		req.NoReply = true
+	}
+	value := make([]byte, size)
+	if _, err := io.ReadFull(p.r, value); err != nil {
+		return nil, fmt.Errorf("%w: short value read: %v", ErrProtocol, err)
+	}
+	// Consume the trailing \r\n.
+	tail := make([]byte, 2)
+	if _, err := io.ReadFull(p.r, tail); err != nil {
+		return nil, fmt.Errorf("%w: missing value terminator", ErrProtocol)
+	}
+	if tail[0] != '\r' || tail[1] != '\n' {
+		return nil, fmt.Errorf("%w: bad value terminator", ErrProtocol)
+	}
+	req.Value = value
+	return req, nil
+}
+
+// parseCas handles: cas <key> <flags> <exptime> <bytes> <casid> [noreply]
+func (p *Parser) parseCas(args [][]byte) (*Request, error) {
+	if len(args) < 5 || len(args) > 6 {
+		return nil, fmt.Errorf("%w: cas requires 5 or 6 arguments", ErrProtocol)
+	}
+	noreply := false
+	if len(args) == 6 {
+		if string(args[5]) != "noreply" {
+			return nil, fmt.Errorf("%w: unexpected token %q", ErrProtocol, args[5])
+		}
+		noreply = true
+	}
+	casID, err := strconv.ParseUint(string(args[4]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad cas token: %v", ErrProtocol, err)
+	}
+	req, err := p.parseStore(args[:4], CmdCas)
+	if err != nil {
+		return nil, err
+	}
+	req.CAS = casID
+	req.NoReply = noreply
+	return req, nil
+}
+
+// parseArith handles: incr|decr <key> <delta> [noreply]
+func (p *Parser) parseArith(args [][]byte, cmd Command) (*Request, error) {
+	if len(args) < 2 || len(args) > 3 {
+		return nil, fmt.Errorf("%w: incr/decr requires key and delta", ErrProtocol)
+	}
+	if err := validateKey(args[0]); err != nil {
+		return nil, err
+	}
+	delta, err := strconv.ParseUint(string(args[1]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad delta: %v", ErrProtocol, err)
+	}
+	req := &Request{Command: cmd, Keys: []string{string(args[0])}, Delta: delta}
+	req.NoReply = hasNoReply(args[2:])
+	return req, nil
+}
+
+func (p *Parser) parseDelete(args [][]byte) (*Request, error) {
+	if len(args) < 1 || len(args) > 2 {
+		return nil, fmt.Errorf("%w: delete requires 1 key", ErrProtocol)
+	}
+	if err := validateKey(args[0]); err != nil {
+		return nil, err
+	}
+	req := &Request{Command: CmdDelete, Keys: []string{string(args[0])}}
+	req.NoReply = hasNoReply(args[1:])
+	return req, nil
+}
+
+func (p *Parser) parseTouch(args [][]byte) (*Request, error) {
+	if len(args) < 2 || len(args) > 3 {
+		return nil, fmt.Errorf("%w: touch requires key and exptime", ErrProtocol)
+	}
+	if err := validateKey(args[0]); err != nil {
+		return nil, err
+	}
+	exptime, err := strconv.ParseInt(string(args[1]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad exptime: %v", ErrProtocol, err)
+	}
+	req := &Request{Command: CmdTouch, Keys: []string{string(args[0])}, Exptime: exptime}
+	req.NoReply = hasNoReply(args[2:])
+	return req, nil
+}
+
+func hasNoReply(args [][]byte) bool {
+	return len(args) == 1 && string(args[0]) == "noreply"
+}
+
+func validateKey(key []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("%w: empty key", ErrProtocol)
+	}
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("%w: key of %d bytes", ErrTooLarge, len(key))
+	}
+	for _, b := range key {
+		if b <= ' ' || b == 0x7f {
+			return fmt.Errorf("%w: key contains control or space byte", ErrProtocol)
+		}
+	}
+	return nil
+}
+
+// Response writers. All take a *bufio.Writer the caller flushes.
+
+// WriteValue writes one VALUE block of a get response.
+func WriteValue(w *bufio.Writer, key string, flags uint32, value []byte) error {
+	if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(value)); err != nil {
+		return err
+	}
+	if _, err := w.Write(value); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteValueCAS writes one VALUE block of a gets response, including the
+// item's CAS token.
+func WriteValueCAS(w *bufio.Writer, key string, flags uint32, value []byte, casToken uint64) error {
+	if _, err := fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", key, flags, len(value), casToken); err != nil {
+		return err
+	}
+	if _, err := w.Write(value); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteExists reports a cas conflict.
+func WriteExists(w *bufio.Writer) error {
+	_, err := w.WriteString("EXISTS\r\n")
+	return err
+}
+
+// WriteNumber reports an incr/decr result.
+func WriteNumber(w *bufio.Writer, v uint64) error {
+	_, err := fmt.Fprintf(w, "%d\r\n", v)
+	return err
+}
+
+// WriteEnd terminates a get or stats response.
+func WriteEnd(w *bufio.Writer) error {
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+// WriteStored acknowledges a set.
+func WriteStored(w *bufio.Writer) error {
+	_, err := w.WriteString("STORED\r\n")
+	return err
+}
+
+// WriteNotStored reports a failed conditional store.
+func WriteNotStored(w *bufio.Writer) error {
+	_, err := w.WriteString("NOT_STORED\r\n")
+	return err
+}
+
+// WriteDeleted acknowledges a delete.
+func WriteDeleted(w *bufio.Writer) error {
+	_, err := w.WriteString("DELETED\r\n")
+	return err
+}
+
+// WriteNotFound reports a missing key for delete/touch.
+func WriteNotFound(w *bufio.Writer) error {
+	_, err := w.WriteString("NOT_FOUND\r\n")
+	return err
+}
+
+// WriteTouched acknowledges a touch.
+func WriteTouched(w *bufio.Writer) error {
+	_, err := w.WriteString("TOUCHED\r\n")
+	return err
+}
+
+// WriteOK acknowledges flush_all.
+func WriteOK(w *bufio.Writer) error {
+	_, err := w.WriteString("OK\r\n")
+	return err
+}
+
+// WriteVersion reports the server version.
+func WriteVersion(w *bufio.Writer, version string) error {
+	_, err := fmt.Fprintf(w, "VERSION %s\r\n", version)
+	return err
+}
+
+// WriteStat writes one STAT line.
+func WriteStat(w *bufio.Writer, name, value string) error {
+	_, err := fmt.Fprintf(w, "STAT %s %s\r\n", name, value)
+	return err
+}
+
+// WriteClientError reports a client-caused failure.
+func WriteClientError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", msg)
+	return err
+}
+
+// WriteServerError reports a server-side failure.
+func WriteServerError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", msg)
+	return err
+}
+
+// WriteError reports an unknown command.
+func WriteError(w *bufio.Writer) error {
+	_, err := w.WriteString("ERROR\r\n")
+	return err
+}

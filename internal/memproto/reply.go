@@ -1,0 +1,221 @@
+package memproto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrServer wraps SERVER_ERROR / CLIENT_ERROR / ERROR responses on the
+// client side.
+var ErrServer = errors.New("memproto: server reported error")
+
+// ReplyReader parses server responses on the client side.
+type ReplyReader struct {
+	r *bufio.Reader
+}
+
+// NewReplyReader wraps a reader.
+func NewReplyReader(r io.Reader) *ReplyReader {
+	return &ReplyReader{r: bufio.NewReaderSize(r, 16<<10)}
+}
+
+// readLine reads one CRLF-terminated line without the terminator.
+func (rr *ReplyReader) readLine() (string, error) {
+	line, err := rr.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// errorFromLine converts an error response line to an error, or nil.
+func errorFromLine(line string) error {
+	switch {
+	case line == "ERROR":
+		return fmt.Errorf("%w: ERROR", ErrServer)
+	case strings.HasPrefix(line, "CLIENT_ERROR "),
+		strings.HasPrefix(line, "SERVER_ERROR "):
+		return fmt.Errorf("%w: %s", ErrServer, line)
+	}
+	return nil
+}
+
+// ReadValues consumes a get response: zero or more VALUE blocks followed
+// by END. Returns key → value.
+func (rr *ReplyReader) ReadValues() (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for {
+		line, err := rr.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if err := errorFromLine(line); err != nil {
+			return nil, err
+		}
+		key, _, size, _, err := parseValueLine(line)
+		if err != nil {
+			return nil, err
+		}
+		value := make([]byte, size)
+		if _, err := io.ReadFull(rr.r, value); err != nil {
+			return nil, fmt.Errorf("%w: short value: %v", ErrProtocol, err)
+		}
+		tail := make([]byte, 2)
+		if _, err := io.ReadFull(rr.r, tail); err != nil || !bytes.Equal(tail, []byte("\r\n")) {
+			return nil, fmt.Errorf("%w: bad value terminator", ErrProtocol)
+		}
+		out[key] = value
+	}
+}
+
+// ValueCAS is one entry of a gets response.
+type ValueCAS struct {
+	// Value is the stored bytes.
+	Value []byte
+	// CAS is the item's compare-and-swap token.
+	CAS uint64
+}
+
+// ReadValuesCAS consumes a gets response: VALUE blocks carrying CAS
+// tokens, terminated by END.
+func (rr *ReplyReader) ReadValuesCAS() (map[string]ValueCAS, error) {
+	out := make(map[string]ValueCAS)
+	for {
+		line, err := rr.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if err := errorFromLine(line); err != nil {
+			return nil, err
+		}
+		key, _, size, casToken, err := parseValueLine(line)
+		if err != nil {
+			return nil, err
+		}
+		value := make([]byte, size)
+		if _, err := io.ReadFull(rr.r, value); err != nil {
+			return nil, fmt.Errorf("%w: short value: %v", ErrProtocol, err)
+		}
+		tail := make([]byte, 2)
+		if _, err := io.ReadFull(rr.r, tail); err != nil || !bytes.Equal(tail, []byte("\r\n")) {
+			return nil, fmt.Errorf("%w: bad value terminator", ErrProtocol)
+		}
+		out[key] = ValueCAS{Value: value, CAS: casToken}
+	}
+}
+
+// parseValueLine parses "VALUE <key> <flags> <bytes> [<cas>]".
+func parseValueLine(line string) (key string, flags uint32, size int, casToken uint64, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields) > 5 || fields[0] != "VALUE" {
+		return "", 0, 0, 0, fmt.Errorf("%w: bad VALUE line %q", ErrProtocol, line)
+	}
+	key = fields[1]
+	f64, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("%w: bad flags in %q", ErrProtocol, line)
+	}
+	flags = uint32(f64)
+	size, err = strconv.Atoi(fields[3])
+	if err != nil || size < 0 || size > MaxValueLen {
+		return "", 0, 0, 0, fmt.Errorf("%w: bad size in %q", ErrProtocol, line)
+	}
+	if len(fields) == 5 {
+		casToken, err = strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return "", 0, 0, 0, fmt.Errorf("%w: bad cas in %q", ErrProtocol, line)
+		}
+	}
+	return key, flags, size, casToken, nil
+}
+
+// ReadSimple consumes a one-line response (STORED, DELETED, NOT_FOUND,
+// OK, TOUCHED, VERSION …) and returns it.
+func (rr *ReplyReader) ReadSimple() (string, error) {
+	line, err := rr.readLine()
+	if err != nil {
+		return "", err
+	}
+	if err := errorFromLine(line); err != nil {
+		return "", err
+	}
+	return line, nil
+}
+
+// ReadStats consumes a stats response into a name → value map.
+func (rr *ReplyReader) ReadStats() (map[string]string, error) {
+	out := make(map[string]string)
+	for {
+		line, err := rr.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if err := errorFromLine(line); err != nil {
+			return nil, err
+		}
+		rest, ok := strings.CutPrefix(line, "STAT ")
+		if !ok {
+			return nil, fmt.Errorf("%w: bad STAT line %q", ErrProtocol, line)
+		}
+		name, value, ok := strings.Cut(rest, " ")
+		if !ok {
+			return nil, fmt.Errorf("%w: bad STAT line %q", ErrProtocol, line)
+		}
+		out[name] = value
+	}
+}
+
+// FormatSet renders a set request header + payload.
+func FormatSet(key string, flags uint32, exptime int64, value []byte, noreply bool) []byte {
+	var b bytes.Buffer
+	b.Grow(len(key) + len(value) + 48)
+	b.WriteString("set ")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(uint64(flags), 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(exptime, 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(len(value)))
+	if noreply {
+		b.WriteString(" noreply")
+	}
+	b.WriteString("\r\n")
+	b.Write(value)
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// FormatGet renders a (multi-)get request line.
+func FormatGet(keys []string) []byte {
+	var b bytes.Buffer
+	b.WriteString("get")
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+	}
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// FormatDelete renders a delete request line.
+func FormatDelete(key string, noreply bool) []byte {
+	if noreply {
+		return []byte("delete " + key + " noreply\r\n")
+	}
+	return []byte("delete " + key + "\r\n")
+}

@@ -1,0 +1,263 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cache"
+	"repro/internal/hashring"
+)
+
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock { return &testClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Microsecond)
+	return c.t
+}
+
+func newNode(t *testing.T, reg *agent.Registry, name string, pages int, clk *testClock) *agent.Agent {
+	t.Helper()
+	cc, err := cache.New(int64(pages)*cache.PageSize, cache.WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := agent.New(name, cc, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Register(a)
+	return a
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Baseline, "baseline"},
+		{Naive, "naive"},
+		{CacheScale, "cachescale"},
+		{ElMem, "elmem"},
+		{Kind(9), "Kind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range All() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("want error for unknown policy")
+	}
+}
+
+func TestPickRandomRetiring(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	members := []string{"a", "b", "c", "d", "e"}
+	picked, err := PickRandomRetiring(rng, members, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 {
+		t.Fatalf("picked %v", picked)
+	}
+	seen := map[string]bool{}
+	for _, m := range members {
+		seen[m] = true
+	}
+	for _, p := range picked {
+		if !seen[p] {
+			t.Fatalf("picked non-member %q", p)
+		}
+	}
+	if _, err := PickRandomRetiring(rng, members, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatal("want ErrBadRequest for x=0")
+	}
+	if _, err := PickRandomRetiring(rng, members, 5); !errors.Is(err, ErrBadRequest) {
+		t.Fatal("want ErrBadRequest for retiring all")
+	}
+}
+
+func TestPickRandomCoversAllMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	members := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		picked, err := PickRandomRetiring(rng, members, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[picked[0]]++
+	}
+	for _, m := range members {
+		if counts[m] < 50 {
+			t.Fatalf("member %s picked %d of 300 — not uniform", m, counts[m])
+		}
+	}
+}
+
+func TestNaiveScaleInMigratesFraction(t *testing.T) {
+	reg := agent.NewRegistry()
+	clk := newTestClock()
+	retiring := newNode(t, reg, "retiring", 2, clk)
+	newNode(t, reg, "r1", 2, clk)
+	newNode(t, reg, "r2", 2, clk)
+	for i := 0; i < 300; i++ {
+		if err := retiring.Cache().Set(fmt.Sprintf("key-%05d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved, err := NaiveScaleIn(reg, []string{"retiring"}, []string{"r1", "r2"}, 2.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 300 * 2 / 3
+	if moved != want {
+		t.Fatalf("moved %d, want %d", moved, want)
+	}
+	// Migrated keys live on their hash targets.
+	ring, err := hashring.New([]string{"r1", "r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%05d", i)
+		owner, err := ring.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag, err := reg.Get(owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ag.Cache().Contains(key) {
+			found++
+		}
+	}
+	if found != want {
+		t.Fatalf("found %d migrated keys, want %d", found, want)
+	}
+}
+
+// TestNaiveCanEvictHotterItems demonstrates the paper's criticism of
+// Naive: with a full receiver, uncoordinated imports evict receiver items
+// even when the receiver's data is hotter than the migrated data.
+func TestNaiveCanEvictHotterItems(t *testing.T) {
+	reg := agent.NewRegistry()
+	clk := newTestClock()
+	retiring := newNode(t, reg, "retiring", 1, clk)
+	receiver := newNode(t, reg, "r1", 1, clk)
+
+	// Retiring data set FIRST → colder than everything on the receiver.
+	for i := 0; i < 200; i++ {
+		if err := retiring.Cache().Set(fmt.Sprintf("cold-%05d", i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perPage := cache.PageSize / cache.MinChunkSize
+	for i := 0; i < perPage; i++ {
+		if err := receiver.Cache().Set(fmt.Sprintf("hot-%05d", i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	moved, err := NaiveScaleIn(reg, []string{"retiring"}, []string{"r1"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 100 {
+		t.Fatalf("moved %d, want 100", moved)
+	}
+	evicted := 0
+	for i := 0; i < perPage; i++ {
+		if !receiver.Cache().Contains(fmt.Sprintf("hot-%05d", i)) {
+			evicted++
+		}
+	}
+	if evicted != 100 {
+		t.Fatalf("naive evicted %d hot items, want 100 (its flaw)", evicted)
+	}
+}
+
+func TestNaiveScaleInValidation(t *testing.T) {
+	reg := agent.NewRegistry()
+	if _, err := NaiveScaleIn(reg, nil, nil, 0.5); !errors.Is(err, ErrBadRequest) {
+		t.Fatal("want ErrBadRequest for empty retained")
+	}
+	if _, err := NaiveScaleIn(reg, nil, []string{"a"}, 1.5); !errors.Is(err, ErrBadRequest) {
+		t.Fatal("want ErrBadRequest for fraction > 1")
+	}
+}
+
+func TestSecondaryLifecycle(t *testing.T) {
+	reg := agent.NewRegistry()
+	clk := newTestClock()
+	retiring := newNode(t, reg, "retiring", 1, clk)
+	if err := retiring.Cache().Set("warm-key", []byte("warm-value")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := clk.Now().Add(2 * time.Minute)
+	sec, err := NewSecondary([]string{"retiring"}, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := clk.Now()
+	if !sec.Active(now) {
+		t.Fatal("secondary should be active before deadline")
+	}
+
+	// Hit migrates out of the secondary.
+	value, ok := sec.Lookup(reg, "warm-key", now)
+	if !ok || string(value) != "warm-value" {
+		t.Fatalf("Lookup = %q, %v", value, ok)
+	}
+	if retiring.Cache().Contains("warm-key") {
+		t.Fatal("CacheScale hit must remove the item from the secondary")
+	}
+	// Second lookup misses.
+	if _, ok := sec.Lookup(reg, "warm-key", now); ok {
+		t.Fatal("item served twice from secondary")
+	}
+
+	// After the deadline the secondary is dead.
+	if sec.Active(deadline.Add(time.Second)) {
+		t.Fatal("secondary active past deadline")
+	}
+	if _, ok := sec.Lookup(reg, "other", deadline.Add(time.Second)); ok {
+		t.Fatal("expired secondary served a lookup")
+	}
+}
+
+func TestSecondaryNilSafe(t *testing.T) {
+	var sec *Secondary
+	if sec.Active(time.Now()) {
+		t.Fatal("nil secondary reported active")
+	}
+}
+
+func TestNewSecondaryValidation(t *testing.T) {
+	if _, err := NewSecondary(nil, time.Now()); !errors.Is(err, ErrBadRequest) {
+		t.Fatal("want ErrBadRequest for empty secondary")
+	}
+}

@@ -1,0 +1,404 @@
+// Package server runs one Memcached node over TCP: the memproto ASCII
+// protocol front end backed by a cache.Cache, mirroring the paper's
+// modified memcached 1.4.x node (Section V-A1). The node's ElMem Agent is
+// served separately by package agentrpc.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/memproto"
+)
+
+// Version is the reported server version string.
+const Version = "elmem-memcached/1.4.25-repro"
+
+// Server is one node's Memcached TCP front end.
+type Server struct {
+	cache *cache.Cache
+	ln    net.Listener
+	log   *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	stopCrawler chan struct{}
+	wg          sync.WaitGroup
+}
+
+// Option configures a Server.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	logger        *log.Logger
+	crawlInterval time.Duration
+}
+
+type loggerOption struct{ l *log.Logger }
+
+func (o loggerOption) apply(opts *options) { opts.logger = o.l }
+
+// WithLogger directs server diagnostics to l (default: discarded).
+func WithLogger(l *log.Logger) Option { return loggerOption{l: l} }
+
+type crawlerOption time.Duration
+
+func (o crawlerOption) apply(opts *options) { opts.crawlInterval = time.Duration(o) }
+
+// WithExpiryCrawler runs the cache's expired-item crawler (memcached's
+// LRU crawler) every interval until the server closes.
+func WithExpiryCrawler(interval time.Duration) Option { return crawlerOption(interval) }
+
+// Listen starts serving the cache on addr ("127.0.0.1:0" picks a free
+// port). The caller must Close the server to stop it and join its
+// goroutines.
+func Listen(addr string, c *cache.Cache, opts ...Option) (*Server, error) {
+	if c == nil {
+		return nil, errors.New("server: nil cache")
+	}
+	o := options{logger: log.New(io.Discard, "", 0)}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		cache:       c,
+		ln:          ln,
+		log:         o.logger,
+		conns:       make(map[net.Conn]struct{}),
+		stopCrawler: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if o.crawlInterval > 0 {
+		s.wg.Add(1)
+		go s.crawlLoop(o.crawlInterval)
+	}
+	return s, nil
+}
+
+// crawlLoop periodically reclaims expired items until Close.
+func (s *Server) crawlLoop(interval time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if n := s.cache.CrawlExpired(); n > 0 {
+				s.log.Printf("server: crawler reclaimed %d expired items", n)
+			}
+		case <-s.stopCrawler:
+			return
+		}
+	}
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Cache exposes the backing cache (the Agent shares it).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Close stops accepting, closes every connection, and joins all goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	close(s.stopCrawler)
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+
+	parser := memproto.NewParser(conn)
+	w := bufio.NewWriterSize(conn, 16<<10)
+	for {
+		req, err := parser.Next()
+		if err != nil {
+			if err == io.EOF {
+				return
+			}
+			if errors.Is(err, memproto.ErrProtocol) || errors.Is(err, memproto.ErrTooLarge) {
+				_ = memproto.WriteClientError(w, err.Error())
+				_ = w.Flush()
+			}
+			return
+		}
+		if req.Command == memproto.CmdQuit {
+			return
+		}
+		if err := s.handle(req, w); err != nil {
+			s.log.Printf("server: handle: %v", err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// relativeExptimeLimit is memcached's 30-day boundary: exptimes at or
+// below it are relative seconds, larger values are absolute Unix times.
+const relativeExptimeLimit = 60 * 60 * 24 * 30
+
+// expiryFromExptime converts a protocol exptime to an absolute deadline.
+func expiryFromExptime(exptime int64, now time.Time) time.Time {
+	switch {
+	case exptime == 0:
+		return time.Time{}
+	case exptime < 0:
+		return now.Add(-time.Second) // already expired, memcached-style
+	case exptime <= relativeExptimeLimit:
+		return now.Add(time.Duration(exptime) * time.Second)
+	default:
+		return time.Unix(exptime, 0)
+	}
+}
+
+// handle executes one request and writes its response.
+func (s *Server) handle(req *memproto.Request, w *bufio.Writer) error {
+	switch req.Command {
+	case memproto.CmdGet:
+		for _, key := range req.Keys {
+			value, err := s.cache.Get(key)
+			if err != nil {
+				continue // miss: omit the VALUE block
+			}
+			if err := memproto.WriteValue(w, key, 0, value); err != nil {
+				return err
+			}
+		}
+		return memproto.WriteEnd(w)
+
+	case memproto.CmdGets:
+		for _, key := range req.Keys {
+			value, casToken, err := s.cache.GetWithCAS(key)
+			if err != nil {
+				continue
+			}
+			if err := memproto.WriteValueCAS(w, key, 0, value, casToken); err != nil {
+				return err
+			}
+		}
+		return memproto.WriteEnd(w)
+
+	case memproto.CmdSet:
+		err := s.cache.SetExpiring(req.Keys[0], req.Value, expiryFromExptime(req.Exptime, time.Now()))
+		if req.NoReply {
+			return nil
+		}
+		if err != nil {
+			return memproto.WriteServerError(w, err.Error())
+		}
+		return memproto.WriteStored(w)
+
+	case memproto.CmdAdd, memproto.CmdReplace:
+		expiry := expiryFromExptime(req.Exptime, time.Now())
+		var err error
+		if req.Command == memproto.CmdAdd {
+			err = s.cache.Add(req.Keys[0], req.Value, expiry)
+		} else {
+			err = s.cache.Replace(req.Keys[0], req.Value, expiry)
+		}
+		if req.NoReply {
+			return nil
+		}
+		if errors.Is(err, cache.ErrNotStored) {
+			return memproto.WriteNotStored(w)
+		}
+		if err != nil {
+			return memproto.WriteServerError(w, err.Error())
+		}
+		return memproto.WriteStored(w)
+
+	case memproto.CmdAppend, memproto.CmdPrepend:
+		var err error
+		if req.Command == memproto.CmdAppend {
+			err = s.cache.Append(req.Keys[0], req.Value)
+		} else {
+			err = s.cache.Prepend(req.Keys[0], req.Value)
+		}
+		if req.NoReply {
+			return nil
+		}
+		if errors.Is(err, cache.ErrNotStored) {
+			return memproto.WriteNotStored(w)
+		}
+		if err != nil {
+			return memproto.WriteServerError(w, err.Error())
+		}
+		return memproto.WriteStored(w)
+
+	case memproto.CmdCas:
+		err := s.cache.CompareAndSwap(req.Keys[0], req.Value,
+			expiryFromExptime(req.Exptime, time.Now()), req.CAS)
+		if req.NoReply {
+			return nil
+		}
+		switch {
+		case err == nil:
+			return memproto.WriteStored(w)
+		case errors.Is(err, cache.ErrExists):
+			return memproto.WriteExists(w)
+		case errors.Is(err, cache.ErrNotFound):
+			return memproto.WriteNotFound(w)
+		default:
+			return memproto.WriteServerError(w, err.Error())
+		}
+
+	case memproto.CmdIncr, memproto.CmdDecr:
+		var (
+			v   uint64
+			err error
+		)
+		if req.Command == memproto.CmdIncr {
+			v, err = s.cache.Incr(req.Keys[0], req.Delta)
+		} else {
+			v, err = s.cache.Decr(req.Keys[0], req.Delta)
+		}
+		if req.NoReply {
+			return nil
+		}
+		switch {
+		case err == nil:
+			return memproto.WriteNumber(w, v)
+		case errors.Is(err, cache.ErrNotFound):
+			return memproto.WriteNotFound(w)
+		case errors.Is(err, cache.ErrNotNumber):
+			return memproto.WriteClientError(w, "cannot increment or decrement non-numeric value")
+		default:
+			return memproto.WriteServerError(w, err.Error())
+		}
+
+	case memproto.CmdDelete:
+		err := s.cache.Delete(req.Keys[0])
+		if req.NoReply {
+			return nil
+		}
+		if errors.Is(err, cache.ErrNotFound) {
+			return memproto.WriteNotFound(w)
+		}
+		if err != nil {
+			return memproto.WriteServerError(w, err.Error())
+		}
+		return memproto.WriteDeleted(w)
+
+	case memproto.CmdTouch:
+		err := s.cache.TouchExpiry(req.Keys[0], expiryFromExptime(req.Exptime, time.Now()))
+		if req.NoReply {
+			return nil
+		}
+		if errors.Is(err, cache.ErrNotFound) {
+			return memproto.WriteNotFound(w)
+		}
+		if err != nil {
+			return memproto.WriteServerError(w, err.Error())
+		}
+		return memproto.WriteTouched(w)
+
+	case memproto.CmdStats:
+		st := s.cache.Stats()
+		pairs := []struct{ name, value string }{
+			{"get_hits", strconv.FormatUint(st.Hits, 10)},
+			{"get_misses", strconv.FormatUint(st.Misses, 10)},
+			{"cmd_set", strconv.FormatUint(st.Sets, 10)},
+			{"evictions", strconv.FormatUint(st.Evictions, 10)},
+			{"expired_unfetched", strconv.FormatUint(st.Expirations, 10)},
+			{"curr_items", strconv.Itoa(st.Items)},
+			{"bytes", strconv.FormatInt(st.BytesUsed, 10)},
+			{"total_pages", strconv.Itoa(st.MaxPages)},
+			{"assigned_pages", strconv.Itoa(st.AssignedPages)},
+		}
+		for _, p := range pairs {
+			if err := memproto.WriteStat(w, p.name, p.value); err != nil {
+				return err
+			}
+		}
+		for _, sl := range st.Slabs {
+			prefix := "slab" + strconv.Itoa(sl.ClassID) + ":"
+			if err := memproto.WriteStat(w, prefix+"chunk_size", strconv.Itoa(sl.ChunkSize)); err != nil {
+				return err
+			}
+			if err := memproto.WriteStat(w, prefix+"pages", strconv.Itoa(sl.Pages)); err != nil {
+				return err
+			}
+			if err := memproto.WriteStat(w, prefix+"items", strconv.Itoa(sl.Items)); err != nil {
+				return err
+			}
+		}
+		return memproto.WriteEnd(w)
+
+	case memproto.CmdFlushAll:
+		s.cache.FlushAll()
+		if req.NoReply {
+			return nil
+		}
+		return memproto.WriteOK(w)
+
+	case memproto.CmdVersion:
+		return memproto.WriteVersion(w, Version)
+
+	default:
+		return memproto.WriteError(w)
+	}
+}

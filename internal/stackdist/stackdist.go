@@ -1,0 +1,334 @@
+// Package stackdist computes stack-distance profiles of request streams,
+// the measurement ElMem's AutoScaler uses to size the Memcached tier
+// (Section III-B): by tracking the stack distance of every request in a
+// single pass, the hit rate of *every* cache size is known at once, so the
+// memory needed for any target hit rate falls out directly.
+//
+// The stack distance of a request for item x is the number of distinct
+// items referenced since the previous reference to x (the depth of x in an
+// LRU stack). A cache of capacity C (in items) hits exactly the requests
+// with stack distance < C.
+//
+// Two profilers are provided:
+//
+//   - Profiler: exact Mattson computation in O(log M) per request using a
+//     Fenwick tree over access timestamps;
+//   - Mimir: the bucketed approximation of the MIMIR system the paper's
+//     implementation uses, trading a bounded relative error for O(1)
+//     amortized updates and a fixed memory footprint.
+package stackdist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// InfiniteDistance marks a cold miss (first reference to an item): no
+// finite cache size can hit it.
+const InfiniteDistance = -1
+
+// Profiler computes exact stack distances with Mattson's algorithm.
+//
+// Implementation: each request gets an increasing timestamp. A Fenwick
+// tree marks the timestamps that are the *most recent* reference of some
+// item; the stack distance of a re-reference is the count of marked
+// timestamps after the item's previous reference. Timestamps are
+// periodically compacted so the tree stays proportional to the number of
+// distinct items.
+type Profiler struct {
+	last map[string]int // key → timestamp of most recent reference
+	tree []int          // Fenwick tree over timestamps (1-based)
+	next int            // next timestamp (0-based logical position)
+
+	hist       map[int]uint64 // finite stack distance → count
+	coldMisses uint64
+	total      uint64
+}
+
+// NewProfiler creates an exact stack-distance profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		last: make(map[string]int),
+		tree: make([]int, 1),
+		hist: make(map[int]uint64),
+	}
+}
+
+// Record processes one request and returns its stack distance
+// (InfiniteDistance for a cold miss).
+func (p *Profiler) Record(key string) int {
+	p.total++
+	prev, seen := p.last[key]
+	var dist int
+	if !seen {
+		dist = InfiniteDistance
+		p.coldMisses++
+	} else {
+		// Distinct items referenced after prev = marked stamps in (prev, next).
+		dist = p.countAfter(prev)
+		p.hist[dist]++
+		p.clear(prev)
+	}
+	pos := p.next
+	p.next++
+	p.grow(p.next)
+	p.mark(pos)
+	p.last[key] = pos
+
+	// Compact when the timestamp space is 4x the live item count.
+	if p.next > 4*len(p.last) && p.next > 1024 {
+		p.compact()
+	}
+	return dist
+}
+
+// Distinct returns the number of distinct keys observed.
+func (p *Profiler) Distinct() int { return len(p.last) }
+
+// Total returns the number of recorded requests.
+func (p *Profiler) Total() uint64 { return p.total }
+
+// ColdMisses returns the number of first references.
+func (p *Profiler) ColdMisses() uint64 { return p.coldMisses }
+
+// Histogram returns a copy of the finite stack-distance histogram.
+func (p *Profiler) Histogram() map[int]uint64 {
+	out := make(map[int]uint64, len(p.hist))
+	for d, c := range p.hist {
+		out[d] = c
+	}
+	return out
+}
+
+// Curve builds the hit-rate curve from the current histogram.
+func (p *Profiler) Curve() *Curve { return newCurve(p.hist, p.total) }
+
+// Fenwick-tree plumbing. Positions are 0-based externally, 1-based inside.
+
+// grow extends the Fenwick tree to cover n positions. An appended node m
+// covers the range (m−lowbit(m), m]; it must be initialized to that range's
+// current sum (computable from existing nodes), not zero, or marks set
+// before the growth vanish from later prefix queries.
+func (p *Profiler) grow(n int) {
+	for len(p.tree) < n+1 {
+		m := len(p.tree)
+		lb := m & (-m)
+		v := p.prefix(m-1) - p.prefix(m-lb)
+		p.tree = append(p.tree, v)
+	}
+}
+
+func (p *Profiler) mark(pos int) { p.add(pos+1, 1) }
+
+func (p *Profiler) clear(pos int) { p.add(pos+1, -1) }
+
+func (p *Profiler) add(i, delta int) {
+	for ; i < len(p.tree); i += i & (-i) {
+		p.tree[i] += delta
+	}
+}
+
+// prefix returns the count of marked stamps in positions [0, i) (0-based
+// exclusive bound).
+func (p *Profiler) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += p.tree[i]
+	}
+	return s
+}
+
+// countAfter counts marked stamps strictly after 0-based position pos.
+func (p *Profiler) countAfter(pos int) int {
+	totalMarked := p.prefix(p.next)
+	upTo := p.prefix(pos + 1)
+	return totalMarked - upTo
+}
+
+// compact renumbers live timestamps densely, rebuilding the tree.
+func (p *Profiler) compact() {
+	keys := make([]string, 0, len(p.last))
+	for k := range p.last {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return p.last[keys[i]] < p.last[keys[j]] })
+	p.tree = make([]int, len(keys)+2)
+	for i, k := range keys {
+		p.last[k] = i
+		p.mark(i)
+	}
+	p.next = len(keys)
+}
+
+// Curve is a hit-rate-vs-cache-size curve derived from a stack-distance
+// histogram. Sizes are in items.
+type Curve struct {
+	// distances are the sorted finite stack distances present.
+	distances []int
+	// cumulative[i] = number of requests with distance <= distances[i].
+	cumulative []uint64
+	total      uint64
+}
+
+func newCurve(hist map[int]uint64, total uint64) *Curve {
+	ds := make([]int, 0, len(hist))
+	for d := range hist {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	cum := make([]uint64, len(ds))
+	var running uint64
+	for i, d := range ds {
+		running += hist[d]
+		cum[i] = running
+	}
+	return &Curve{distances: ds, cumulative: cum, total: total}
+}
+
+// HitRate returns the hit rate of an LRU cache holding capacity items.
+func (c *Curve) HitRate(capacity int) float64 {
+	if c.total == 0 || capacity <= 0 {
+		return 0
+	}
+	// Hits are requests with distance < capacity, i.e. distance <= capacity-1.
+	i := sort.SearchInts(c.distances, capacity) // first distance >= capacity
+	if i == 0 {
+		return 0
+	}
+	return float64(c.cumulative[i-1]) / float64(c.total)
+}
+
+// MaxHitRate is the hit rate of an infinite cache (1 − cold-miss ratio).
+func (c *Curve) MaxHitRate() float64 {
+	if c.total == 0 || len(c.cumulative) == 0 {
+		return 0
+	}
+	return float64(c.cumulative[len(c.cumulative)-1]) / float64(c.total)
+}
+
+// ItemsForHitRate returns the smallest capacity (items) achieving the
+// target hit rate, or false when no finite capacity reaches it.
+func (c *Curve) ItemsForHitRate(target float64) (int, bool) {
+	if target <= 0 {
+		return 0, true
+	}
+	if c.total == 0 || c.MaxHitRate() < target {
+		return 0, false
+	}
+	needed := uint64(math.Ceil(target * float64(c.total)))
+	i := sort.Search(len(c.cumulative), func(i int) bool { return c.cumulative[i] >= needed })
+	if i == len(c.cumulative) {
+		return 0, false
+	}
+	return c.distances[i] + 1, true
+}
+
+// Table returns, for every integer hit-rate percent 1..100, the items
+// needed (0 marks unattainable percents). This is the "memory required for
+// every integer hit rate percentage in a single pass" computation of
+// Section III-B.
+func (c *Curve) Table() [101]int {
+	var out [101]int
+	for pct := 1; pct <= 100; pct++ {
+		if items, ok := c.ItemsForHitRate(float64(pct) / 100); ok {
+			out[pct] = items
+		}
+	}
+	return out
+}
+
+// Mimir approximates stack distances with the MIMIR bucket scheme: keys
+// live in B buckets ordered hottest (bucket 0) to coldest; a hit in bucket
+// i has estimated distance ≈ the number of keys in buckets 0..i-1 plus
+// half of bucket i. When bucket 0 fills, buckets age by one position.
+//
+// Keys reference bucket objects (not indices), so aging re-positions the
+// B bucket objects in O(B + |evicted bucket|) instead of relabelling every
+// tracked key — the O(1)-amortized update MIMIR is built for.
+type Mimir struct {
+	buckets   []*mimirBucket // index 0 = hottest
+	bucketCap int
+
+	where map[string]*mimirBucket
+
+	hist       map[int]uint64
+	coldMisses uint64
+	total      uint64
+}
+
+// mimirBucket is one aging cohort; pos is its current index in buckets.
+type mimirBucket struct {
+	pos  int
+	keys map[string]struct{}
+}
+
+// NewMimir creates a MIMIR profiler with nBuckets buckets of bucketCap
+// keys each; the product bounds the distinct keys tracked.
+func NewMimir(nBuckets, bucketCap int) (*Mimir, error) {
+	if nBuckets < 2 || bucketCap < 1 {
+		return nil, fmt.Errorf("stackdist: need >= 2 buckets of >= 1 key, got %d x %d", nBuckets, bucketCap)
+	}
+	m := &Mimir{
+		buckets:   make([]*mimirBucket, nBuckets),
+		bucketCap: bucketCap,
+		where:     make(map[string]*mimirBucket),
+		hist:      make(map[int]uint64),
+	}
+	for i := range m.buckets {
+		m.buckets[i] = &mimirBucket{pos: i, keys: make(map[string]struct{})}
+	}
+	return m, nil
+}
+
+// Record processes one request and returns the estimated stack distance.
+func (m *Mimir) Record(key string) int {
+	m.total++
+	b, seen := m.where[key]
+	var dist int
+	if !seen {
+		dist = InfiniteDistance
+		m.coldMisses++
+	} else {
+		est := 0
+		for j := 0; j < b.pos; j++ {
+			est += len(m.buckets[j].keys)
+		}
+		est += len(b.keys) / 2
+		dist = est
+		m.hist[dist]++
+		delete(b.keys, key)
+	}
+	// Promote to the hottest bucket, aging if full.
+	if len(m.buckets[0].keys) >= m.bucketCap {
+		m.age()
+	}
+	m.buckets[0].keys[key] = struct{}{}
+	m.where[key] = m.buckets[0]
+	return dist
+}
+
+// age shifts every bucket one position colder; the coldest bucket is
+// recycled as the new hottest bucket after its keys fall out.
+func (m *Mimir) age() {
+	last := len(m.buckets) - 1
+	coldest := m.buckets[last]
+	for key := range coldest.keys {
+		delete(m.where, key)
+	}
+	copy(m.buckets[1:], m.buckets[:last])
+	coldest.keys = make(map[string]struct{}, m.bucketCap)
+	m.buckets[0] = coldest
+	for i, b := range m.buckets {
+		b.pos = i
+	}
+}
+
+// Total returns the number of recorded requests.
+func (m *Mimir) Total() uint64 { return m.total }
+
+// ColdMisses returns the number of first-or-evicted references.
+func (m *Mimir) ColdMisses() uint64 { return m.coldMisses }
+
+// Curve builds the (approximate) hit-rate curve.
+func (m *Mimir) Curve() *Curve { return newCurve(m.hist, m.total) }
