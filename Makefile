@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the concurrency stress tests (and the rest of the cache/server
+## suites) under the race detector
+race:
+	$(GO) test -race ./internal/cache/... ./internal/server/...
+
+## vet: run go vet across the module
+vet:
+	$(GO) vet ./...
+
+## bench: run the lock-striping and server throughput benchmarks
+## (single-lock vs sharded sub-benchmarks) plus the paper-figure benches
+bench:
+	$(GO) test -run '^$$' -bench 'Parallel|Multi|ServerThroughput' -benchmem -cpu 4 ./internal/cache/ ./internal/server/
+
+## check: everything the CI gate runs
+check: build vet test race

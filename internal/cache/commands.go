@@ -12,7 +12,8 @@ import (
 // (append/prepend/incr/decr), and TTL expiration. ElMem itself only needs
 // get/set plus the migration extensions, but the testbed is meant to be a
 // drop-in Memcached stand-in, and expiration interacts with migration
-// (expired items must not be offered or shipped).
+// (expired items must not be offered or shipped). Every command here is
+// single-key, so each takes exactly one shard lock.
 var (
 	// ErrExists is returned by CompareAndSwap when the item changed since
 	// the token was issued (memcached's EXISTS).
@@ -28,55 +29,35 @@ func (it *Item) expired(now time.Time) bool {
 	return !it.ExpiresAt.IsZero() && !now.Before(it.ExpiresAt)
 }
 
-// expireLocked lazily removes an expired item, counting like memcached: a
-// get on an expired item is a miss.
-func (c *Cache) expireLocked(it *Item) {
-	c.removeLocked(it)
-	c.expirations++
-}
-
-// lookupLocked finds a live item, lazily expiring a dead one. Callers
-// hold c.mu.
-func (c *Cache) lookupLocked(key string, now time.Time) (*Item, bool) {
-	it, ok := c.table[key]
-	if !ok {
-		return nil, false
-	}
-	if it.expired(now) {
-		c.expireLocked(it)
-		return nil, false
-	}
-	return it, true
-}
-
 // SetExpiring stores the value with an absolute expiry (zero = never).
 func (c *Cache) SetExpiring(key string, value []byte, expiresAt time.Time) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := c.now()
-	if err := c.setLocked(key, value, now); err != nil {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.setLocked(key, value, c.now()); err != nil {
 		return err
 	}
-	c.table[key].ExpiresAt = expiresAt
+	sh.table[key].ExpiresAt = expiresAt
 	return nil
 }
 
 // GetWithCAS returns the value and the item's CAS token (memcached's
 // gets), refreshing recency.
 func (c *Cache) GetWithCAS(key string) (value []byte, casToken uint64, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	it, ok := c.lookupLocked(key, c.now())
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, ok := sh.lookupLocked(key, c.now())
 	if !ok {
-		c.misses++
+		sh.misses++
 		return nil, 0, fmt.Errorf("gets %q: %w", key, ErrNotFound)
 	}
-	c.hits++
+	sh.hits++
 	it.LastAccess = c.now()
-	c.slabs[it.classID].list.moveToFront(it)
+	sh.slabs[it.classID].list.moveToFront(it)
 	return it.Value, it.casID, nil
 }
 
@@ -85,16 +66,17 @@ func (c *Cache) Add(key string, value []byte, expiresAt time.Time) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := c.now()
-	if _, ok := c.lookupLocked(key, now); ok {
+	if _, ok := sh.lookupLocked(key, now); ok {
 		return fmt.Errorf("add %q: %w", key, ErrNotStored)
 	}
-	if err := c.setLocked(key, value, now); err != nil {
+	if err := sh.setLocked(key, value, now); err != nil {
 		return err
 	}
-	c.table[key].ExpiresAt = expiresAt
+	sh.table[key].ExpiresAt = expiresAt
 	return nil
 }
 
@@ -103,16 +85,17 @@ func (c *Cache) Replace(key string, value []byte, expiresAt time.Time) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := c.now()
-	if _, ok := c.lookupLocked(key, now); !ok {
+	if _, ok := sh.lookupLocked(key, now); !ok {
 		return fmt.Errorf("replace %q: %w", key, ErrNotStored)
 	}
-	if err := c.setLocked(key, value, now); err != nil {
+	if err := sh.setLocked(key, value, now); err != nil {
 		return err
 	}
-	c.table[key].ExpiresAt = expiresAt
+	sh.table[key].ExpiresAt = expiresAt
 	return nil
 }
 
@@ -122,20 +105,21 @@ func (c *Cache) CompareAndSwap(key string, value []byte, expiresAt time.Time, ca
 	if key == "" {
 		return ErrEmptyKey
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := c.now()
-	it, ok := c.lookupLocked(key, now)
+	it, ok := sh.lookupLocked(key, now)
 	if !ok {
 		return fmt.Errorf("cas %q: %w", key, ErrNotFound)
 	}
 	if it.casID != casToken {
 		return fmt.Errorf("cas %q: %w", key, ErrExists)
 	}
-	if err := c.setLocked(key, value, now); err != nil {
+	if err := sh.setLocked(key, value, now); err != nil {
 		return err
 	}
-	c.table[key].ExpiresAt = expiresAt
+	sh.table[key].ExpiresAt = expiresAt
 	return nil
 }
 
@@ -163,18 +147,19 @@ func (c *Cache) edit(key string, fn func(old []byte) []byte) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := c.now()
-	it, ok := c.lookupLocked(key, now)
+	it, ok := sh.lookupLocked(key, now)
 	if !ok {
 		return fmt.Errorf("edit %q: %w", key, ErrNotStored)
 	}
 	expiresAt := it.ExpiresAt
-	if err := c.setLocked(key, fn(it.Value), now); err != nil {
+	if err := sh.setLocked(key, fn(it.Value), now); err != nil {
 		return err
 	}
-	c.table[key].ExpiresAt = expiresAt
+	sh.table[key].ExpiresAt = expiresAt
 	return nil
 }
 
@@ -198,10 +183,11 @@ func (c *Cache) arith(key string, fn func(uint64) uint64) (uint64, error) {
 	if key == "" {
 		return 0, ErrEmptyKey
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := c.now()
-	it, ok := c.lookupLocked(key, now)
+	it, ok := sh.lookupLocked(key, now)
 	if !ok {
 		return 0, fmt.Errorf("arith %q: %w", key, ErrNotFound)
 	}
@@ -211,57 +197,66 @@ func (c *Cache) arith(key string, fn func(uint64) uint64) (uint64, error) {
 	}
 	out := fn(v)
 	expiresAt := it.ExpiresAt
-	if err := c.setLocked(key, []byte(strconv.FormatUint(out, 10)), now); err != nil {
+	if err := sh.setLocked(key, []byte(strconv.FormatUint(out, 10)), now); err != nil {
 		return 0, err
 	}
-	c.table[key].ExpiresAt = expiresAt
+	sh.table[key].ExpiresAt = expiresAt
 	return out, nil
 }
 
 // TouchExpiry updates an item's expiry and recency (memcached's touch).
 func (c *Cache) TouchExpiry(key string, expiresAt time.Time) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := c.now()
-	it, ok := c.lookupLocked(key, now)
+	it, ok := sh.lookupLocked(key, now)
 	if !ok {
 		return fmt.Errorf("touch %q: %w", key, ErrNotFound)
 	}
 	it.ExpiresAt = expiresAt
 	it.LastAccess = now
-	c.slabs[it.classID].list.moveToFront(it)
+	sh.slabs[it.classID].list.moveToFront(it)
 	return nil
 }
 
-// CrawlExpired sweeps every slab class and removes expired items, like
-// memcached's LRU crawler. Returns the number reclaimed.
+// CrawlExpired sweeps every slab class of every shard and removes expired
+// items, like memcached's LRU crawler. Shards are swept independently —
+// one lock at a time — so the crawl never stalls the whole store. Returns
+// the number reclaimed.
 func (c *Cache) CrawlExpired() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := c.now()
 	reclaimed := 0
-	for _, sl := range c.slabs {
-		if sl == nil {
-			continue
-		}
-		var dead []*Item
-		sl.list.each(func(it *Item) bool {
-			if it.expired(now) {
-				dead = append(dead, it)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		now := c.now()
+		for _, sl := range sh.slabs {
+			if sl == nil {
+				continue
 			}
-			return true
-		})
-		for _, it := range dead {
-			c.expireLocked(it)
-			reclaimed++
+			var dead []*Item
+			sl.list.each(func(it *Item) bool {
+				if it.expired(now) {
+					dead = append(dead, it)
+				}
+				return true
+			})
+			for _, it := range dead {
+				sh.expireLocked(it)
+				reclaimed++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return reclaimed
 }
 
 // Expirations reports items reclaimed by expiry (lazy or crawler).
 func (c *Cache) Expirations() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.expirations
+	var n uint64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.expirations
+		sh.mu.Unlock()
+	}
+	return n
 }

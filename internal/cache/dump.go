@@ -16,6 +16,12 @@ import (
 //     the MRU list head, evicting colder tail items;
 //   - median-timestamp queries per slab for the Master's node scoring
 //     (Section III-C).
+//
+// On the sharded engine every query here aggregates across shards: dumps
+// and FetchTop k-way merge the per-shard MRU runs by timestamp, medians
+// and capacities gather-and-reduce, and the batch import fans its writes
+// out per shard so each shard lock is taken once per batch. The serving
+// path on other shards keeps running while a dump snapshots one shard.
 
 // ItemMeta is one entry of a timestamp dump: everything phase 1 of the
 // migration ships over the network (keys are ~10s of bytes, timestamps 10
@@ -32,20 +38,15 @@ type ItemMeta struct {
 	ClassID int `json:"classId"`
 }
 
-// DumpClass returns the metadata of every item in the slab class, in MRU
-// order (hottest first). If filter is non-nil only items whose key passes
-// are included — retiring Agents filter by consistent-hash target.
-func (c *Cache) DumpClass(classID int, filter func(key string) bool) ([]ItemMeta, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if classID < 0 || classID >= len(c.slabs) {
-		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
+// dumpClass snapshots one shard's metadata for the class; callers sort and
+// merge the runs.
+func (sh *shard) dumpClass(classID int, now time.Time, filter func(key string) bool) []ItemMeta {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sl := sh.slabs[classID]
+	if sl == nil || sl.list.size == 0 {
+		return nil
 	}
-	sl := c.slabs[classID]
-	if sl == nil {
-		return nil, nil
-	}
-	now := c.now()
 	out := make([]ItemMeta, 0, sl.list.size)
 	sl.list.each(func(it *Item) bool {
 		if it.expired(now) {
@@ -61,21 +62,35 @@ func (c *Cache) DumpClass(classID int, filter func(key string) bool) ([]ItemMeta
 		}
 		return true
 	})
-	return out, nil
+	return out
+}
+
+// DumpClass returns the metadata of every item in the slab class, globally
+// in MRU order (hottest first): the per-shard MRU runs are k-way merged by
+// timestamp, so the output is non-increasing in LastAccess exactly as the
+// paper's single-list dump is. If filter is non-nil only items whose key
+// passes are included — retiring Agents filter by consistent-hash target.
+func (c *Cache) DumpClass(classID int, filter func(key string) bool) ([]ItemMeta, error) {
+	if classID < 0 || classID >= len(c.classes) {
+		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
+	}
+	now := c.now()
+	runs := make([][]ItemMeta, 0, len(c.shards))
+	for _, sh := range c.shards {
+		run := sh.dumpClass(classID, now, filter)
+		if len(run) == 0 {
+			continue
+		}
+		sortRun(run)
+		runs = append(runs, run)
+	}
+	return mergeRuns(runs), nil
 }
 
 // DumpAll returns the timestamp dump of every populated slab class, keyed
-// by class ID, each in MRU order.
+// by class ID, each globally in MRU order.
 func (c *Cache) DumpAll(filter func(key string) bool) map[int][]ItemMeta {
-	c.mu.Lock()
-	populated := make([]int, 0, len(c.slabs))
-	for id, sl := range c.slabs {
-		if sl != nil && sl.list.size > 0 {
-			populated = append(populated, id)
-		}
-	}
-	c.mu.Unlock()
-
+	populated := c.PopulatedClasses()
 	out := make(map[int][]ItemMeta, len(populated))
 	for _, id := range populated {
 		metas, err := c.DumpClass(id, filter)
@@ -87,98 +102,126 @@ func (c *Cache) DumpAll(filter func(key string) bool) map[int][]ItemMeta {
 	return out
 }
 
-// MedianTimestamp returns the MRU timestamp of the median item (by MRU
-// position) of the slab class. The boolean is false when the class is
-// empty. The Master compares these medians across nodes to score retiring
-// candidates (Section III-C).
+// MedianTimestamp returns the MRU timestamp of the median item (by global
+// MRU position across shards) of the slab class. The boolean is false when
+// the class is empty. The Master compares these medians across nodes to
+// score retiring candidates (Section III-C).
 func (c *Cache) MedianTimestamp(classID int) (time.Time, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if classID < 0 || classID >= len(c.slabs) {
+	if classID < 0 || classID >= len(c.classes) {
 		return time.Time{}, false
 	}
-	sl := c.slabs[classID]
-	if sl == nil || sl.list.size == 0 {
+	var stamps []time.Time
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if sl := sh.slabs[classID]; sl != nil {
+			sl.list.each(func(it *Item) bool {
+				stamps = append(stamps, it.LastAccess)
+				return true
+			})
+		}
+		sh.mu.Unlock()
+	}
+	if len(stamps) == 0 {
 		return time.Time{}, false
 	}
-	mid := sl.list.size / 2
-	it := sl.list.head
-	for i := 0; i < mid; i++ {
-		it = it.next
-	}
-	return it.LastAccess, true
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i].After(stamps[j]) })
+	return stamps[len(stamps)/2], true
 }
 
 // SlabPageWeights returns w_b for every populated class: the fraction of
-// this node's assigned pages held by the class (Section III-C).
+// this node's assigned pages held by the class across all shards
+// (Section III-C).
 func (c *Cache) SlabPageWeights() map[int]float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	assigned := c.pool.assignedCount()
 	out := make(map[int]float64)
-	if c.assignedPages == 0 {
+	if assigned == 0 {
 		return out
 	}
-	for id, sl := range c.slabs {
-		if sl == nil || sl.pages == 0 {
-			continue
+	pages := make([]int, len(c.classes))
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for classID, sl := range sh.slabs {
+			if sl != nil {
+				pages[classID] += sl.pages
+			}
 		}
-		out[id] = float64(sl.pages) / float64(c.assignedPages)
+		sh.mu.Unlock()
+	}
+	for classID, p := range pages {
+		if p > 0 {
+			out[classID] = float64(p) / float64(assigned)
+		}
 	}
 	return out
 }
 
-// PopulatedClasses returns the IDs of classes holding at least one item, in
-// ascending order.
+// PopulatedClasses returns the IDs of classes holding at least one item in
+// any shard, in ascending order.
 func (c *Cache) PopulatedClasses() []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	seen := make([]bool, len(c.classes))
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for classID, sl := range sh.slabs {
+			if sl != nil && sl.list.size > 0 {
+				seen[classID] = true
+			}
+		}
+		sh.mu.Unlock()
+	}
 	var out []int
-	for id, sl := range c.slabs {
-		if sl != nil && sl.list.size > 0 {
-			out = append(out, id)
+	for classID, ok := range seen {
+		if ok {
+			out = append(out, classID)
 		}
 	}
-	sort.Ints(out)
 	return out
 }
 
-// ClassLen returns the number of items resident in the class.
+// ClassLen returns the number of items resident in the class across shards.
 func (c *Cache) ClassLen(classID int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if classID < 0 || classID >= len(c.slabs) || c.slabs[classID] == nil {
+	if classID < 0 || classID >= len(c.classes) {
 		return 0
 	}
-	return c.slabs[classID].list.size
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if sl := sh.slabs[classID]; sl != nil {
+			n += sl.list.size
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// ClassCapacity returns the chunk capacity of the class's assigned pages.
+// ClassCapacity returns the chunk capacity of the class's assigned pages
+// across shards.
 func (c *Cache) ClassCapacity(classID int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if classID < 0 || classID >= len(c.slabs) || c.slabs[classID] == nil {
+	if classID < 0 || classID >= len(c.classes) {
 		return 0
 	}
-	return c.slabs[classID].capacity()
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if sl := sh.slabs[classID]; sl != nil {
+			n += sl.capacity()
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ClassAbsorbCapacity returns how many items of the class this cache can
-// hold in the best case: chunks in already-assigned pages plus every
-// still-unassigned page converted to this class. FuseCache sizes its
-// selection target n from this (Section IV-A) — it is exactly the space
-// the migration's batch import can fill without dropping pairs.
+// hold in the best case: chunks in pages already assigned to the class (in
+// any shard) plus every still-unassigned pool page converted to this class.
+// FuseCache sizes its selection target n from this (Section IV-A) — it is
+// exactly the space the migration's batch import can fill without dropping
+// pairs.
 func (c *Cache) ClassAbsorbCapacity(classID int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if classID < 0 || classID >= len(c.classes) {
 		return 0
 	}
 	chunksPerPage := PageSize / c.classes[classID]
-	capacity := (c.maxPages - c.assignedPages) * chunksPerPage
-	if sl := c.slabs[classID]; sl != nil {
-		capacity += sl.capacity()
-	}
-	return capacity
+	return c.pool.free()*chunksPerPage + c.ClassCapacity(classID)
 }
 
 // KV is a key/value/timestamp triple shipped in migration phase 3.
@@ -191,20 +234,15 @@ type KV struct {
 	LastAccess time.Time `json:"lastAccess"`
 }
 
-// FetchTop returns the hottest count items of the class in MRU order whose
-// keys pass filter (nil = all). Retiring Agents call this in phase 3 with
-// the per-list take counts FuseCache computed.
-func (c *Cache) FetchTop(classID, count int, filter func(key string) bool) ([]KV, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if classID < 0 || classID >= len(c.slabs) {
-		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
+// fetchTop snapshots up to count matching pairs of one shard in MRU order,
+// copying values; callers sort and merge the runs.
+func (sh *shard) fetchTop(classID, count int, now time.Time, filter func(key string) bool) []KV {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sl := sh.slabs[classID]
+	if sl == nil || sl.list.size == 0 {
+		return nil
 	}
-	sl := c.slabs[classID]
-	if sl == nil || count <= 0 {
-		return nil, nil
-	}
-	now := c.now()
 	out := make([]KV, 0, count)
 	sl.list.each(func(it *Item) bool {
 		if it.expired(now) {
@@ -220,7 +258,36 @@ func (c *Cache) FetchTop(classID, count int, filter func(key string) bool) ([]KV
 		}
 		return true
 	})
-	return out, nil
+	return out
+}
+
+// FetchTop returns the globally hottest count items of the class in MRU
+// order whose keys pass filter (nil = all): each shard contributes its own
+// top run and the runs are merged by timestamp. Retiring Agents call this
+// in phase 3 with the per-list take counts FuseCache computed.
+func (c *Cache) FetchTop(classID, count int, filter func(key string) bool) ([]KV, error) {
+	if classID < 0 || classID >= len(c.classes) {
+		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
+	}
+	if count <= 0 {
+		return nil, nil
+	}
+	now := c.now()
+	runs := make([][]KV, 0, len(c.shards))
+	for _, sh := range c.shards {
+		// A shard never contributes more than count items to the global top.
+		run := sh.fetchTop(classID, count, now, filter)
+		if len(run) == 0 {
+			continue
+		}
+		sortRun(run)
+		runs = append(runs, run)
+	}
+	merged := mergeRuns(runs)
+	if len(merged) > count {
+		merged = merged[:count]
+	}
+	return merged, nil
 }
 
 // BatchImport writes migrated KV pairs into the cache by prepending them at
@@ -231,6 +298,12 @@ func (c *Cache) FetchTop(classID, count int, filter func(key string) bool) ([]KV
 // by FuseCache's construction are strictly colder than the imports
 // (Section III-D3). Timestamps of the imported items are preserved.
 //
+// The write fan-out is per shard: pairs are grouped by their key's shard,
+// preserving slice order, and each shard's group is imported under one
+// lock acquisition, so a migration-sized batch costs at most one lock per
+// shard instead of one per pair — the serving path on other shards never
+// stalls behind the import.
+//
 // It mirrors the paper's custom import: the normal set data checks are
 // skipped because the pairs were just read from a live cache. An item
 // whose slab class cannot obtain a chunk (page pool exhausted, nothing of
@@ -238,11 +311,34 @@ func (c *Cache) FetchTop(classID, count int, filter func(key string) bool) ([]KV
 // with SERVER_ERROR under slab exhaustion; the returned count reports how
 // many pairs were actually imported.
 func (c *Cache) BatchImport(pairs []KV, reverse bool) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	groups := make([][]KV, len(c.shards))
+	for _, p := range pairs {
+		i := c.shardIndexFor(p.Key)
+		groups[i] = append(groups[i], p)
+	}
+	imported := 0
+	for si, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		sh := c.shards[si]
+		sh.mu.Lock()
+		n, err := sh.importLocked(group, reverse)
+		sh.mu.Unlock()
+		imported += n
+		if err != nil {
+			return imported, err
+		}
+	}
+	return imported, nil
+}
+
+// importLocked walks one shard's group in the requested direction; callers
+// hold sh.mu.
+func (sh *shard) importLocked(pairs []KV, reverse bool) (int, error) {
 	imported := 0
 	importOne := func(p KV) error {
-		err := c.importOneLocked(p)
+		err := sh.importOneLocked(p)
 		switch {
 		case err == nil:
 			imported++
@@ -270,16 +366,17 @@ func (c *Cache) BatchImport(pairs []KV, reverse bool) (int, error) {
 }
 
 // importOneLocked inserts one migrated pair at its class's MRU head.
-func (c *Cache) importOneLocked(p KV) error {
+func (sh *shard) importOneLocked(p KV) error {
 	if p.Key == "" {
 		return ErrEmptyKey
 	}
+	c := sh.owner
 	need := len(p.Key) + len(p.Value) + ItemOverhead
 	classID := classForSize(c.classes, need)
 	if classID < 0 {
 		return &ValueTooLargeError{Key: p.Key, Need: need}
 	}
-	if it, ok := c.table[p.Key]; ok {
+	if it, ok := sh.table[p.Key]; ok {
 		// The receiver may already hold the key (set while metadata was in
 		// flight). Keep the fresher timestamp and move to head.
 		if p.LastAccess.After(it.LastAccess) {
@@ -287,36 +384,53 @@ func (c *Cache) importOneLocked(p KV) error {
 		}
 		if it.classID == classID {
 			it.Value = p.Value
-			c.slabs[classID].list.moveToFront(it)
+			sh.slabs[classID].list.moveToFront(it)
 			return nil
 		}
-		c.removeLocked(it)
+		sh.removeLocked(it)
 	}
-	sl := c.slab(classID)
-	if err := c.reserveChunkLocked(sl); err != nil {
+	sl := sh.slab(classID)
+	if err := sh.reserveChunkLocked(sl); err != nil {
 		return fmt.Errorf("import %q: %w", p.Key, err)
 	}
 	it := &Item{Key: p.Key, Value: p.Value, LastAccess: p.LastAccess, classID: classID}
 	sl.list.pushFront(it)
 	sl.used++
-	c.table[p.Key] = it
+	sh.table[p.Key] = it
 	return nil
 }
 
-// EvictColdest drops the n coldest items of a class (tail-first); used by
-// tests and by policies that emulate naive migration's evictions. It
-// returns the number actually evicted.
+// EvictColdest drops the n globally coldest items of a class (tail-first
+// across shards: each round evicts the coldest shard tail); used by tests
+// and by policies that emulate naive migration's evictions. It returns the
+// number actually evicted.
 func (c *Cache) EvictColdest(classID, n int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if classID < 0 || classID >= len(c.slabs) || c.slabs[classID] == nil {
+	if classID < 0 || classID >= len(c.classes) {
 		return 0
 	}
-	sl := c.slabs[classID]
 	evicted := 0
-	for evicted < n && sl.list.tail != nil {
-		c.evictLocked(sl)
-		evicted++
+	for evicted < n {
+		var victim *shard
+		var victimTS time.Time
+		for _, sh := range c.shards {
+			sh.mu.Lock()
+			if sl := sh.slabs[classID]; sl != nil && sl.list.tail != nil {
+				ts := sl.list.tail.LastAccess
+				if victim == nil || ts.Before(victimTS) {
+					victim, victimTS = sh, ts
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if victim == nil {
+			return evicted
+		}
+		victim.mu.Lock()
+		if sl := victim.slabs[classID]; sl != nil && sl.list.tail != nil {
+			victim.evictLocked(sl)
+			evicted++
+		}
+		victim.mu.Unlock()
 	}
 	return evicted
 }
@@ -324,11 +438,13 @@ func (c *Cache) EvictColdest(classID, n int) int {
 // Keys returns every resident key in no particular order. Intended for
 // tests and the scale-out hash split, not hot paths.
 func (c *Cache) Keys() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.table))
-	for k := range c.table {
-		out = append(out, k)
+	out := make([]string, 0, c.Len())
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for k := range sh.table {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }

@@ -1,0 +1,117 @@
+package cache
+
+import "time"
+
+// Batched multi-key operations. Memcached's ASCII protocol allows
+// multi-key `get`/`gets` requests; on the striped engine a naive per-key
+// loop would take one shard lock per key. GetMulti and SetBatch group keys
+// by shard first and take each shard's lock exactly once, so an N-key
+// request costs at most ShardCount() lock acquisitions. The server's
+// multi-key read path and the bench harness preloads run on these.
+
+// MultiValue is one hit of a GetMulti: the value plus the item's CAS token
+// (so one call serves both `get` and `gets`).
+type MultiValue struct {
+	// Value is the stored bytes.
+	Value []byte
+	// CAS is the item's compare-and-swap token.
+	CAS uint64
+}
+
+// GetMulti looks up every key, refreshing recency and counting hits and
+// misses exactly like per-key Get, and returns the hits keyed by name.
+// Missing or expired keys are simply absent from the result.
+func (c *Cache) GetMulti(keys []string) map[string]MultiValue {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make(map[string]MultiValue, len(keys))
+	c.eachShardGroup(keys, func(sh *shard, i int, now time.Time) {
+		key := keys[i]
+		it, ok := sh.lookupLocked(key, now)
+		if !ok {
+			sh.misses++
+			return
+		}
+		sh.hits++
+		it.LastAccess = now
+		sh.slabs[it.classID].list.moveToFront(it)
+		out[key] = MultiValue{Value: it.Value, CAS: it.casID}
+	})
+	return out
+}
+
+// eachShardGroup visits keys grouped by lock stripe, taking each touched
+// shard's lock exactly once and calling fn with each key's index under its
+// shard's lock (in slice order within a shard). It routes with a flat index
+// array rather than per-shard slices, so a batch costs one allocation no
+// matter how many stripes it spans; the O(keys × distinct-shards) rescan is
+// cheap at protocol batch sizes.
+func (c *Cache) eachShardGroup(keys []string, fn func(sh *shard, i int, now time.Time)) {
+	idx := make([]int, len(keys))
+	for i, key := range keys {
+		idx[i] = int(c.shardIndexFor(key))
+	}
+	for i := range keys {
+		si := idx[i]
+		if si < 0 {
+			continue // already served under an earlier shard's lock
+		}
+		sh := c.shards[si]
+		sh.mu.Lock()
+		now := c.now()
+		for j := i; j < len(keys); j++ {
+			if idx[j] != si {
+				continue
+			}
+			idx[j] = -1
+			fn(sh, j, now)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// SetItem is one entry of a SetBatch.
+type SetItem struct {
+	// Key and Value carry the pair.
+	Key   string
+	Value []byte
+	// ExpiresAt is the absolute expiry; zero means the item never expires.
+	ExpiresAt time.Time
+}
+
+// SetBatch stores every item, grouping writes by shard so each shard lock
+// is taken once for the whole batch. Duplicate keys apply in slice order,
+// like sequential Sets. Per-item failures (empty key, oversized value, slab
+// exhaustion) do not abort the batch: the remaining items are still stored,
+// the count of stored items is returned, and the first error encountered is
+// reported.
+func (c *Cache) SetBatch(items []SetItem) (int, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	keys := make([]string, len(items))
+	for i := range items {
+		keys[i] = items[i].Key
+	}
+	stored := 0
+	var firstErr error
+	c.eachShardGroup(keys, func(sh *shard, i int, now time.Time) {
+		item := &items[i]
+		if item.Key == "" {
+			if firstErr == nil {
+				firstErr = ErrEmptyKey
+			}
+			return
+		}
+		if err := sh.setLocked(item.Key, item.Value, now); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		sh.table[item.Key].ExpiresAt = item.ExpiresAt
+		stored++
+	})
+	return stored, firstErr
+}

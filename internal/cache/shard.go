@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The lock-striped engine: keys are routed by FNV-1a hash onto a power-of-
+// two number of shards, each owning its slice of the key index and its own
+// per-class MRU lists. The 1 MiB page budget stays global — shards draw
+// pages from a shared allocator (pagePool) guarded by its own mutex, so the
+// hot Get/Set path never contends across shards; the pool lock is taken
+// only on the rare page-assignment slow path.
+
+// minPagesPerShard bounds striping from below: a shard that owns fewer
+// pages than this would fragment the slab ladder (every (shard, class) pair
+// pins whole pages), so small budgets get proportionally fewer shards. A
+// one-page test cache degenerates to a single shard, which reproduces the
+// seed engine's single-lock semantics exactly.
+const minPagesPerShard = 8
+
+// defaultShardCount picks max(16, GOMAXPROCS) shards, rounded to a power
+// of two and capped so every shard can own at least minPagesPerShard pages.
+func defaultShardCount(maxPages int) int {
+	limit := 16
+	if p := runtime.GOMAXPROCS(0); p > limit {
+		limit = p
+	}
+	limit = ceilPow2(limit)
+	n := floorPow2(maxPages / minPagesPerShard)
+	if n < 1 {
+		n = 1
+	}
+	if n > limit {
+		n = limit
+	}
+	return n
+}
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+func floorPow2(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return 1 << (bits.Len(uint(n)) - 1)
+}
+
+// FNV-1a, the paper-era memcached default for hash-table bucketing; the
+// upper half is folded in because the shard mask keeps only low bits.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func shardHash(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h ^ h>>32
+}
+
+// pagePool is the shared page allocator. Pages, once acquired by a
+// (shard, class) slab, are never returned — the classic memcached rule —
+// so the pool is a single high-water counter.
+type pagePool struct {
+	mu       sync.Mutex
+	max      int
+	assigned int
+}
+
+// tryAcquire claims one page if any remain unassigned.
+func (p *pagePool) tryAcquire() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.assigned >= p.max {
+		return false
+	}
+	p.assigned++
+	return true
+}
+
+// assignedCount reports pages handed out so far.
+func (p *pagePool) assignedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.assigned
+}
+
+// free reports pages still unassigned.
+func (p *pagePool) free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.max - p.assigned
+}
+
+// shard is one lock stripe: a key-table slice plus per-class MRU lists and
+// counters. Everything below the mutex is guarded by it.
+type shard struct {
+	owner *Cache
+
+	mu    sync.Mutex
+	table map[string]*Item
+	slabs []*slab // lazily populated per class
+
+	hits, misses, sets, evictions uint64
+	expirations                   uint64
+}
+
+func newShard(c *Cache) *shard {
+	return &shard{
+		owner: c,
+		table: make(map[string]*Item),
+		slabs: make([]*slab, len(c.classes)),
+	}
+}
+
+// slab returns the shard's slab for classID, creating it on first use.
+func (sh *shard) slab(classID int) *slab {
+	if sh.slabs[classID] == nil {
+		sh.slabs[classID] = newSlab(classID, sh.owner.classes[classID])
+	}
+	return sh.slabs[classID]
+}
+
+// lookupLocked finds a live item, lazily expiring a dead one.
+func (sh *shard) lookupLocked(key string, now time.Time) (*Item, bool) {
+	it, ok := sh.table[key]
+	if !ok {
+		return nil, false
+	}
+	if it.expired(now) {
+		sh.expireLocked(it)
+		return nil, false
+	}
+	return it, true
+}
+
+// setLocked is the core insert path; callers hold sh.mu.
+func (sh *shard) setLocked(key string, value []byte, ts time.Time) error {
+	c := sh.owner
+	need := len(key) + len(value) + ItemOverhead
+	classID := classForSize(c.classes, need)
+	if classID < 0 {
+		return &ValueTooLargeError{Key: key, Need: need}
+	}
+
+	cas := c.casSeq.Add(1)
+	if it, ok := sh.table[key]; ok {
+		if it.classID == classID {
+			// In-place update within the same chunk class.
+			it.Value = value
+			it.LastAccess = ts
+			it.ExpiresAt = time.Time{}
+			it.casID = cas
+			sh.slabs[classID].list.moveToFront(it)
+			sh.sets++
+			return nil
+		}
+		// Size class changed: drop and reinsert.
+		sh.removeLocked(it)
+	}
+
+	sl := sh.slab(classID)
+	if err := sh.reserveChunkLocked(sl); err != nil {
+		return fmt.Errorf("set %q: %w", key, err)
+	}
+	it := &Item{Key: key, Value: value, LastAccess: ts, classID: classID, casID: cas}
+	sl.list.pushFront(it)
+	sl.used++
+	sh.table[key] = it
+	sh.sets++
+	return nil
+}
+
+// reserveChunkLocked guarantees sl has a free chunk: first by acquiring an
+// unassigned page from the shared pool, then by evicting the shard's LRU
+// tail of the class. Pages, once assigned to a (shard, class) slab, are
+// never reassigned, mirroring memcached.
+func (sh *shard) reserveChunkLocked(sl *slab) error {
+	if sl.freeChunks() > 0 {
+		return nil
+	}
+	if sh.owner.pool.tryAcquire() {
+		sl.pages++
+		return nil
+	}
+	if sl.list.tail == nil {
+		return ErrOutOfMemory
+	}
+	sh.evictLocked(sl)
+	return nil
+}
+
+// evictLocked drops the LRU tail of sl.
+func (sh *shard) evictLocked(sl *slab) {
+	victim := sl.list.tail
+	sl.list.remove(victim)
+	sl.used--
+	delete(sh.table, victim.Key)
+	sl.evictions++
+	sh.evictions++
+}
+
+// removeLocked unlinks an item and frees its chunk.
+func (sh *shard) removeLocked(it *Item) {
+	sl := sh.slabs[it.classID]
+	sl.list.remove(it)
+	sl.used--
+	delete(sh.table, it.Key)
+}
+
+// expireLocked lazily removes an expired item, counting like memcached: a
+// get on an expired item is a miss.
+func (sh *shard) expireLocked(it *Item) {
+	sh.removeLocked(it)
+	sh.expirations++
+}
+
+// ShardStat is one shard's slice of the counters, exposed through Stats so
+// shard imbalance is observable (metrics.AnalyzeShards consumes the item
+// distribution).
+type ShardStat struct {
+	// Shard is the stripe index.
+	Shard int `json:"shard"`
+	// Items is the number of items resident in the shard.
+	Items int `json:"items"`
+	// Hits, Misses, Sets, and Evictions are the shard's counters.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Sets      uint64 `json:"sets"`
+	Evictions uint64 `json:"evictions"`
+}

@@ -1,0 +1,258 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// stressDuration is how long the concurrent churn runs. One second is
+// enough for the race detector to interleave every op pair; -short trims it.
+func stressDuration(t *testing.T) time.Duration {
+	if testing.Short() {
+		return 200 * time.Millisecond
+	}
+	return time.Second
+}
+
+// TestStressConcurrentOps hammers one sharded cache with every public
+// operation at once — Set, Get, Delete, DumpAll, BatchImport, FlushAll,
+// GetMulti, SetBatch, CrawlExpired, Stats — and then checks the engine's
+// structural invariants. Run under -race (the Makefile's `race` target does).
+func TestStressConcurrentOps(t *testing.T) {
+	c, err := New(64*PageSize, WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		ops  atomic.Uint64
+	)
+	run := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				fn(i)
+				ops.Add(1)
+			}
+		}()
+	}
+
+	val := []byte("stress-value")
+	bigVal := make([]byte, 2000)
+	// Writers over a bounded key space so readers and deleters collide.
+	for g := 0; g < 4; g++ {
+		g := g
+		run(func(i int) {
+			key := fmt.Sprintf("w%d-k%03d", g, i%400)
+			v := val
+			if i%5 == 0 {
+				v = bigVal // second size class
+			}
+			if err := c.Set(key, v); err != nil && !errors.Is(err, ErrOutOfMemory) {
+				t.Errorf("Set: %v", err)
+			}
+		})
+	}
+	// Readers.
+	for g := 0; g < 2; g++ {
+		run(func(i int) {
+			key := fmt.Sprintf("w%d-k%03d", i%4, i%400)
+			if _, err := c.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get: %v", err)
+			}
+		})
+	}
+	// Deleter.
+	run(func(i int) {
+		_ = c.Delete(fmt.Sprintf("w%d-k%03d", i%4, (i*7)%400))
+	})
+	// Dumper: every snapshot must already satisfy the MRU-order contract.
+	run(func(i int) {
+		for _, metas := range c.DumpAll(nil) {
+			for j := 1; j < len(metas); j++ {
+				if metas[j].LastAccess.After(metas[j-1].LastAccess) {
+					t.Errorf("concurrent DumpAll out of order at %d", j)
+					return
+				}
+			}
+		}
+	})
+	// Importer, emulating phase-3 migration traffic.
+	run(func(i int) {
+		now := time.Now()
+		pairs := make([]KV, 32)
+		for j := range pairs {
+			pairs[j] = KV{
+				Key:        fmt.Sprintf("imp-k%03d", (i*32+j)%300),
+				Value:      val,
+				LastAccess: now.Add(-time.Duration(j) * time.Millisecond),
+			}
+		}
+		if _, err := c.BatchImport(pairs, true); err != nil {
+			t.Errorf("BatchImport: %v", err)
+		}
+	})
+	// Batched reads and writes.
+	run(func(i int) {
+		keys := make([]string, 16)
+		for j := range keys {
+			keys[j] = fmt.Sprintf("w%d-k%03d", j%4, (i+j)%400)
+		}
+		c.GetMulti(keys)
+	})
+	run(func(i int) {
+		items := make([]SetItem, 16)
+		for j := range items {
+			items[j] = SetItem{Key: fmt.Sprintf("b-k%03d", (i*16+j)%300), Value: val}
+		}
+		if _, err := c.SetBatch(items); err != nil && !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("SetBatch: %v", err)
+		}
+	})
+	// Occasional whole-cache operations.
+	run(func(i int) {
+		if i%50 == 0 {
+			c.FlushAll()
+		}
+		c.CrawlExpired()
+		c.Stats()
+		c.Len()
+		time.Sleep(time.Millisecond)
+	})
+
+	time.Sleep(stressDuration(t))
+	stop.Store(true)
+	wg.Wait()
+	t.Logf("stress: %d ops across %d shards", ops.Load(), c.ShardCount())
+
+	// Quiesced invariants.
+	st := c.Stats()
+	if st.Items != c.Len() {
+		t.Fatalf("Stats().Items = %d, Len() = %d", st.Items, c.Len())
+	}
+	dist := c.ShardDistribution()
+	sum := 0
+	for _, n := range dist {
+		sum += n
+	}
+	if sum != c.Len() {
+		t.Fatalf("ShardDistribution sums to %d, Len = %d", sum, c.Len())
+	}
+	if b := metrics.AnalyzeShards(dist); b.Shards != c.ShardCount() {
+		t.Fatalf("AnalyzeShards saw %d shards, want %d", b.Shards, c.ShardCount())
+	}
+	c.checkShardInvariants(t)
+	for _, metas := range c.DumpAll(nil) {
+		for j := 1; j < len(metas); j++ {
+			if metas[j].LastAccess.After(metas[j-1].LastAccess) {
+				t.Fatalf("post-stress dump out of MRU order at %d", j)
+			}
+		}
+	}
+}
+
+// TestStressNoLostItems writes disjoint per-goroutine key ranges with no
+// eviction pressure while dumps, multi-gets and stats churn concurrently,
+// then verifies every written item survived.
+func TestStressNoLostItems(t *testing.T) {
+	c, err := New(64*PageSize, WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		perG    = 1000
+	)
+	var (
+		churnWg   sync.WaitGroup
+		writersWg sync.WaitGroup
+		stop      atomic.Bool
+	)
+	// Background churn that must not drop committed writes.
+	for g := 0; g < 2; g++ {
+		churnWg.Add(1)
+		go func() {
+			defer churnWg.Done()
+			for !stop.Load() {
+				c.DumpAll(nil)
+				c.GetMulti([]string{"g0-k0000", "g7-k0999", "nope"})
+				c.Stats()
+			}
+		}()
+	}
+	for g := 0; g < writers; g++ {
+		g := g
+		writersWg.Add(1)
+		go func() {
+			defer writersWg.Done()
+			for i := 0; i < perG; i++ {
+				if err := c.Set(fmt.Sprintf("g%d-k%04d", g, i), []byte("v")); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	writersWg.Wait()
+	stop.Store(true)
+	churnWg.Wait()
+
+	if c.Len() != writers*perG {
+		t.Fatalf("Len = %d, want %d", c.Len(), writers*perG)
+	}
+	for g := 0; g < writers; g++ {
+		for i := 0; i < perG; i++ {
+			key := fmt.Sprintf("g%d-k%04d", g, i)
+			if !c.Contains(key) {
+				t.Fatalf("lost item %s", key)
+			}
+		}
+	}
+	c.checkShardInvariants(t)
+}
+
+// checkShardInvariants verifies, per shard, that the key table and the
+// per-class MRU lists agree exactly: same membership, consistent sizes, and
+// intact list links.
+func (c *Cache) checkShardInvariants(t *testing.T) {
+	t.Helper()
+	for si, sh := range c.shards {
+		sh.mu.Lock()
+		listed := 0
+		for classID, sl := range sh.slabs {
+			if sl == nil {
+				continue
+			}
+			if !sl.list.validate() {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d class %d: corrupt MRU list", si, classID)
+			}
+			sl.list.each(func(it *Item) bool {
+				listed++
+				got, ok := sh.table[it.Key]
+				if !ok || got != it {
+					t.Errorf("shard %d: listed item %q not in table", si, it.Key)
+				}
+				return true
+			})
+			if sl.used != sl.list.size {
+				t.Errorf("shard %d class %d: used=%d list=%d", si, classID, sl.used, sl.list.size)
+			}
+		}
+		if listed != len(sh.table) {
+			t.Errorf("shard %d: %d listed items, table has %d", si, listed, len(sh.table))
+		}
+		sh.mu.Unlock()
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}

@@ -290,3 +290,52 @@ func ReductionPercent(baseline, mitigated Degradation) float64 {
 	red := 1 - float64(mitigated.MeanP95)/float64(baseline.MeanP95)
 	return red * 100
 }
+
+// ShardBalance summarizes how evenly items spread over a lock-striped
+// cache's shards (the input is cache.ShardDistribution()). FNV-1a routing
+// should keep the ratio near 1; a skewed ratio means one stripe's lock is
+// carrying a disproportionate share of the load.
+type ShardBalance struct {
+	// Shards is the stripe count.
+	Shards int
+	// Min and Max are the smallest and largest per-shard item counts.
+	Min, Max int
+	// Mean is the average items per shard.
+	Mean float64
+	// ImbalanceRatio is Max/Mean; 1.0 is perfectly balanced. Zero when the
+	// cache is empty.
+	ImbalanceRatio float64
+	// CV is the coefficient of variation (stddev/mean) of the counts.
+	CV float64
+}
+
+// AnalyzeShards computes the balance summary of per-shard item counts.
+func AnalyzeShards(counts []int) ShardBalance {
+	b := ShardBalance{Shards: len(counts)}
+	if len(counts) == 0 {
+		return b
+	}
+	b.Min = counts[0]
+	total := 0
+	for _, n := range counts {
+		total += n
+		if n < b.Min {
+			b.Min = n
+		}
+		if n > b.Max {
+			b.Max = n
+		}
+	}
+	b.Mean = float64(total) / float64(len(counts))
+	if b.Mean == 0 {
+		return b
+	}
+	b.ImbalanceRatio = float64(b.Max) / b.Mean
+	variance := 0.0
+	for _, n := range counts {
+		d := float64(n) - b.Mean
+		variance += d * d
+	}
+	b.CV = math.Sqrt(variance/float64(len(counts))) / b.Mean
+	return b
+}

@@ -254,3 +254,31 @@ func TestP2QuantilePropertyBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAnalyzeShards(t *testing.T) {
+	b := AnalyzeShards([]int{100, 100, 100, 100})
+	if b.Shards != 4 || b.Min != 100 || b.Max != 100 {
+		t.Fatalf("balanced summary wrong: %+v", b)
+	}
+	if b.ImbalanceRatio != 1 || b.CV != 0 {
+		t.Fatalf("balanced counts must give ratio 1, CV 0: %+v", b)
+	}
+
+	b = AnalyzeShards([]int{10, 20, 30, 140})
+	if b.Min != 10 || b.Max != 140 || b.Mean != 50 {
+		t.Fatalf("skewed summary wrong: %+v", b)
+	}
+	if math.Abs(b.ImbalanceRatio-2.8) > 1e-9 {
+		t.Fatalf("ImbalanceRatio = %v, want 2.8", b.ImbalanceRatio)
+	}
+	if b.CV <= 0 {
+		t.Fatalf("skewed counts must give positive CV: %v", b.CV)
+	}
+
+	if b := AnalyzeShards(nil); b.Shards != 0 || b.ImbalanceRatio != 0 {
+		t.Fatalf("empty input: %+v", b)
+	}
+	if b := AnalyzeShards([]int{0, 0}); b.ImbalanceRatio != 0 || b.CV != 0 {
+		t.Fatalf("all-zero counts must not divide by zero: %+v", b)
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// BenchmarkServerThroughput measures end-to-end gets over loopback TCP:
+// each parallel goroutine opens its own connection and issues single-key
+// `get` requests, reading each response through the END terminator. The
+// striped engine should let concurrent connections progress without
+// serializing on one cache lock.
+func BenchmarkServerThroughput(b *testing.B) {
+	const nkeys = 1024
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"single-lock", 1},
+		{"sharded", 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := []cache.Option{}
+			if cfg.shards > 0 {
+				opts = append(opts, cache.WithShards(cfg.shards))
+			}
+			c, err := cache.New(64*cache.PageSize, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items := make([]cache.SetItem, nkeys)
+			val := make([]byte, 64)
+			for i := range items {
+				items[i] = cache.SetItem{Key: benchServerKey(i), Value: val}
+			}
+			if _, err := c.SetBatch(items); err != nil {
+				b.Fatal(err)
+			}
+			s, err := Listen("127.0.0.1:0", c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+
+			var seq atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				conn, err := net.Dial("tcp", s.Addr())
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				i := int(seq.Add(1)) * 997
+				for pb.Next() {
+					if _, err := fmt.Fprintf(conn, "get %s\r\n", benchServerKey(i%nkeys)); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := readUntilEnd(r); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServerMultiGet measures a 16-key `get` request per round trip —
+// the path the server serves through one cache.GetMulti call.
+func BenchmarkServerMultiGet(b *testing.B) {
+	const (
+		nkeys = 1024
+		batch = 16
+	)
+	c, err := cache.New(64 * cache.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]cache.SetItem, nkeys)
+	val := make([]byte, 64)
+	for i := range items {
+		items[i] = cache.SetItem{Key: benchServerKey(i), Value: val}
+	}
+	if _, err := c.SetBatch(items); err != nil {
+		b.Fatal(err)
+	}
+	s, err := Listen("127.0.0.1:0", c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		i := int(seq.Add(1)) * 997
+		keys := make([]string, batch)
+		for pb.Next() {
+			for j := 0; j < batch; j++ {
+				keys[j] = benchServerKey((i + j) % nkeys)
+			}
+			if _, err := fmt.Fprintf(conn, "get %s\r\n", strings.Join(keys, " ")); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := readUntilEnd(r); err != nil {
+				b.Error(err)
+				return
+			}
+			i += batch
+		}
+	})
+}
+
+func benchServerKey(i int) string { return fmt.Sprintf("bench-key-%05d", i) }
+
+// readUntilEnd consumes response lines through the END terminator. Values
+// in these benchmarks never contain "END", so a line match is safe.
+func readUntilEnd(r *bufio.Reader) error {
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(line, "END") {
+			return nil
+		}
+	}
+}

@@ -219,24 +219,46 @@ func expiryFromExptime(exptime int64, now time.Time) time.Time {
 func (s *Server) handle(req *memproto.Request, w *bufio.Writer) error {
 	switch req.Command {
 	case memproto.CmdGet:
+		if len(req.Keys) == 1 {
+			value, err := s.cache.Get(req.Keys[0])
+			if err == nil {
+				if err := memproto.WriteValue(w, req.Keys[0], 0, value); err != nil {
+					return err
+				}
+			}
+			return memproto.WriteEnd(w)
+		}
+		// Multi-key: one batched lookup costs at most one lock acquisition
+		// per cache shard instead of one per key.
+		hits := s.cache.GetMulti(req.Keys)
 		for _, key := range req.Keys {
-			value, err := s.cache.Get(key)
-			if err != nil {
+			mv, ok := hits[key]
+			if !ok {
 				continue // miss: omit the VALUE block
 			}
-			if err := memproto.WriteValue(w, key, 0, value); err != nil {
+			if err := memproto.WriteValue(w, key, 0, mv.Value); err != nil {
 				return err
 			}
 		}
 		return memproto.WriteEnd(w)
 
 	case memproto.CmdGets:
+		if len(req.Keys) == 1 {
+			value, casToken, err := s.cache.GetWithCAS(req.Keys[0])
+			if err == nil {
+				if err := memproto.WriteValueCAS(w, req.Keys[0], 0, value, casToken); err != nil {
+					return err
+				}
+			}
+			return memproto.WriteEnd(w)
+		}
+		hits := s.cache.GetMulti(req.Keys)
 		for _, key := range req.Keys {
-			value, casToken, err := s.cache.GetWithCAS(key)
-			if err != nil {
+			mv, ok := hits[key]
+			if !ok {
 				continue
 			}
-			if err := memproto.WriteValueCAS(w, key, 0, value, casToken); err != nil {
+			if err := memproto.WriteValueCAS(w, key, 0, mv.Value, mv.CAS); err != nil {
 				return err
 			}
 		}
@@ -384,6 +406,21 @@ func (s *Server) handle(req *memproto.Request, w *bufio.Writer) error {
 			}
 			if err := memproto.WriteStat(w, prefix+"items", strconv.Itoa(sl.Items)); err != nil {
 				return err
+			}
+		}
+		// Per-shard counters make lock-stripe imbalance observable from the
+		// wire, mirroring memcached's stats conns/threads breakdowns.
+		for _, sh := range st.Shards {
+			prefix := "shard" + strconv.Itoa(sh.Shard) + ":"
+			for _, p := range []struct{ name, value string }{
+				{"items", strconv.Itoa(sh.Items)},
+				{"get_hits", strconv.FormatUint(sh.Hits, 10)},
+				{"get_misses", strconv.FormatUint(sh.Misses, 10)},
+				{"evictions", strconv.FormatUint(sh.Evictions, 10)},
+			} {
+				if err := memproto.WriteStat(w, prefix+p.name, p.value); err != nil {
+					return err
+				}
 			}
 		}
 		return memproto.WriteEnd(w)
