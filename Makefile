@@ -10,10 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
-## race: run the concurrency stress tests (and the rest of the cache/server
-## suites) under the race detector
+## race: run the concurrency stress tests under the race detector — the
+## data plane (cache/server) and the control plane (taskgroup/core/agent/
+## cluster), whose migration phases fan out across goroutines
 race:
-	$(GO) test -race ./internal/cache/... ./internal/server/...
+	$(GO) test -race ./internal/cache/... ./internal/server/... \
+		./internal/taskgroup/... ./internal/core/... ./internal/agent/... ./internal/cluster/...
 
 ## vet: run go vet across the module
 vet:

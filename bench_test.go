@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -436,16 +437,16 @@ func BenchmarkMigrationEndToEnd(b *testing.B) {
 				retiring := members[0]
 				retained := members[1:]
 				src, _ := reg.Get(retiring)
-				if err := src.SendMetadata(retained); err != nil {
+				if err := src.SendMetadata(context.Background(), retained); err != nil {
 					b.Fatal(err)
 				}
 				for _, tgt := range retained {
 					a, _ := reg.Get(tgt)
-					takes, err := a.ComputeTakes()
+					takes, err := a.ComputeTakes(context.Background())
 					if err != nil {
 						continue
 					}
-					if _, err := src.SendData(tgt, takes[retiring], retained); err != nil {
+					if _, err := src.SendData(context.Background(), tgt, takes[retiring], retained); err != nil {
 						b.Fatal(err)
 					}
 				}

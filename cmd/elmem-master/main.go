@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/agentrpc"
@@ -37,8 +40,19 @@ func run() error {
 		score    = flag.Bool("score", false, "print III-C node scores, coldest first")
 		scaleIn  = flag.Int("scale-in", 0, "retire this many coldest nodes with the ElMem migration")
 		scaleOut = flag.String("scale-out", "", "add nodes: name=host:port,... (already running)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole action after this long (0 = no limit)")
 	)
 	flag.Parse()
+
+	// Ctrl-C (or the timeout) aborts the migration before the membership
+	// flip; the cluster keeps serving under its old membership.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *nodes == "" {
 		return fmt.Errorf("-nodes is required")
@@ -57,7 +71,7 @@ func run() error {
 
 	switch {
 	case *score:
-		scores, err := master.ScoreNodes()
+		scores, err := master.ScoreNodes(ctx)
 		if err != nil {
 			return err
 		}
@@ -68,24 +82,22 @@ func run() error {
 		return nil
 
 	case *scaleIn > 0:
-		report, err := master.ScaleIn(*scaleIn)
-		if err != nil {
-			return err
+		report, err := master.ScaleIn(ctx, *scaleIn)
+		if report != nil {
+			printReport(report)
 		}
-		printReport(report)
-		return nil
+		return err
 
 	case *scaleOut != "":
 		added, err := registerAll(book, *scaleOut)
 		if err != nil {
 			return err
 		}
-		report, err := master.ScaleOut(added)
-		if err != nil {
-			return err
+		report, err := master.ScaleOut(ctx, added)
+		if report != nil {
+			printReport(report)
 		}
-		printReport(report)
-		return nil
+		return err
 
 	default:
 		return fmt.Errorf("one of -score, -scale-in, or -scale-out is required")
@@ -107,7 +119,10 @@ func registerAll(book *agentrpc.AddressBook, spec string) ([]string, error) {
 }
 
 func printReport(report *core.ScaleReport) {
-	fmt.Printf("direction=%s migrated=%d\n", report.Direction, report.ItemsMigrated)
+	fmt.Printf("direction=%s migrated=%d retries=%d\n", report.Direction, report.ItemsMigrated, report.Retries)
+	if report.Aborted != "" {
+		fmt.Printf("aborted_in_phase=%s\n", report.Aborted)
+	}
 	if len(report.Retiring) > 0 {
 		fmt.Printf("retired=%s\n", strings.Join(report.Retiring, ","))
 	}
@@ -117,5 +132,14 @@ func printReport(report *core.ScaleReport) {
 	fmt.Printf("members=%s\n", strings.Join(report.Members, ","))
 	for _, t := range report.Timings {
 		fmt.Printf("phase %s %v\n", t.Phase, t.Duration.Round(time.Microsecond))
+	}
+	for _, nt := range report.NodeTimings {
+		if nt.Target != "" {
+			fmt.Printf("  %s %s->%s %v attempts=%d\n", nt.Phase, nt.Node, nt.Target,
+				nt.Duration.Round(time.Microsecond), nt.Attempts)
+		} else {
+			fmt.Printf("  %s %s %v attempts=%d\n", nt.Phase, nt.Node,
+				nt.Duration.Round(time.Microsecond), nt.Attempts)
+		}
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -90,14 +91,14 @@ func run() error {
 
 		switch delta := decision.TargetNodes - len(box.Members()); {
 		case delta > 0:
-			report, err := box.ScaleOut(delta)
+			report, err := box.ScaleOut(context.Background(), delta)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("  scaled OUT +%d (migrated %d items); members now %d\n",
 				delta, report.ItemsMigrated, len(box.Members()))
 		case delta < 0:
-			report, err := box.ScaleIn(-delta)
+			report, err := box.ScaleIn(context.Background(), -delta)
 			if err != nil {
 				return err
 			}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -110,7 +111,7 @@ func run() error {
 	fmt.Printf("\nwarm tier hit rate: %.1f%% over %d requests\n", 100*float64(hits)/float64(total), total)
 
 	// Live scale-in: the Master scores, migrates, flips the client.
-	report, err := master.ScaleIn(1)
+	report, err := master.ScaleIn(context.Background(), 1)
 	if err != nil {
 		return err
 	}

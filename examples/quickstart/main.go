@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -68,7 +69,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	report, err := master.ScaleIn(1)
+	report, err := master.ScaleIn(context.Background(), 1)
 	if err != nil {
 		return err
 	}

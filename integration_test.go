@@ -93,7 +93,7 @@ func TestFullStackScaleInUnderLoad(t *testing.T) {
 	}()
 
 	time.Sleep(time.Second)
-	report, err := box.ScaleIn(1)
+	report, err := box.ScaleIn(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("live scale-in: %v", err)
 	}
@@ -180,7 +180,7 @@ func TestFullStackScaleOutUnderLoad(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	report, err := box.ScaleOut(1)
+	report, err := box.ScaleOut(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package agent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -33,14 +34,16 @@ var (
 	ErrNoMetadata = errors.New("agent: no metadata offers received")
 )
 
-// Peer is the receiving side of agent-to-agent communication.
+// Peer is the receiving side of agent-to-agent communication. Both
+// deliveries take the migration context: transports propagate its deadline
+// and cancellation to the wire.
 type Peer interface {
 	// OfferMetadata delivers phase-1 metadata from a retiring/existing
 	// node: per slab class, the sender's items that hash to this peer, in
 	// MRU order.
-	OfferMetadata(from string, metas map[int][]cache.ItemMeta) error
+	OfferMetadata(ctx context.Context, from string, metas map[int][]cache.ItemMeta) error
 	// ImportData delivers phase-3 KV pairs in MRU order (hottest first).
-	ImportData(from string, pairs []cache.KV) error
+	ImportData(ctx context.Context, from string, pairs []cache.KV) error
 }
 
 // Transport resolves peers by node name.
@@ -142,8 +145,9 @@ func (a *Agent) Node() string { return a.node }
 // Cache exposes the underlying store (tests and the node server use it).
 func (a *Agent) Cache() *cache.Cache { return a.cache }
 
-// Score answers the Master's III-C query.
-func (a *Agent) Score() ScoreReport {
+// Score answers the Master's III-C query. The context is accepted for
+// interface symmetry; the in-process computation is not interruptible.
+func (a *Agent) Score(_ context.Context) ScoreReport {
 	report := ScoreReport{
 		Node:    a.node,
 		Medians: make(map[int]int64),
@@ -160,8 +164,9 @@ func (a *Agent) Score() ScoreReport {
 
 // SendMetadata is phase 1, run on a retiring node: split every slab
 // class's MRU metadata by consistent-hash target over the retained
-// membership and push each split to its peer.
-func (a *Agent) SendMetadata(retained []string) error {
+// membership and push each split to its peer. Cancelling ctx aborts
+// between per-target pushes.
+func (a *Agent) SendMetadata(ctx context.Context, retained []string) error {
 	if len(retained) == 0 {
 		return errors.New("agent: no retained nodes to send metadata to")
 	}
@@ -172,6 +177,9 @@ func (a *Agent) SendMetadata(retained []string) error {
 	// One pass per target: the dump filter keeps only keys owned by it.
 	for _, target := range retained {
 		target := target
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("send metadata: %w", err)
+		}
 		metas := a.cache.DumpAll(func(key string) bool {
 			owner, err := ring.Get(key)
 			return err == nil && owner == target
@@ -183,7 +191,7 @@ func (a *Agent) SendMetadata(retained []string) error {
 		if err != nil {
 			return fmt.Errorf("send metadata to %s: %w", target, err)
 		}
-		if err := peer.OfferMetadata(a.node, metas); err != nil {
+		if err := peer.OfferMetadata(ctx, a.node, metas); err != nil {
 			return fmt.Errorf("send metadata to %s: %w", target, err)
 		}
 	}
@@ -191,7 +199,7 @@ func (a *Agent) SendMetadata(retained []string) error {
 }
 
 // OfferMetadata receives a phase-1 push (Peer implementation).
-func (a *Agent) OfferMetadata(from string, metas map[int][]cache.ItemMeta) error {
+func (a *Agent) OfferMetadata(_ context.Context, from string, metas map[int][]cache.ItemMeta) error {
 	if from == "" {
 		return errors.New("agent: metadata offer without sender")
 	}
@@ -207,8 +215,10 @@ type Takes map[string]map[int]int
 // ComputeTakes is phase 2, run on a retained node: for every slab class,
 // run FuseCache across the offered metadata lists plus the local list, and
 // return how many head items each sender should ship. The local list's
-// take is implicit — local items are already resident.
-func (a *Agent) ComputeTakes() (Takes, error) {
+// take is implicit — local items are already resident. On failure
+// (including ctx cancellation) the drained offers are restored so a retry
+// sees them again instead of silently reporting no metadata.
+func (a *Agent) ComputeTakes(ctx context.Context) (_ Takes, retErr error) {
 	a.mu.Lock()
 	offers := a.offers
 	a.offers = make(map[string]map[int][]cache.ItemMeta)
@@ -216,6 +226,18 @@ func (a *Agent) ComputeTakes() (Takes, error) {
 	if len(offers) == 0 {
 		return nil, ErrNoMetadata
 	}
+	defer func() {
+		if retErr == nil {
+			return
+		}
+		a.mu.Lock()
+		for sender, byClass := range offers {
+			if _, fresh := a.offers[sender]; !fresh {
+				a.offers[sender] = byClass
+			}
+		}
+		a.mu.Unlock()
+	}()
 
 	// Stable sender order for determinism.
 	senders := make([]string, 0, len(offers))
@@ -232,11 +254,21 @@ func (a *Agent) ComputeTakes() (Takes, error) {
 		}
 	}
 
+	// Sorted classes: deterministic work order and clean ctx abort points.
+	classes := make([]int, 0, len(classSet))
+	for classID := range classSet {
+		classes = append(classes, classID)
+	}
+	sort.Ints(classes)
+
 	out := make(Takes, len(senders))
 	for _, s := range senders {
 		out[s] = make(map[int]int)
 	}
-	for classID := range classSet {
+	for _, classID := range classes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("compute takes: %w", err)
+		}
 		// Build the k lists: senders first, own list last (Section IV-A).
 		lists := make([]fusecache.List, 0, len(senders)+1)
 		for _, s := range senders {
@@ -279,8 +311,10 @@ func metasToList(metas []cache.ItemMeta) fusecache.List {
 
 // SendData is phase 3, run on a retiring node: for the given target and
 // its per-class take counts, fetch the hottest matching KV pairs and push
-// them to the target for batch import.
-func (a *Agent) SendData(target string, takes map[int]int, retained []string) (int, error) {
+// them to the target for batch import. Cancelling ctx aborts between
+// batches; a retry is safe because the receiver's batch import keeps the
+// fresher copy of already-landed pairs.
+func (a *Agent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
 	if len(retained) == 0 {
 		return 0, errors.New("agent: no retained membership for data transfer")
 	}
@@ -312,7 +346,7 @@ func (a *Agent) SendData(target string, takes map[int]int, retained []string) (i
 	if err != nil {
 		return 0, fmt.Errorf("send data to %s: %w", target, err)
 	}
-	sent, err := a.pushBatched(peer, pairs)
+	sent, err := a.pushBatched(ctx, peer, pairs)
 	if err != nil {
 		return sent, fmt.Errorf("send data to %s: %w", target, err)
 	}
@@ -322,16 +356,20 @@ func (a *Agent) SendData(target string, takes map[int]int, retained []string) (i
 // pushBatched streams hottest-first pairs to a peer in bounded batches.
 // Batches go coldest-first: each ImportData prepends its batch at the MRU
 // head, so the last (hottest) batch must land last to keep the receiver's
-// list in recency order.
-func (a *Agent) pushBatched(peer Peer, pairs []cache.KV) (int, error) {
+// list in recency order. Cancelling ctx aborts between batches, so an
+// aborted migration stops moving data promptly.
+func (a *Agent) pushBatched(ctx context.Context, peer Peer, pairs []cache.KV) (int, error) {
 	sent := 0
 	for end := len(pairs); end > 0; end -= a.batchSize {
+		if err := ctx.Err(); err != nil {
+			return sent, err
+		}
 		start := end - a.batchSize
 		if start < 0 {
 			start = 0
 		}
 		batch := pairs[start:end]
-		if err := peer.ImportData(a.node, batch); err != nil {
+		if err := peer.ImportData(ctx, a.node, batch); err != nil {
 			return sent, err
 		}
 		sent += len(batch)
@@ -343,7 +381,7 @@ func (a *Agent) pushBatched(peer Peer, pairs []cache.KV) (int, error) {
 // hottest-first per class, so reverse import ends with the hottest at the
 // MRU head. Pairs that cannot obtain a chunk are dropped, as a real
 // memcached set fails under slab exhaustion.
-func (a *Agent) ImportData(_ string, pairs []cache.KV) error {
+func (a *Agent) ImportData(_ context.Context, _ string, pairs []cache.KV) error {
 	_, err := a.cache.BatchImport(pairs, true)
 	return err
 }
@@ -357,7 +395,7 @@ func (a *Agent) ImportData(_ string, pairs []cache.KV) error {
 // so the moved set normally fits; in the paper's "rare case" that it would
 // exceed the new node's memory, FuseCache picks the top pairs instead
 // (keepTop applies the per-class cap in MRU order).
-func (a *Agent) HashSplit(newMembers []string, fullMembership []string) (int, error) {
+func (a *Agent) HashSplit(ctx context.Context, newMembers []string, fullMembership []string) (int, error) {
 	if len(newMembers) == 0 {
 		return 0, nil
 	}
@@ -420,11 +458,14 @@ func (a *Agent) HashSplit(newMembers []string, fullMembership []string) (int, er
 	}
 	sort.Strings(targets)
 	for _, tgt := range targets {
+		if err := ctx.Err(); err != nil {
+			return migrated, fmt.Errorf("hash split: %w", err)
+		}
 		peer, err := a.transport.Peer(tgt)
 		if err != nil {
 			return migrated, fmt.Errorf("hash split to %s: %w", tgt, err)
 		}
-		if _, err := a.pushBatched(peer, outgoing[tgt]); err != nil {
+		if _, err := a.pushBatched(ctx, peer, outgoing[tgt]); err != nil {
 			return migrated, fmt.Errorf("hash split to %s: %w", tgt, err)
 		}
 		for _, kv := range outgoing[tgt] {

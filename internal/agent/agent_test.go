@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -69,7 +70,7 @@ func TestScoreReport(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rep := a.Score()
+	rep := a.Score(context.Background())
 	if rep.Node != "n1" {
 		t.Fatalf("Node = %q", rep.Node)
 	}
@@ -135,7 +136,7 @@ func TestThreePhaseMigration(t *testing.T) {
 	retained := []string{"r1", "r2"}
 
 	// Phase 1.
-	if err := retiring.SendMetadata(retained); err != nil {
+	if err := retiring.SendMetadata(context.Background(), retained); err != nil {
 		t.Fatal(err)
 	}
 	if r1.PendingOffers() != 1 || r2.PendingOffers() != 1 {
@@ -143,11 +144,11 @@ func TestThreePhaseMigration(t *testing.T) {
 	}
 
 	// Phase 2.
-	takes1, err := r1.ComputeTakes()
+	takes1, err := r1.ComputeTakes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	takes2, err := r2.ComputeTakes()
+	takes2, err := r2.ComputeTakes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestThreePhaseMigration(t *testing.T) {
 	}
 
 	// Phase 3.
-	sent1, err := retiring.SendData("r1", takes1["retiring"], retained)
+	sent1, err := retiring.SendData(context.Background(), "r1", takes1["retiring"], retained)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sent2, err := retiring.SendData("r2", takes2["retiring"], retained)
+	sent2, err := retiring.SendData(context.Background(), "r2", takes2["retiring"], retained)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestComputeTakesNoOffers(t *testing.T) {
 	reg := NewRegistry()
 	clk := newTestClock()
 	a := newNode(t, reg, "n1", 1, clk)
-	if _, err := a.ComputeTakes(); !errors.Is(err, ErrNoMetadata) {
+	if _, err := a.ComputeTakes(context.Background()); !errors.Is(err, ErrNoMetadata) {
 		t.Fatalf("err = %v, want ErrNoMetadata", err)
 	}
 }
@@ -220,10 +221,10 @@ func TestComputeTakesClearsOffers(t *testing.T) {
 	retiring := newNode(t, reg, "retiring", 1, clk)
 	r1 := newNode(t, reg, "r1", 1, clk)
 	populate(t, retiring, 50)
-	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r1.ComputeTakes(); err != nil {
+	if _, err := r1.ComputeTakes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if r1.PendingOffers() != 0 {
@@ -249,10 +250,10 @@ func TestMigrationSelectsHottest(t *testing.T) {
 	}
 	populate(t, retiring, 200) // all set later → hotter timestamps
 
-	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); err != nil {
 		t.Fatal(err)
 	}
-	takes, err := r1.ComputeTakes()
+	takes, err := r1.ComputeTakes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestMigrationSelectsHottest(t *testing.T) {
 	if total != 200 {
 		t.Fatalf("takes = %d, want all 200 hotter items", total)
 	}
-	if _, err := retiring.SendData("r1", takes["retiring"], []string{"r1"}); err != nil {
+	if _, err := retiring.SendData(context.Background(), "r1", takes["retiring"], []string{"r1"}); err != nil {
 		t.Fatal(err)
 	}
 	// All migrated keys resident; cache still at capacity; the receiver's
@@ -303,10 +304,10 @@ func TestMigrationRespectsCapacityWhenSendersColder(t *testing.T) {
 		}
 	}
 
-	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); err != nil {
 		t.Fatal(err)
 	}
-	takes, err := r1.ComputeTakes()
+	takes, err := r1.ComputeTakes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestSendMetadataEmptyRetained(t *testing.T) {
 	reg := NewRegistry()
 	clk := newTestClock()
 	a := newNode(t, reg, "n1", 1, clk)
-	if err := a.SendMetadata(nil); err == nil {
+	if err := a.SendMetadata(context.Background(), nil); err == nil {
 		t.Fatal("want error for empty retained membership")
 	}
 }
@@ -334,7 +335,7 @@ func TestSendDataUnknownPeer(t *testing.T) {
 	a := newNode(t, reg, "n1", 1, clk)
 	populate(t, a, 10)
 	classes := a.Cache().PopulatedClasses()
-	_, err := a.SendData("ghost", map[int]int{classes[0]: 5}, []string{"ghost"})
+	_, err := a.SendData(context.Background(), "ghost", map[int]int{classes[0]: 5}, []string{"ghost"})
 	if !errors.Is(err, ErrUnknownPeer) {
 		t.Fatalf("err = %v, want ErrUnknownPeer", err)
 	}
@@ -375,7 +376,7 @@ func TestHashSplitScaleOut(t *testing.T) {
 	full := []string{"e1", "e2", "e3", "new1"}
 	migrated := 0
 	for _, a := range existing {
-		n, err := a.HashSplit([]string{"new1"}, full)
+		n, err := a.HashSplit(context.Background(), []string{"new1"}, full)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -418,7 +419,7 @@ func TestHashSplitNoNewMembers(t *testing.T) {
 	clk := newTestClock()
 	a := newNode(t, reg, "n1", 1, clk)
 	populate(t, a, 10)
-	n, err := a.HashSplit(nil, []string{"n1"})
+	n, err := a.HashSplit(context.Background(), nil, []string{"n1"})
 	if err != nil || n != 0 {
 		t.Fatalf("HashSplit(nil) = %d, %v; want 0, nil", n, err)
 	}
@@ -431,7 +432,7 @@ func TestHashSplitPreservesRecency(t *testing.T) {
 	populate(t, e1, 300)
 	n1 := newNode(t, reg, "new1", 2, clk)
 	full := []string{"e1", "new1"}
-	if _, err := e1.HashSplit([]string{"new1"}, full); err != nil {
+	if _, err := e1.HashSplit(context.Background(), []string{"new1"}, full); err != nil {
 		t.Fatal(err)
 	}
 	// Migrated items must carry their original timestamps.
@@ -452,7 +453,7 @@ func TestOfferMetadataRejectsEmptySender(t *testing.T) {
 	reg := NewRegistry()
 	clk := newTestClock()
 	a := newNode(t, reg, "n1", 1, clk)
-	if err := a.OfferMetadata("", nil); err == nil {
+	if err := a.OfferMetadata(context.Background(), "", nil); err == nil {
 		t.Fatal("want error for empty sender")
 	}
 }
@@ -474,7 +475,7 @@ func TestHashSplitCapsAtTargetShare(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	moved, err := e1.HashSplit([]string{"new1"}, []string{"e1", "new1"})
+	moved, err := e1.HashSplit(context.Background(), []string{"new1"}, []string{"e1", "new1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +505,7 @@ func TestHashSplitPrefixIsHottest(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	moved, err := e1.HashSplit([]string{"new1"}, []string{"e1", "e2", "new1"})
+	moved, err := e1.HashSplit(context.Background(), []string{"new1"}, []string{"e1", "e2", "new1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -553,13 +554,13 @@ func (c *countingTransport) Peer(node string) (Peer, error) {
 	return &countingPeer{inner: p, t: c}, nil
 }
 
-func (p *countingPeer) OfferMetadata(from string, metas map[int][]cache.ItemMeta) error {
-	return p.inner.OfferMetadata(from, metas)
+func (p *countingPeer) OfferMetadata(ctx context.Context, from string, metas map[int][]cache.ItemMeta) error {
+	return p.inner.OfferMetadata(ctx, from, metas)
 }
 
-func (p *countingPeer) ImportData(from string, pairs []cache.KV) error {
+func (p *countingPeer) ImportData(ctx context.Context, from string, pairs []cache.KV) error {
 	p.t.imports++
-	return p.inner.ImportData(from, pairs)
+	return p.inner.ImportData(ctx, from, pairs)
 }
 
 // TestSendDataBatchesPreserveMRUOrder: with a small batch size, migration
@@ -581,14 +582,14 @@ func TestSendDataBatchesPreserveMRUOrder(t *testing.T) {
 	r1 := newNode(t, reg, "r1", 2, clk)
 	populate(t, retiring, 100)
 
-	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); err != nil {
 		t.Fatal(err)
 	}
-	takes, err := r1.ComputeTakes()
+	takes, err := r1.ComputeTakes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sent, err := retiring.SendData("r1", takes["retiring"], []string{"r1"})
+	sent, err := retiring.SendData(context.Background(), "r1", takes["retiring"], []string{"r1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -628,7 +629,7 @@ func TestHashSplitBatches(t *testing.T) {
 	n1 := newNode(t, reg, "new1", 2, clk)
 	populate(t, e1, 300)
 
-	moved, err := e1.HashSplit([]string{"new1"}, []string{"e1", "new1"})
+	moved, err := e1.HashSplit(context.Background(), []string{"new1"}, []string{"e1", "new1"})
 	if err != nil {
 		t.Fatal(err)
 	}

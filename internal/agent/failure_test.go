@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -36,20 +37,20 @@ func (f *flakyTransport) Peer(node string) (Peer, error) {
 	return &flakyPeer{inner: p, t: f}, nil
 }
 
-func (p *flakyPeer) OfferMetadata(from string, metas map[int][]cache.ItemMeta) error {
+func (p *flakyPeer) OfferMetadata(ctx context.Context, from string, metas map[int][]cache.ItemMeta) error {
 	if p.t.failOffers > 0 {
 		p.t.failOffers--
 		return errInjected
 	}
-	return p.inner.OfferMetadata(from, metas)
+	return p.inner.OfferMetadata(ctx, from, metas)
 }
 
-func (p *flakyPeer) ImportData(from string, pairs []cache.KV) error {
+func (p *flakyPeer) ImportData(ctx context.Context, from string, pairs []cache.KV) error {
 	if p.t.failImport > 0 {
 		p.t.failImport--
 		return errInjected
 	}
-	return p.inner.ImportData(from, pairs)
+	return p.inner.ImportData(ctx, from, pairs)
 }
 
 // newFlakyNode builds an agent whose outbound transport is flaky while it
@@ -76,11 +77,11 @@ func TestSendMetadataSurfacesPeerFailure(t *testing.T) {
 	newNode(t, reg, "r1", 1, clk)
 	populate(t, retiring, 50)
 
-	if err := retiring.SendMetadata([]string{"r1"}); !errors.Is(err, errInjected) {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
 	// After recovery the same call succeeds — no corrupted state.
-	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); err != nil {
 		t.Fatalf("retry failed: %v", err)
 	}
 }
@@ -93,13 +94,13 @@ func TestSendMetadataSurfacesDeliveryFailure(t *testing.T) {
 	r1 := newNode(t, reg, "r1", 1, clk)
 	populate(t, retiring, 50)
 
-	if err := retiring.SendMetadata([]string{"r1"}); !errors.Is(err, errInjected) {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
 	if r1.PendingOffers() != 0 {
 		t.Fatal("failed delivery left a partial offer")
 	}
-	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); err != nil {
 		t.Fatalf("retry failed: %v", err)
 	}
 	if r1.PendingOffers() != 1 {
@@ -115,14 +116,14 @@ func TestSendDataSurfacesImportFailure(t *testing.T) {
 	r1 := newNode(t, reg, "r1", 1, clk)
 	populate(t, retiring, 50)
 
-	if err := retiring.SendMetadata([]string{"r1"}); err != nil {
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); err != nil {
 		t.Fatal(err)
 	}
-	takes, err := r1.ComputeTakes()
+	takes, err := r1.ComputeTakes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := retiring.SendData("r1", takes["retiring"], []string{"r1"}); !errors.Is(err, errInjected) {
+	if _, err := retiring.SendData(context.Background(), "r1", takes["retiring"], []string{"r1"}); !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
 	// The source still holds its data: a failed phase 3 loses nothing.
@@ -130,7 +131,7 @@ func TestSendDataSurfacesImportFailure(t *testing.T) {
 		t.Fatalf("source lost data on failed send: %d", retiring.Cache().Len())
 	}
 	// Retry works (idempotent import).
-	sent, err := retiring.SendData("r1", takes["retiring"], []string{"r1"})
+	sent, err := retiring.SendData(context.Background(), "r1", takes["retiring"], []string{"r1"})
 	if err != nil || sent != 50 {
 		t.Fatalf("retry = %d, %v", sent, err)
 	}
@@ -151,7 +152,7 @@ func TestHashSplitSurfacesFailureAndStaysConsistent(t *testing.T) {
 	populate(t, e1, 200)
 
 	before := e1.Cache().Len()
-	_, err := e1.HashSplit([]string{"new1"}, []string{"e1", "new1"})
+	_, err := e1.HashSplit(context.Background(), []string{"new1"}, []string{"e1", "new1"})
 	if !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
@@ -160,7 +161,7 @@ func TestHashSplitSurfacesFailureAndStaysConsistent(t *testing.T) {
 		t.Fatalf("source dropped items on failed split: %d → %d", before, e1.Cache().Len())
 	}
 	// Retry completes the move.
-	moved, err := e1.HashSplit([]string{"new1"}, []string{"e1", "new1"})
+	moved, err := e1.HashSplit(context.Background(), []string{"new1"}, []string{"e1", "new1"})
 	if err != nil {
 		t.Fatal(err)
 	}

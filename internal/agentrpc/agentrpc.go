@@ -13,6 +13,7 @@ package agentrpc
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/taskgroup"
 )
 
 // Op names one RPC operation.
@@ -48,6 +50,10 @@ var ErrRemote = errors.New("agentrpc: remote error")
 // request is one wire frame from caller to agent.
 type request struct {
 	Op Op `json:"op"`
+
+	// TimeoutMS carries the caller's remaining context deadline so the
+	// remote agent bounds its own work; 0 means no deadline.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
 
 	// SendMetadata / SendData share Retained.
 	Retained []string `json:"retained,omitempty"`
@@ -171,40 +177,49 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req *request) *response {
+	// Rebuild the caller's deadline from the wire so the agent's own loops
+	// (per-target pushes, per-batch transfers) stop when the Master's phase
+	// budget is spent, even though TCP cannot carry a live cancel signal.
+	ctx := context.Background()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
 	switch req.Op {
 	case OpScore:
-		rep := s.agent.Score()
+		rep := s.agent.Score(ctx)
 		return &response{OK: true, Score: &rep}
 	case OpSendMetadata:
-		if err := s.agent.SendMetadata(req.Retained); err != nil {
+		if err := s.agent.SendMetadata(ctx, req.Retained); err != nil {
 			return errResponse(err)
 		}
 		return &response{OK: true}
 	case OpComputeTakes:
-		takes, err := s.agent.ComputeTakes()
+		takes, err := s.agent.ComputeTakes(ctx)
 		if err != nil {
 			return errResponse(err)
 		}
 		return &response{OK: true, Takes: takes}
 	case OpSendData:
-		sent, err := s.agent.SendData(req.Target, req.Takes, req.Retained)
+		sent, err := s.agent.SendData(ctx, req.Target, req.Takes, req.Retained)
 		if err != nil {
 			return errResponse(err)
 		}
 		return &response{OK: true, Sent: sent}
 	case OpHashSplit:
-		sent, err := s.agent.HashSplit(req.NewMembers, req.Full)
+		sent, err := s.agent.HashSplit(ctx, req.NewMembers, req.Full)
 		if err != nil {
 			return errResponse(err)
 		}
 		return &response{OK: true, Sent: sent}
 	case OpOfferMetadata:
-		if err := s.agent.OfferMetadata(req.From, req.Metas); err != nil {
+		if err := s.agent.OfferMetadata(ctx, req.From, req.Metas); err != nil {
 			return errResponse(err)
 		}
 		return &response{OK: true}
 	case OpImportData:
-		if err := s.agent.ImportData(req.From, req.Pairs); err != nil {
+		if err := s.agent.ImportData(ctx, req.From, req.Pairs); err != nil {
 			return errResponse(err)
 		}
 		return &response{OK: true}
@@ -249,8 +264,16 @@ func (c *Client) Close() {
 	}
 }
 
-// call performs one serialized RPC round trip.
-func (c *Client) call(req *request) (*response, error) {
+// call performs one serialized RPC round trip. The context's deadline is
+// propagated on the wire (TimeoutMS) and applied to the connection; live
+// cancellation closes the connection so a blocked read aborts immediately.
+// Transport failures come back retryable; errors the remote agent itself
+// reported are marked taskgroup.Permanent, because the operation executed
+// and failed deterministically.
+func (c *Client) call(ctx context.Context, req *request) (*response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
@@ -262,17 +285,40 @@ func (c *Client) call(req *request) (*response, error) {
 		c.dec = json.NewDecoder(bufio.NewReaderSize(conn, 1<<20))
 		c.enc = json.NewEncoder(conn)
 	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(deadline); remaining > 0 {
+			req.TimeoutMS = int64(remaining / time.Millisecond)
+		}
+		_ = c.conn.SetDeadline(deadline)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	// Unblock the round trip on cancellation by closing the socket: the
+	// pending Encode/Decode fails and the connection is redialled later.
+	conn := c.conn
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer func() {
+		if !stop() {
+			c.dropLocked()
+		}
+	}()
 	if err := c.enc.Encode(req); err != nil {
 		c.dropLocked()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("agentrpc: send to %s: %w", c.addr, err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
 		c.dropLocked()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("agentrpc: recv from %s: %w", c.addr, err)
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+		return nil, taskgroup.Permanent(fmt.Errorf("%w: %s", ErrRemote, resp.Error))
 	}
 	return &resp, nil
 }
@@ -285,8 +331,8 @@ func (c *Client) dropLocked() {
 }
 
 // Score implements core.MasterAgent.
-func (c *Client) Score() agent.ScoreReport {
-	resp, err := c.call(&request{Op: OpScore})
+func (c *Client) Score(ctx context.Context) agent.ScoreReport {
+	resp, err := c.call(ctx, &request{Op: OpScore})
 	if err != nil || resp.Score == nil {
 		return agent.ScoreReport{Node: c.node}
 	}
@@ -294,14 +340,14 @@ func (c *Client) Score() agent.ScoreReport {
 }
 
 // SendMetadata implements core.MasterAgent.
-func (c *Client) SendMetadata(retained []string) error {
-	_, err := c.call(&request{Op: OpSendMetadata, Retained: retained})
+func (c *Client) SendMetadata(ctx context.Context, retained []string) error {
+	_, err := c.call(ctx, &request{Op: OpSendMetadata, Retained: retained})
 	return err
 }
 
 // ComputeTakes implements core.MasterAgent.
-func (c *Client) ComputeTakes() (agent.Takes, error) {
-	resp, err := c.call(&request{Op: OpComputeTakes})
+func (c *Client) ComputeTakes(ctx context.Context) (agent.Takes, error) {
+	resp, err := c.call(ctx, &request{Op: OpComputeTakes})
 	if err != nil {
 		// Map the remote no-metadata condition back onto the sentinel so
 		// the Master's errors.Is handling works across the wire.
@@ -318,8 +364,8 @@ func containsNoMetadata(err error) bool {
 }
 
 // SendData implements core.MasterAgent.
-func (c *Client) SendData(target string, takes map[int]int, retained []string) (int, error) {
-	resp, err := c.call(&request{Op: OpSendData, Target: target, Takes: takes, Retained: retained})
+func (c *Client) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
+	resp, err := c.call(ctx, &request{Op: OpSendData, Target: target, Takes: takes, Retained: retained})
 	if err != nil {
 		return 0, err
 	}
@@ -327,8 +373,8 @@ func (c *Client) SendData(target string, takes map[int]int, retained []string) (
 }
 
 // HashSplit implements core.MasterAgent.
-func (c *Client) HashSplit(newMembers, fullMembership []string) (int, error) {
-	resp, err := c.call(&request{Op: OpHashSplit, NewMembers: newMembers, Full: fullMembership})
+func (c *Client) HashSplit(ctx context.Context, newMembers, fullMembership []string) (int, error) {
+	resp, err := c.call(ctx, &request{Op: OpHashSplit, NewMembers: newMembers, Full: fullMembership})
 	if err != nil {
 		return 0, err
 	}
@@ -336,14 +382,14 @@ func (c *Client) HashSplit(newMembers, fullMembership []string) (int, error) {
 }
 
 // OfferMetadata implements agent.Peer.
-func (c *Client) OfferMetadata(from string, metas map[int][]cache.ItemMeta) error {
-	_, err := c.call(&request{Op: OpOfferMetadata, From: from, Metas: metas})
+func (c *Client) OfferMetadata(ctx context.Context, from string, metas map[int][]cache.ItemMeta) error {
+	_, err := c.call(ctx, &request{Op: OpOfferMetadata, From: from, Metas: metas})
 	return err
 }
 
 // ImportData implements agent.Peer.
-func (c *Client) ImportData(from string, pairs []cache.KV) error {
-	_, err := c.call(&request{Op: OpImportData, From: from, Pairs: pairs})
+func (c *Client) ImportData(ctx context.Context, from string, pairs []cache.KV) error {
+	_, err := c.call(ctx, &request{Op: OpImportData, From: from, Pairs: pairs})
 	return err
 }
 

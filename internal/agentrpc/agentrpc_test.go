@@ -1,6 +1,7 @@
 package agentrpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -80,7 +81,7 @@ func TestScoreOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := cl.Score()
+	rep := cl.Score(context.Background())
 	if rep.Node != "n1" || rep.Items != 25 {
 		t.Fatalf("score = %+v", rep)
 	}
@@ -103,7 +104,7 @@ func TestThreePhaseMigrationOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := retClient.SendMetadata(retained); err != nil {
+	if err := retClient.SendMetadata(context.Background(), retained); err != nil {
 		t.Fatal(err)
 	}
 
@@ -113,11 +114,11 @@ func TestThreePhaseMigrationOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		takes, err := cl.ComputeTakes()
+		takes, err := cl.ComputeTakes(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		sent, err := retClient.SendData(name, takes["retiring"], retained)
+		sent, err := retClient.SendData(context.Background(), name, takes["retiring"], retained)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func TestComputeTakesNoMetadataSentinelOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.ComputeTakes(); !errors.Is(err, agent.ErrNoMetadata) {
+	if _, err := cl.ComputeTakes(context.Background()); !errors.Is(err, agent.ErrNoMetadata) {
 		t.Fatalf("err = %v, want agent.ErrNoMetadata across the wire", err)
 	}
 }
@@ -170,7 +171,7 @@ func TestHashSplitOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	moved, err := cl.HashSplit([]string{"new1"}, []string{"e1", "new1"})
+	moved, err := cl.HashSplit(context.Background(), []string{"new1"}, []string{"e1", "new1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestMasterOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := m.ScaleIn(1)
+	report, err := m.ScaleIn(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := cl.Score(); rep.Items != 5 {
+	if rep := cl.Score(context.Background()); rep.Items != 5 {
 		t.Fatalf("pre-restart score = %+v", rep)
 	}
 	// Restart the server on a new port and re-register.
@@ -283,7 +284,7 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := cl2.Score(); rep.Items != 5 {
+	if rep := cl2.Score(context.Background()); rep.Items != 5 {
 		t.Fatalf("post-restart score = %+v", rep)
 	}
 }
@@ -298,7 +299,7 @@ func TestRemoteErrorWrapped(t *testing.T) {
 		t.Fatal(err)
 	}
 	// SendMetadata with an empty retained set errors remotely.
-	if err := cl.SendMetadata(nil); !errors.Is(err, ErrRemote) {
+	if err := cl.SendMetadata(context.Background(), nil); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote", err)
 	}
 }
@@ -319,7 +320,7 @@ func TestConcurrentRPCs(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				if rep := cl.Score(); rep.Items != 100 {
+				if rep := cl.Score(context.Background()); rep.Items != 100 {
 					t.Errorf("score = %+v", rep)
 					return
 				}

@@ -6,6 +6,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -157,7 +158,12 @@ func (c *Cluster) Owner(key string) (string, error) {
 
 // Get fetches one key. A miss returns (nil, false, nil).
 func (c *Cluster) Get(key string) ([]byte, bool, error) {
-	values, err := c.MultiGet([]string{key})
+	return c.GetContext(context.Background(), key)
+}
+
+// GetContext is Get bounded by ctx's deadline.
+func (c *Cluster) GetContext(ctx context.Context, key string) ([]byte, bool, error) {
+	values, err := c.MultiGetContext(ctx, []string{key})
 	if err != nil {
 		return nil, false, err
 	}
@@ -169,8 +175,17 @@ func (c *Cluster) Get(key string) ([]byte, bool, error) {
 // mirroring libmemcached's multi-get (Section V-A). Missing keys are
 // simply absent from the result.
 func (c *Cluster) MultiGet(keys []string) (map[string][]byte, error) {
+	return c.MultiGetContext(context.Background(), keys)
+}
+
+// MultiGetContext is MultiGet bounded by ctx's deadline; per-owner fetches
+// still fan out concurrently.
+func (c *Cluster) MultiGetContext(ctx context.Context, keys []string) (map[string][]byte, error) {
 	if len(keys) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	byOwner := make(map[string][]string)
 	for _, key := range keys {
@@ -196,7 +211,7 @@ func (c *Cluster) MultiGet(keys []string) (map[string][]byte, error) {
 		wg.Add(1)
 		go func(i int, owner string) {
 			defer wg.Done()
-			values, err := c.getFromNode(owner, byOwner[owner])
+			values, err := c.getFromNode(ctx, owner, byOwner[owner])
 			results[i] = result{values: values, err: err}
 		}(i, owner)
 	}
@@ -216,11 +231,16 @@ func (c *Cluster) MultiGet(keys []string) (map[string][]byte, error) {
 
 // Set stores the value on the key's owner node.
 func (c *Cluster) Set(key string, value []byte) error {
+	return c.SetContext(context.Background(), key, value)
+}
+
+// SetContext is Set bounded by ctx's deadline.
+func (c *Cluster) SetContext(ctx context.Context, key string, value []byte) error {
 	owner, err := c.Owner(key)
 	if err != nil {
 		return err
 	}
-	return c.withConn(owner, func(conn *poolConn) error {
+	return c.withConnCtx(ctx, owner, func(conn *poolConn) error {
 		if err := conn.write(memproto.FormatSet(key, 0, 0, value, false)); err != nil {
 			return err
 		}
@@ -238,12 +258,17 @@ func (c *Cluster) Set(key string, value []byte) error {
 // Delete removes the key from its owner node; deleting a missing key is
 // not an error and returns false.
 func (c *Cluster) Delete(key string) (bool, error) {
+	return c.DeleteContext(context.Background(), key)
+}
+
+// DeleteContext is Delete bounded by ctx's deadline.
+func (c *Cluster) DeleteContext(ctx context.Context, key string) (bool, error) {
 	owner, err := c.Owner(key)
 	if err != nil {
 		return false, err
 	}
 	deleted := false
-	err = c.withConn(owner, func(conn *poolConn) error {
+	err = c.withConnCtx(ctx, owner, func(conn *poolConn) error {
 		if err := conn.write(memproto.FormatDelete(key, false)); err != nil {
 			return err
 		}
@@ -305,9 +330,9 @@ func (c *Cluster) Close() {
 }
 
 // getFromNode issues one multi-get to a node.
-func (c *Cluster) getFromNode(addr string, keys []string) (map[string][]byte, error) {
+func (c *Cluster) getFromNode(ctx context.Context, addr string, keys []string) (map[string][]byte, error) {
 	var values map[string][]byte
-	err := c.withConn(addr, func(conn *poolConn) error {
+	err := c.withConnCtx(ctx, addr, func(conn *poolConn) error {
 		if err := conn.write(memproto.FormatGet(keys)); err != nil {
 			return err
 		}
@@ -321,6 +346,16 @@ func (c *Cluster) getFromNode(addr string, keys []string) (map[string][]byte, er
 // withConn runs fn with a pooled connection to addr, discarding the
 // connection on error.
 func (c *Cluster) withConn(addr string, fn func(*poolConn) error) error {
+	return c.withConnCtx(context.Background(), addr, fn)
+}
+
+// withConnCtx is withConn under a context: the connection deadline is the
+// tighter of the op timeout and ctx's deadline, and live cancellation
+// closes the connection so a blocked exchange aborts immediately.
+func (c *Cluster) withConnCtx(ctx context.Context, addr string, fn func(*poolConn) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p, err := c.pool(addr)
 	if err != nil {
 		return err
@@ -329,11 +364,21 @@ func (c *Cluster) withConn(addr string, fn func(*poolConn) error) error {
 	if err != nil {
 		return err
 	}
+	var deadline time.Time
 	if c.opTimeout > 0 {
-		_ = conn.nc.SetDeadline(time.Now().Add(c.opTimeout))
+		deadline = time.Now().Add(c.opTimeout)
 	}
-	if err := fn(conn); err != nil {
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	_ = conn.nc.SetDeadline(deadline)
+	stop := context.AfterFunc(ctx, func() { _ = conn.nc.Close() })
+	err = fn(conn)
+	if !stop() || err != nil {
 		conn.discard()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
 		return err
 	}
 	p.put(conn)

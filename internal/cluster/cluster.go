@@ -9,6 +9,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -187,20 +188,22 @@ func (c *Cluster) Node(name string) (*cache.Cache, error) {
 }
 
 // ScaleIn retires x nodes with the full ElMem migration and shuts them
-// down; the client's membership follows automatically.
-func (c *Cluster) ScaleIn(x int) (*core.ScaleReport, error) {
+// down; the client's membership follows automatically. Cancelling ctx
+// aborts the migration before the membership flip.
+func (c *Cluster) ScaleIn(ctx context.Context, x int) (*core.ScaleReport, error) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
 		return nil, ErrClosed
 	}
-	return c.master.ScaleIn(x)
+	return c.master.ScaleIn(ctx, x)
 }
 
 // ScaleOut boots x fresh nodes, migrates their hash share to them, and
-// flips the membership.
-func (c *Cluster) ScaleOut(x int) (*core.ScaleReport, error) {
+// flips the membership. On migration failure the freshly booted nodes are
+// torn down again so the cluster returns to its pre-call state.
+func (c *Cluster) ScaleOut(ctx context.Context, x int) (*core.ScaleReport, error) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
@@ -218,7 +221,13 @@ func (c *Cluster) ScaleOut(x int) (*core.ScaleReport, error) {
 		}
 		added = append(added, n.name)
 	}
-	return c.master.ScaleOut(added)
+	report, err := c.master.ScaleOut(ctx, added)
+	if err != nil {
+		for _, name := range added {
+			_ = c.stopNode(name)
+		}
+	}
+	return report, err
 }
 
 // TotalItems sums resident items across members.

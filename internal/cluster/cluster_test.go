@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestScaleInPreservesDataAndFlipsClient(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	report, err := c.ScaleIn(1)
+	report, err := c.ScaleIn(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestScaleOutAddsServingNode(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	report, err := c.ScaleOut(1)
+	report, err := c.ScaleOut(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,10 +123,10 @@ func TestScaleRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.ScaleIn(1); err != nil {
+	if _, err := c.ScaleIn(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ScaleOut(1); err != nil {
+	if _, err := c.ScaleOut(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(c.Members()); got != 3 {
@@ -144,10 +145,10 @@ func TestClosedClusterRejectsOps(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ScaleIn(1); err != ErrClosed {
+	if _, err := c.ScaleIn(context.Background(), 1); err != ErrClosed {
 		t.Fatalf("ScaleIn on closed = %v, want ErrClosed", err)
 	}
-	if _, err := c.ScaleOut(1); err != ErrClosed {
+	if _, err := c.ScaleOut(context.Background(), 1); err != ErrClosed {
 		t.Fatalf("ScaleOut on closed = %v, want ErrClosed", err)
 	}
 	if err := c.Close(); err != nil {
@@ -157,7 +158,7 @@ func TestClosedClusterRejectsOps(t *testing.T) {
 
 func TestScaleOutValidation(t *testing.T) {
 	c := startTest(t, 2)
-	if _, err := c.ScaleOut(0); err == nil {
+	if _, err := c.ScaleOut(context.Background(), 0); err == nil {
 		t.Fatal("ScaleOut(0) succeeded")
 	}
 }

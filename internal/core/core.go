@@ -4,12 +4,20 @@
 // three-phase pre-scaling data migration (Section III-D), and flips the
 // client-visible membership once migration completes.
 //
+// Migration is orchestrated as a concurrent, context-aware pipeline: the
+// phase barriers of the paper are kept (phase k+1 starts only after every
+// node finished phase k), but inside each phase the per-node operations fan
+// out concurrently under a worker bound, with bounded retry for transient
+// RPC failures and fail-fast cancellation — one terminal failure cancels
+// all in-flight work before the membership flip.
+//
 // The Master is transport-agnostic: it drives agents through the
 // MasterAgent interface, satisfied in-process by *agent.Agent and over TCP
 // by the agentrpc client.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -17,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/taskgroup"
 )
 
 var (
@@ -27,20 +36,23 @@ var (
 	ErrBadScale = errors.New("core: invalid scaling request")
 )
 
-// MasterAgent is the Master's view of one node's Agent.
+// MasterAgent is the Master's view of one node's Agent. Every operation
+// takes the orchestration context: implementations must observe
+// cancellation (abort between batches, propagate deadlines to the wire)
+// so a failed migration stops moving data before the membership flip.
 type MasterAgent interface {
 	// Node returns the agent's node name.
 	Node() string
 	// Score answers the III-C scoring query.
-	Score() agent.ScoreReport
+	Score(ctx context.Context) agent.ScoreReport
 	// SendMetadata runs migration phase 1 on a retiring node.
-	SendMetadata(retained []string) error
+	SendMetadata(ctx context.Context, retained []string) error
 	// ComputeTakes runs migration phase 2 on a retained node.
-	ComputeTakes() (agent.Takes, error)
+	ComputeTakes(ctx context.Context) (agent.Takes, error)
 	// SendData runs migration phase 3 on a retiring node.
-	SendData(target string, takes map[int]int, retained []string) (int, error)
+	SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error)
 	// HashSplit runs the scale-out split on an existing node.
-	HashSplit(newMembers, fullMembership []string) (int, error)
+	HashSplit(ctx context.Context, newMembers, fullMembership []string) (int, error)
 }
 
 var _ MasterAgent = (*agent.Agent)(nil)
@@ -95,7 +107,30 @@ type PhaseTiming struct {
 	Duration time.Duration
 }
 
-// ScaleReport summarizes one scaling action.
+// NodeOpTiming records one per-node operation inside a migration phase:
+// the wall time the operation took, how many attempts it needed, and its
+// terminal error if it failed. The experiments harness aggregates these
+// into the paper's migration-time figures for real parallel runs.
+type NodeOpTiming struct {
+	// Phase names the phase ("metadata", "fusecache", "data", "hashsplit").
+	Phase string
+	// Node is the node the operation ran on (the sender for "data").
+	Node string
+	// Target is the receiving node for "data" operations, "" otherwise.
+	Target string
+	// Duration is the operation's wall time including retries.
+	Duration time.Duration
+	// Attempts counts tries (1 = succeeded first try, 0 = never started
+	// because the phase was already cancelled).
+	Attempts int
+	// Err is the terminal error string, "" on success.
+	Err string
+}
+
+// ScaleReport summarizes one scaling action. On a mid-phase failure the
+// report is returned alongside the error with the phases that did complete,
+// so callers can see what was already migrated; Aborted names the phase
+// that failed.
 type ScaleReport struct {
 	// Direction is "in" or "out".
 	Direction string
@@ -108,7 +143,19 @@ type ScaleReport struct {
 	Members []string
 	// Timings holds the per-phase breakdown in execution order.
 	Timings []PhaseTiming
+	// NodeTimings holds the per-node, per-phase breakdown in deterministic
+	// (phase, node, target) order regardless of scheduling.
+	NodeTimings []NodeOpTiming
+	// Retries counts retried per-node operations across all phases.
+	Retries int
+	// Aborted names the phase that terminated the action early, "" when
+	// the action completed.
+	Aborted string
 }
+
+// DefaultWorkerLimit bounds per-phase concurrent agent operations unless
+// WithWorkerLimit overrides it.
+const DefaultWorkerLimit = 8
 
 // Master orchestrates ElMem scaling.
 type Master struct {
@@ -117,6 +164,10 @@ type Master struct {
 
 	// stop, when set, turns a retired node off after scale-in.
 	stop func(node string) error
+
+	workers      int
+	retry        taskgroup.Backoff
+	phaseTimeout time.Duration
 
 	mu        sync.Mutex
 	members   []string
@@ -129,15 +180,20 @@ type Option interface {
 }
 
 type masterOptions struct {
-	now  func() time.Time
-	stop func(node string) error
+	now          func() time.Time
+	stop         func(node string) error
+	workers      int
+	retry        taskgroup.Backoff
+	phaseTimeout time.Duration
 }
 
 type clockOption struct{ now func() time.Time }
 
 func (o clockOption) apply(opts *masterOptions) { opts.now = o.now }
 
-// WithClock injects the Master's time source for phase timings.
+// WithClock injects the Master's time source for phase timings. The clock
+// is called from concurrent phase workers, so it must be safe for
+// concurrent use.
 func WithClock(now func() time.Time) Option { return clockOption{now: now} }
 
 type stopOption struct{ stop func(node string) error }
@@ -147,6 +203,34 @@ func (o stopOption) apply(opts *masterOptions) { opts.stop = o.stop }
 // WithNodeStopper sets the callback that turns a retired node off.
 func WithNodeStopper(stop func(node string) error) Option { return stopOption{stop: stop} }
 
+type workerOption int
+
+func (o workerOption) apply(opts *masterOptions) { opts.workers = int(o) }
+
+// WithWorkerLimit bounds how many per-node operations one migration phase
+// runs concurrently (default DefaultWorkerLimit). 1 serializes the phases
+// exactly like the original sequential orchestration.
+func WithWorkerLimit(n int) Option { return workerOption(n) }
+
+type retryOption taskgroup.Backoff
+
+func (o retryOption) apply(opts *masterOptions) { opts.retry = taskgroup.Backoff(o) }
+
+// WithRetry sets the per-operation retry policy for transient agent/RPC
+// failures. The default is 3 attempts with 10ms initial backoff. Errors
+// marked taskgroup.Permanent (remote application errors) are never
+// retried.
+func WithRetry(b taskgroup.Backoff) Option { return retryOption(b) }
+
+type phaseTimeoutOption time.Duration
+
+func (o phaseTimeoutOption) apply(opts *masterOptions) { opts.phaseTimeout = time.Duration(o) }
+
+// WithPhaseTimeout bounds each migration phase's wall time (0 = no bound
+// beyond the caller's context). The deadline propagates through the RPC
+// transport to the agents.
+func WithPhaseTimeout(d time.Duration) Option { return phaseTimeoutOption(d) }
+
 // NewMaster creates a Master over the initial membership.
 func NewMaster(dir Directory, members []string, opts ...Option) (*Master, error) {
 	if dir == nil {
@@ -155,11 +239,25 @@ func NewMaster(dir Directory, members []string, opts ...Option) (*Master, error)
 	if len(members) == 0 {
 		return nil, fmt.Errorf("%w: empty initial membership", ErrBadScale)
 	}
-	o := masterOptions{now: time.Now}
+	o := masterOptions{
+		now:     time.Now,
+		workers: DefaultWorkerLimit,
+		retry:   taskgroup.Backoff{Attempts: 3, Delay: 10 * time.Millisecond},
+	}
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	m := &Master{dir: dir, now: o.now, stop: o.stop}
+	if o.workers < 1 {
+		o.workers = 1
+	}
+	m := &Master{
+		dir:          dir,
+		now:          o.now,
+		stop:         o.stop,
+		workers:      o.workers,
+		retry:        o.retry,
+		phaseTimeout: o.phaseTimeout,
+	}
 	m.members = append(m.members, members...)
 	sort.Strings(m.members)
 	return m, nil
@@ -185,22 +283,31 @@ func (m *Master) Subscribe(l MembershipListener) {
 	l.MembershipChanged(members)
 }
 
-// ScoreNodes queries every member's Agent and returns scores sorted
-// coldest-first (Section III-C).
-func (m *Master) ScoreNodes() ([]NodeScore, error) {
+// ScoreNodes queries every member's Agent concurrently and returns scores
+// sorted coldest-first (Section III-C).
+func (m *Master) ScoreNodes(ctx context.Context) ([]NodeScore, error) {
 	members := m.Members()
-	scores := make([]NodeScore, 0, len(members))
-	for _, node := range members {
-		ag, err := m.dir.Agent(node)
-		if err != nil {
-			return nil, fmt.Errorf("score %s: %w", node, err)
-		}
-		rep := ag.Score()
-		scores = append(scores, NodeScore{
-			Node:  node,
-			Score: weightedMedianScore(rep),
-			Items: rep.Items,
+	scores := make([]NodeScore, len(members))
+	g, gctx := taskgroup.WithContext(ctx)
+	g.SetLimit(m.workers)
+	for i, node := range members {
+		i, node := i, node
+		g.Go(func() error {
+			ag, err := m.dir.Agent(node)
+			if err != nil {
+				return fmt.Errorf("score %s: %w", node, err)
+			}
+			rep := ag.Score(gctx)
+			scores[i] = NodeScore{
+				Node:  node,
+				Score: weightedMedianScore(rep),
+				Items: rep.Items,
+			}
+			return nil
 		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	sort.Slice(scores, func(i, j int) bool {
 		if scores[i].Score != scores[j].Score {
@@ -222,7 +329,7 @@ func weightedMedianScore(rep agent.ScoreReport) float64 {
 }
 
 // SelectRetiring picks the x coldest nodes by weighted median score.
-func (m *Master) SelectRetiring(x int) ([]string, error) {
+func (m *Master) SelectRetiring(ctx context.Context, x int) ([]string, error) {
 	if x < 1 {
 		return nil, fmt.Errorf("%w: x=%d", ErrBadScale, x)
 	}
@@ -230,7 +337,7 @@ func (m *Master) SelectRetiring(x int) ([]string, error) {
 	if x >= len(members) {
 		return nil, fmt.Errorf("%w: cannot retire %d of %d nodes", ErrBadScale, x, len(members))
 	}
-	scores, err := m.ScoreNodes()
+	scores, err := m.ScoreNodes(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -243,33 +350,85 @@ func (m *Master) SelectRetiring(x int) ([]string, error) {
 }
 
 // ScaleIn retires x nodes with the full ElMem flow: score → select →
-// three-phase migration → membership flip → node shutdown.
-func (m *Master) ScaleIn(x int) (*ScaleReport, error) {
+// three-phase migration → membership flip → node shutdown. On a mid-phase
+// failure the partial report is returned alongside the error.
+func (m *Master) ScaleIn(ctx context.Context, x int) (*ScaleReport, error) {
 	t0 := m.now()
-	retiring, err := m.SelectRetiring(x)
+	retiring, err := m.SelectRetiring(ctx, x)
 	if err != nil {
 		return nil, err
 	}
-	report, err := m.ScaleInNodes(retiring)
-	if err != nil {
-		return nil, err
+	scoreDur := m.now().Sub(t0)
+	report, err := m.ScaleInNodes(ctx, retiring)
+	if report != nil {
+		report.Timings = append([]PhaseTiming{{Phase: "score", Duration: scoreDur}}, report.Timings...)
 	}
-	report.Timings = append([]PhaseTiming{{Phase: "score", Duration: m.now().Sub(t0) - totalTiming(report.Timings)}}, report.Timings...)
-	return report, nil
+	return report, err
 }
 
-// totalTiming sums recorded phase durations.
-func totalTiming(ts []PhaseTiming) time.Duration {
-	var sum time.Duration
-	for _, t := range ts {
-		sum += t.Duration
+// phaseOp is one per-node operation inside a phase.
+type phaseOp struct {
+	node   string
+	target string
+	run    func(ctx context.Context) error
+}
+
+// runPhase fans the phase's operations out concurrently under the worker
+// bound, retrying transient failures, and records wall and per-node
+// timings on the report. The first terminal error cancels the remaining
+// operations (fail-fast) and is returned; the phase barrier is the Wait.
+func (m *Master) runPhase(ctx context.Context, phase string, report *ScaleReport, ops []phaseOp) error {
+	if m.phaseTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.phaseTimeout)
+		defer cancel()
 	}
-	return sum
+	t0 := m.now()
+	g, gctx := taskgroup.WithContext(ctx)
+	g.SetLimit(m.workers)
+	timings := make([]NodeOpTiming, len(ops))
+	for i, op := range ops {
+		i, op := i, op
+		g.Go(func() error {
+			start := m.now()
+			attempts, err := taskgroup.Retry(gctx, m.retry, op.run)
+			timings[i] = NodeOpTiming{
+				Phase:    phase,
+				Node:     op.node,
+				Target:   op.target,
+				Duration: m.now().Sub(start),
+				Attempts: attempts,
+			}
+			if err != nil {
+				timings[i].Err = err.Error()
+				if op.target != "" {
+					return fmt.Errorf("phase %s %s→%s: %w", phase, op.node, op.target, err)
+				}
+				return fmt.Errorf("phase %s on %s: %w", phase, op.node, err)
+			}
+			return nil
+		})
+	}
+	err := g.Wait()
+	for i := range timings {
+		if timings[i].Attempts > 1 {
+			report.Retries += timings[i].Attempts - 1
+		}
+	}
+	report.NodeTimings = append(report.NodeTimings, timings...)
+	report.Timings = append(report.Timings, PhaseTiming{Phase: phase, Duration: m.now().Sub(t0)})
+	if err != nil {
+		report.Aborted = phase
+	}
+	return err
 }
 
 // ScaleInNodes retires an explicit node set (used by Fig 7's node-choice
-// sweep and by policies that override scoring).
-func (m *Master) ScaleInNodes(retiring []string) (*ScaleReport, error) {
+// sweep and by policies that override scoring). On a mid-phase failure the
+// partial report — with the phases that did complete and what was already
+// migrated — is returned alongside the error, and the membership is left
+// untouched.
+func (m *Master) ScaleInNodes(ctx context.Context, retiring []string) (*ScaleReport, error) {
 	members := m.Members()
 	memberSet := make(map[string]struct{}, len(members))
 	for _, n := range members {
@@ -285,6 +444,10 @@ func (m *Master) ScaleInNodes(retiring []string) (*ScaleReport, error) {
 	if len(retiring) == 0 || len(retiring) >= len(members) {
 		return nil, fmt.Errorf("%w: retire %d of %d", ErrBadScale, len(retiring), len(members))
 	}
+	// Sorted working copies keep phase fan-out, reports, and logs
+	// deterministic regardless of input order or goroutine scheduling.
+	retiring = append([]string(nil), retiring...)
+	sort.Strings(retiring)
 	var retained []string
 	for _, n := range members {
 		if _, ok := retSet[n]; !ok {
@@ -292,68 +455,99 @@ func (m *Master) ScaleInNodes(retiring []string) (*ScaleReport, error) {
 		}
 	}
 
-	report := &ScaleReport{Direction: "in", Retiring: append([]string(nil), retiring...)}
+	report := &ScaleReport{Direction: "in", Retiring: retiring}
 
-	// Phase 1: metadata transfer from retiring to retained nodes.
-	t1 := m.now()
-	for _, node := range retiring {
-		ag, err := m.dir.Agent(node)
-		if err != nil {
-			return nil, fmt.Errorf("phase 1 on %s: %w", node, err)
-		}
-		if err := ag.SendMetadata(retained); err != nil {
-			return nil, fmt.Errorf("phase 1 on %s: %w", node, err)
-		}
+	// Phase 1: metadata transfer, concurrent across retiring nodes.
+	ops := make([]phaseOp, len(retiring))
+	for i, node := range retiring {
+		node := node
+		ops[i] = phaseOp{node: node, run: func(opCtx context.Context) error {
+			ag, err := m.dir.Agent(node)
+			if err != nil {
+				return err
+			}
+			return ag.SendMetadata(opCtx, retained)
+		}}
 	}
-	report.Timings = append(report.Timings, PhaseTiming{Phase: "metadata", Duration: m.now().Sub(t1)})
+	if err := m.runPhase(ctx, "metadata", report, ops); err != nil {
+		return report, err
+	}
 
-	// Phase 2: FuseCache on retained nodes. Aggregate the take counts per
-	// retiring node per target.
-	t2 := m.now()
-	// perRetiring: retiring node → target → class → count.
+	// Phase 2: FuseCache, concurrent across retained targets. Each target
+	// reports how many head items every sender should ship to it.
+	takesByTarget := make([]agent.Takes, len(retained))
+	ops = make([]phaseOp, len(retained))
+	for i, target := range retained {
+		i, target := i, target
+		ops[i] = phaseOp{node: target, run: func(opCtx context.Context) error {
+			ag, err := m.dir.Agent(target)
+			if err != nil {
+				return err
+			}
+			takes, err := ag.ComputeTakes(opCtx)
+			if errors.Is(err, agent.ErrNoMetadata) {
+				return nil // nothing hashed to this target
+			}
+			if err != nil {
+				return err
+			}
+			takesByTarget[i] = takes
+			return nil
+		}}
+	}
+	if err := m.runPhase(ctx, "fusecache", report, ops); err != nil {
+		return report, err
+	}
+
+	// Aggregate take counts: retiring node → target → class → count.
 	perRetiring := make(map[string]map[string]map[int]int)
-	for _, target := range retained {
-		ag, err := m.dir.Agent(target)
-		if err != nil {
-			return nil, fmt.Errorf("phase 2 on %s: %w", target, err)
-		}
-		takes, err := ag.ComputeTakes()
-		if errors.Is(err, agent.ErrNoMetadata) {
-			continue // nothing hashed to this target
-		}
-		if err != nil {
-			return nil, fmt.Errorf("phase 2 on %s: %w", target, err)
-		}
-		for sender, byClass := range takes {
+	for i, target := range retained {
+		for sender, byClass := range takesByTarget[i] {
 			if perRetiring[sender] == nil {
 				perRetiring[sender] = make(map[string]map[int]int)
 			}
 			perRetiring[sender][target] = byClass
 		}
 	}
-	report.Timings = append(report.Timings, PhaseTiming{Phase: "fusecache", Duration: m.now().Sub(t2)})
 
-	// Phase 3: data migration from retiring to retained nodes.
-	t3 := m.now()
+	// Phase 3: data migration, concurrent per (retiring → target) pair in
+	// sorted pair order.
+	type pairSpec struct {
+		node, target string
+		takes        map[int]int
+	}
+	var specs []pairSpec
 	for _, node := range retiring {
-		ag, err := m.dir.Agent(node)
-		if err != nil {
-			return nil, fmt.Errorf("phase 3 on %s: %w", node, err)
-		}
 		targets := make([]string, 0, len(perRetiring[node]))
 		for tgt := range perRetiring[node] {
 			targets = append(targets, tgt)
 		}
 		sort.Strings(targets)
 		for _, tgt := range targets {
-			sent, err := ag.SendData(tgt, perRetiring[node][tgt], retained)
-			if err != nil {
-				return nil, fmt.Errorf("phase 3 %s→%s: %w", node, tgt, err)
-			}
-			report.ItemsMigrated += sent
+			specs = append(specs, pairSpec{node: node, target: tgt, takes: perRetiring[node][tgt]})
 		}
 	}
-	report.Timings = append(report.Timings, PhaseTiming{Phase: "data", Duration: m.now().Sub(t3)})
+	pairs := make([]phaseOp, len(specs))
+	sent := make([]int, len(specs))
+	for i, sp := range specs {
+		i, sp := i, sp
+		pairs[i] = phaseOp{node: sp.node, target: sp.target, run: func(opCtx context.Context) error {
+			ag, err := m.dir.Agent(sp.node)
+			if err != nil {
+				return err
+			}
+			moved, err := ag.SendData(opCtx, sp.target, sp.takes, retained)
+			sent[i] = moved
+			return err
+		}}
+	}
+	err := m.runPhase(ctx, "data", report, pairs)
+	for _, n := range sent {
+		report.ItemsMigrated += n
+	}
+	if err != nil {
+		return report, err
+	}
 
 	// Membership flip, then shut the retiring nodes down.
 	t4 := m.now()
@@ -371,9 +565,10 @@ func (m *Master) ScaleInNodes(retiring []string) (*ScaleReport, error) {
 }
 
 // ScaleOut adds already-started nodes to the tier (Section III-D4): the
-// existing nodes hash-split their data to the newcomers, and only then is
-// the membership flipped.
-func (m *Master) ScaleOut(newNodes []string) (*ScaleReport, error) {
+// existing nodes hash-split their data to the newcomers concurrently, and
+// only then is the membership flipped. On a failure the partial report is
+// returned alongside the error and the membership is left untouched.
+func (m *Master) ScaleOut(ctx context.Context, newNodes []string) (*ScaleReport, error) {
 	if len(newNodes) == 0 {
 		return nil, fmt.Errorf("%w: no nodes to add", ErrBadScale)
 	}
@@ -382,6 +577,8 @@ func (m *Master) ScaleOut(newNodes []string) (*ScaleReport, error) {
 	for _, n := range members {
 		memberSet[n] = struct{}{}
 	}
+	newNodes = append([]string(nil), newNodes...)
+	sort.Strings(newNodes)
 	for _, n := range newNodes {
 		if _, dup := memberSet[n]; dup {
 			return nil, fmt.Errorf("%w: %q already a member", ErrBadScale, n)
@@ -393,20 +590,30 @@ func (m *Master) ScaleOut(newNodes []string) (*ScaleReport, error) {
 	full := append(append([]string(nil), members...), newNodes...)
 	sort.Strings(full)
 
-	report := &ScaleReport{Direction: "out", Added: append([]string(nil), newNodes...)}
-	t1 := m.now()
-	for _, node := range members {
-		ag, err := m.dir.Agent(node)
-		if err != nil {
-			return nil, fmt.Errorf("hash split on %s: %w", node, err)
-		}
-		n, err := ag.HashSplit(newNodes, full)
-		if err != nil {
-			return nil, fmt.Errorf("hash split on %s: %w", node, err)
-		}
+	report := &ScaleReport{Direction: "out", Added: newNodes}
+
+	// Hash split, concurrent across existing members.
+	ops := make([]phaseOp, len(members))
+	sent := make([]int, len(members))
+	for i, node := range members {
+		i, node := i, node
+		ops[i] = phaseOp{node: node, run: func(opCtx context.Context) error {
+			ag, err := m.dir.Agent(node)
+			if err != nil {
+				return err
+			}
+			moved, err := ag.HashSplit(opCtx, newNodes, full)
+			sent[i] = moved
+			return err
+		}}
+	}
+	err := m.runPhase(ctx, "hashsplit", report, ops)
+	for _, n := range sent {
 		report.ItemsMigrated += n
 	}
-	report.Timings = append(report.Timings, PhaseTiming{Phase: "hashsplit", Duration: m.now().Sub(t1)})
+	if err != nil {
+		return report, err
+	}
 
 	t2 := m.now()
 	m.setMembers(full)

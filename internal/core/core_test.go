@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -150,7 +151,7 @@ func TestScoreNodesColdestFirst(t *testing.T) {
 		}
 	}
 	m := newTestMaster(t, c, members)
-	scores, err := m.ScoreNodes()
+	scores, err := m.ScoreNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,10 +168,10 @@ func TestScoreNodesColdestFirst(t *testing.T) {
 func TestSelectRetiringValidation(t *testing.T) {
 	c := newCluster(t, names(3), 1)
 	m := newTestMaster(t, c, names(3))
-	if _, err := m.SelectRetiring(0); !errors.Is(err, ErrBadScale) {
+	if _, err := m.SelectRetiring(context.Background(), 0); !errors.Is(err, ErrBadScale) {
 		t.Fatal("want ErrBadScale for x=0")
 	}
-	if _, err := m.SelectRetiring(3); !errors.Is(err, ErrBadScale) {
+	if _, err := m.SelectRetiring(context.Background(), 3); !errors.Is(err, ErrBadScale) {
 		t.Fatal("want ErrBadScale for retiring all nodes")
 	}
 }
@@ -190,7 +191,7 @@ func TestScaleInMigratesAndFlipsMembership(t *testing.T) {
 		flips = append(flips, ms)
 	}))
 
-	report, err := m.ScaleIn(1)
+	report, err := m.ScaleIn(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,13 +248,13 @@ func TestScaleInNodesValidation(t *testing.T) {
 	members := names(3)
 	c := newCluster(t, members, 1)
 	m := newTestMaster(t, c, members)
-	if _, err := m.ScaleInNodes([]string{"ghost"}); !errors.Is(err, ErrNotMember) {
+	if _, err := m.ScaleInNodes(context.Background(), []string{"ghost"}); !errors.Is(err, ErrNotMember) {
 		t.Fatal("want ErrNotMember")
 	}
-	if _, err := m.ScaleInNodes(nil); !errors.Is(err, ErrBadScale) {
+	if _, err := m.ScaleInNodes(context.Background(), nil); !errors.Is(err, ErrBadScale) {
 		t.Fatal("want ErrBadScale for empty set")
 	}
-	if _, err := m.ScaleInNodes(members); !errors.Is(err, ErrBadScale) {
+	if _, err := m.ScaleInNodes(context.Background(), members); !errors.Is(err, ErrBadScale) {
 		t.Fatal("want ErrBadScale for retiring everything")
 	}
 }
@@ -272,7 +273,7 @@ func TestScaleInPicksColdestNode(t *testing.T) {
 		}
 	}
 	m := newTestMaster(t, c, members)
-	report, err := m.ScaleIn(1)
+	report, err := m.ScaleIn(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestScaleOut(t *testing.T) {
 	m := newTestMaster(t, c, members)
 
 	c.addNode(t, "node-99", 4)
-	report, err := m.ScaleOut([]string{"node-99"})
+	report, err := m.ScaleOut(context.Background(), []string{"node-99"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,13 +325,13 @@ func TestScaleOutValidation(t *testing.T) {
 	members := names(2)
 	c := newCluster(t, members, 1)
 	m := newTestMaster(t, c, members)
-	if _, err := m.ScaleOut(nil); !errors.Is(err, ErrBadScale) {
+	if _, err := m.ScaleOut(context.Background(), nil); !errors.Is(err, ErrBadScale) {
 		t.Fatal("want ErrBadScale for empty add")
 	}
-	if _, err := m.ScaleOut([]string{"node-00"}); !errors.Is(err, ErrBadScale) {
+	if _, err := m.ScaleOut(context.Background(), []string{"node-00"}); !errors.Is(err, ErrBadScale) {
 		t.Fatal("want ErrBadScale for duplicate member")
 	}
-	if _, err := m.ScaleOut([]string{"unregistered"}); err == nil {
+	if _, err := m.ScaleOut(context.Background(), []string{"unregistered"}); err == nil {
 		t.Fatal("want error for unreachable new node")
 	}
 }
@@ -341,7 +342,7 @@ func TestScaleInThenOutRoundTrip(t *testing.T) {
 	c.populateByRing(t, members, 2000)
 	m := newTestMaster(t, c, members)
 
-	inReport, err := m.ScaleIn(1)
+	inReport, err := m.ScaleIn(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +350,7 @@ func TestScaleInThenOutRoundTrip(t *testing.T) {
 	// Restart the retired node empty (cold) and add it back.
 	c.reg.Deregister(retired)
 	c.addNode(t, retired, 4)
-	if _, err := m.ScaleOut([]string{retired}); err != nil {
+	if _, err := m.ScaleOut(context.Background(), []string{retired}); err != nil {
 		t.Fatal(err)
 	}
 	if len(m.Members()) != 4 {
@@ -391,7 +392,7 @@ func TestColdestChoiceMigratesFewerItems(t *testing.T) {
 			}
 		}
 		m := newTestMaster(t, c, members)
-		scores, err := m.ScoreNodes()
+		scores, err := m.ScoreNodes(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -401,7 +402,7 @@ func TestColdestChoiceMigratesFewerItems(t *testing.T) {
 		} else {
 			victim = scores[len(scores)-1].Node
 		}
-		report, err := m.ScaleInNodes([]string{victim})
+		report, err := m.ScaleInNodes(context.Background(), []string{victim})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -423,7 +424,7 @@ func TestScaleInMultipleNodes(t *testing.T) {
 	c.populateByRing(t, members, 6000)
 	m := newTestMaster(t, c, members)
 
-	report, err := m.ScaleIn(3)
+	report, err := m.ScaleIn(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +459,7 @@ func TestRepeatedScaleInsConverge(t *testing.T) {
 	m := newTestMaster(t, c, members)
 
 	for want := 4; want >= 2; want-- {
-		if _, err := m.ScaleIn(1); err != nil {
+		if _, err := m.ScaleIn(context.Background(), 1); err != nil {
 			t.Fatalf("scale to %d: %v", want, err)
 		}
 		if got := len(m.Members()); got != want {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/agent"
+	"repro/internal/taskgroup"
 )
 
 // faultyDirectory wraps another Directory and makes chosen nodes
@@ -36,34 +38,34 @@ type faultyAgent struct {
 
 func (a *faultyAgent) Node() string { return a.inner.Node() }
 
-func (a *faultyAgent) Score() agent.ScoreReport { return a.inner.Score() }
+func (a *faultyAgent) Score(ctx context.Context) agent.ScoreReport { return a.inner.Score(ctx) }
 
-func (a *faultyAgent) SendMetadata(retained []string) error {
+func (a *faultyAgent) SendMetadata(ctx context.Context, retained []string) error {
 	if a.failPhase == "metadata" {
-		return errInjected
+		return taskgroup.Permanent(errInjected)
 	}
-	return a.inner.SendMetadata(retained)
+	return a.inner.SendMetadata(ctx, retained)
 }
 
-func (a *faultyAgent) ComputeTakes() (agent.Takes, error) {
+func (a *faultyAgent) ComputeTakes(ctx context.Context) (agent.Takes, error) {
 	if a.failPhase == "takes" {
-		return nil, errInjected
+		return nil, taskgroup.Permanent(errInjected)
 	}
-	return a.inner.ComputeTakes()
+	return a.inner.ComputeTakes(ctx)
 }
 
-func (a *faultyAgent) SendData(target string, takes map[int]int, retained []string) (int, error) {
+func (a *faultyAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
 	if a.failPhase == "data" {
-		return 0, errInjected
+		return 0, taskgroup.Permanent(errInjected)
 	}
-	return a.inner.SendData(target, takes, retained)
+	return a.inner.SendData(ctx, target, takes, retained)
 }
 
-func (a *faultyAgent) HashSplit(newMembers, full []string) (int, error) {
+func (a *faultyAgent) HashSplit(ctx context.Context, newMembers, full []string) (int, error) {
 	if a.failPhase == "split" {
-		return 0, errInjected
+		return 0, taskgroup.Permanent(errInjected)
 	}
-	return a.inner.HashSplit(newMembers, full)
+	return a.inner.HashSplit(ctx, newMembers, full)
 }
 
 func newFaultyMaster(t *testing.T, c *cluster, members []string, d *faultyDirectory) *Master {
@@ -83,7 +85,7 @@ func TestScaleInAbortsOnUnreachableAgent(t *testing.T) {
 	d := &faultyDirectory{unreachable: map[string]bool{"node-01": true}}
 	m := newFaultyMaster(t, c, members, d)
 
-	if _, err := m.ScaleIn(1); !errors.Is(err, errInjected) {
+	if _, err := m.ScaleIn(context.Background(), 1); !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
 	// Membership untouched on abort: the flip happens only after all
@@ -108,7 +110,7 @@ func TestScaleInAbortsPerPhase(t *testing.T) {
 			d := &faultyDirectory{failPhase: failAll}
 			m := newFaultyMaster(t, c, members, d)
 
-			if _, err := m.ScaleIn(1); !errors.Is(err, errInjected) {
+			if _, err := m.ScaleIn(context.Background(), 1); !errors.Is(err, errInjected) {
 				t.Fatalf("err = %v, want injected failure", err)
 			}
 			if got := len(m.Members()); got != 3 {
@@ -127,7 +129,7 @@ func TestScaleOutAbortsOnSplitFailure(t *testing.T) {
 	m := newFaultyMaster(t, c, members, d)
 
 	c.addNode(t, "node-09", 2)
-	if _, err := m.ScaleOut([]string{"node-09"}); !errors.Is(err, errInjected) {
+	if _, err := m.ScaleOut(context.Background(), []string{"node-09"}); !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
 	if got := len(m.Members()); got != 2 {
@@ -144,9 +146,9 @@ func TestScaleInRecoversAfterTransientFailure(t *testing.T) {
 
 	// First attempt may fail if node-00 is the coldest choice; clear the
 	// fault and the same Master must complete.
-	_, firstErr := m.ScaleIn(1)
+	_, firstErr := m.ScaleIn(context.Background(), 1)
 	d.failPhase = nil
-	report, err := m.ScaleIn(1)
+	report, err := m.ScaleIn(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("post-recovery scale-in failed: %v (first attempt: %v)", err, firstErr)
 	}
@@ -163,7 +165,7 @@ func TestScoreNodesSurfacesDirectoryError(t *testing.T) {
 	c := newCluster(t, members, 1)
 	d := &faultyDirectory{unreachable: map[string]bool{"node-00": true}}
 	m := newFaultyMaster(t, c, members, d)
-	if _, err := m.ScoreNodes(); !errors.Is(err, errInjected) {
+	if _, err := m.ScoreNodes(context.Background()); !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -200,7 +201,7 @@ func nodeChoiceScores(cfg NodeChoiceConfig) ([]core.NodeScore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.ScoreNodes()
+	return m.ScoreNodes(context.Background())
 }
 
 // unweightedScores ranks nodes by the plain average of their per-slab
@@ -212,7 +213,7 @@ func unweightedScores(reg *agent.Registry, members []string) ([]core.NodeScore, 
 		if err != nil {
 			return nil, err
 		}
-		rep := a.Score()
+		rep := a.Score(context.Background())
 		var sum float64
 		for _, ts := range rep.Medians {
 			sum += float64(ts)
@@ -236,7 +237,7 @@ func nodeChoiceTrial(cfg NodeChoiceConfig, victim string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	report, err := m.ScaleInNodes([]string{victim})
+	report, err := m.ScaleInNodes(context.Background(), []string{victim})
 	if err != nil {
 		return 0, err
 	}

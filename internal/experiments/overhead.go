@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -29,6 +30,11 @@ type OverheadResult struct {
 	ItemsMigrated int
 	// Timings holds the phase breakdown in execution order.
 	Timings []core.PhaseTiming
+	// NodeTimings holds the per-node operations inside each phase, so the
+	// parallel pipeline's slowest pair is visible next to the phase total.
+	NodeTimings []core.NodeOpTiming
+	// Retries counts RPC attempts beyond the first across all phases.
+	Retries int
 	// Total is the end-to-end migration time.
 	Total time.Duration
 }
@@ -105,7 +111,7 @@ func overheadPopulated(book *agentrpc.AddressBook, members []string, ring *hashr
 		if err != nil {
 			return nil, err
 		}
-		if err := cl.ImportData("seed", pairs); err != nil {
+		if err := cl.ImportData(context.Background(), "seed", pairs); err != nil {
 			return nil, err
 		}
 	}
@@ -114,7 +120,7 @@ func overheadPopulated(book *agentrpc.AddressBook, members []string, ring *hashr
 	if err != nil {
 		return nil, err
 	}
-	report, err := master.ScaleIn(1)
+	report, err := master.ScaleIn(context.Background(), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +129,8 @@ func overheadPopulated(book *agentrpc.AddressBook, members []string, ring *hashr
 		Items:         totalItems,
 		ItemsMigrated: report.ItemsMigrated,
 		Timings:       report.Timings,
+		NodeTimings:   report.NodeTimings,
+		Retries:       report.Retries,
 	}
 	for _, t := range report.Timings {
 		out.Total += t.Duration
@@ -137,7 +145,18 @@ func (r *OverheadResult) Render(w io.Writer) {
 	for _, t := range r.Timings {
 		fmt.Fprintf(w, "%s %v\n", t.Phase, t.Duration.Round(10*time.Microsecond))
 	}
-	fmt.Fprintf(w, "total %v\n", r.Total.Round(10*time.Microsecond))
+	fmt.Fprintf(w, "total %v (retries %d)\n", r.Total.Round(10*time.Microsecond), r.Retries)
+	if len(r.NodeTimings) > 0 {
+		fmt.Fprintln(w, "phase node target duration attempts")
+		for _, nt := range r.NodeTimings {
+			target := nt.Target
+			if target == "" {
+				target = "-"
+			}
+			fmt.Fprintf(w, "%s %s %s %v %d\n", nt.Phase, nt.Node, target,
+				nt.Duration.Round(10*time.Microsecond), nt.Attempts)
+		}
+	}
 }
 
 // FuseCacheRow is one (k, n) point of the Section IV-B complexity

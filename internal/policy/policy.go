@@ -13,6 +13,7 @@
 package policy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -87,7 +88,7 @@ func PickRandomRetiring(rng *rand.Rand, members []string, x int) ([]string, erro
 // ImportData, so on a full receiver they evict the receiver's MRU tail —
 // even when that tail is hotter, which is exactly Naive's flaw. Returns
 // the number of migrated items.
-func NaiveScaleIn(reg *agent.Registry, retiring, retained []string, fraction float64) (int, error) {
+func NaiveScaleIn(ctx context.Context, reg *agent.Registry, retiring, retained []string, fraction float64) (int, error) {
 	if fraction < 0 || fraction > 1 {
 		return 0, fmt.Errorf("%w: fraction %v", ErrBadRequest, fraction)
 	}
@@ -100,6 +101,9 @@ func NaiveScaleIn(reg *agent.Registry, retiring, retained []string, fraction flo
 	}
 	migrated := 0
 	for _, node := range retiring {
+		if err := ctx.Err(); err != nil {
+			return migrated, err
+		}
 		src, err := reg.Get(node)
 		if err != nil {
 			return migrated, fmt.Errorf("naive: %w", err)
@@ -145,7 +149,7 @@ func NaiveScaleIn(reg *agent.Registry, retiring, retained []string, fraction flo
 			for _, tc := range perTarget[tgt] {
 				takes[tc.classID] = tc.count
 			}
-			sent, err := src.SendData(tgt, takes, retained)
+			sent, err := src.SendData(ctx, tgt, takes, retained)
 			if err != nil {
 				return migrated, fmt.Errorf("naive %s→%s: %w", node, tgt, err)
 			}

@@ -12,10 +12,12 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/agent"
@@ -168,9 +170,12 @@ type Result struct {
 	FinalMembers []string
 }
 
-// vclock is the virtual time source all components share.
+// vclock is the virtual time source all components share. It is
+// mutex-guarded because the Master's migration phases fan out across
+// goroutines that all stamp durations through this clock.
 type vclock struct {
-	t time.Time
+	mu sync.Mutex
+	t  time.Time
 	// seq breaks MRU-timestamp ties between KV touches at one instant.
 	seq int64
 }
@@ -179,11 +184,15 @@ func (v *vclock) Now() time.Time {
 	// Each observation nudges time forward one nanosecond so MRU
 	// timestamps are strictly ordered within a node, like a real clock's
 	// monotonic reads.
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.seq++
 	return v.t.Add(time.Duration(v.seq))
 }
 
 func (v *vclock) set(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if t.After(v.t) {
 		v.t = t
 		v.seq = 0
@@ -526,7 +535,7 @@ func (s *simulation) decideScaleIn(x int) error {
 	case policy.Baseline:
 		// Same node choice as ElMem (Q2), no migration (Q3): flip now and
 		// drop the retiring nodes cold.
-		retiring, err := s.master.SelectRetiring(x)
+		retiring, err := s.master.SelectRetiring(context.Background(), x)
 		if err != nil {
 			return err
 		}
@@ -545,7 +554,7 @@ func (s *simulation) decideScaleIn(x int) error {
 		return nil
 
 	case policy.ElMem:
-		retiring, err := s.master.SelectRetiring(x)
+		retiring, err := s.master.SelectRetiring(context.Background(), x)
 		if err != nil {
 			return err
 		}
@@ -553,7 +562,7 @@ func (s *simulation) decideScaleIn(x int) error {
 			at:   now.Add(s.cfg.MigrationDelay),
 			kind: "execute",
 			exec: func() error {
-				report, err := s.master.ScaleInNodes(retiring)
+				report, err := s.master.ScaleInNodes(context.Background(), retiring)
 				if err != nil {
 					return err
 				}
@@ -584,7 +593,7 @@ func (s *simulation) decideScaleIn(x int) error {
 			kind: "execute",
 			exec: func() error {
 				retained := subtract(s.members, retiring)
-				moved, err := policy.NaiveScaleIn(s.reg, retiring, retained, fraction)
+				moved, err := policy.NaiveScaleIn(context.Background(), s.reg, retiring, retained, fraction)
 				if err != nil {
 					return err
 				}
@@ -650,7 +659,7 @@ func (s *simulation) decideScaleOut(x int) error {
 			at:   now.Add(s.cfg.MigrationDelay),
 			kind: "execute",
 			exec: func() error {
-				report, err := s.master.ScaleOut(added)
+				report, err := s.master.ScaleOut(context.Background(), added)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,166 @@
+// Package taskgroup is a stdlib-only errgroup-style helper for the
+// migration control plane: a bounded group of goroutines with fail-fast
+// cancellation, and a bounded retry-with-backoff loop for transient RPC
+// failures.
+//
+// The Master uses a Group per migration phase — all per-node operations of
+// one phase fan out concurrently, the phase barrier is Wait, and the first
+// terminal error cancels the group context so in-flight peers abort before
+// the membership flip. Retry wraps each per-node operation; transport
+// errors are retried with exponential backoff, while context cancellation
+// and errors marked Permanent terminate immediately.
+package taskgroup
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Group runs a set of tasks concurrently, cancels its context on the first
+// error, and reports that error from Wait. The zero value is not usable;
+// create one with WithContext.
+type Group struct {
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	sem    chan struct{}
+
+	once sync.Once
+	err  error
+}
+
+// WithContext creates a Group whose derived context is cancelled when any
+// task returns a non-nil error or when Wait returns.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	return &Group{cancel: cancel}, ctx
+}
+
+// SetLimit bounds the number of concurrently running tasks. It must be
+// called before the first Go. n < 1 means unbounded.
+func (g *Group) SetLimit(n int) {
+	if n < 1 {
+		g.sem = nil
+		return
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go starts fn in a new goroutine, blocking first if the concurrency limit
+// is saturated. The first non-nil error cancels the group context.
+func (g *Group) Go(fn func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.sem != nil {
+			defer func() { <-g.sem }()
+		}
+		if err := fn(); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+// Wait blocks until every task started with Go has returned, then returns
+// the first error (if any) and cancels the group context.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+// permanentError marks an error that Retry must not retry: the remote side
+// executed the operation and failed deterministically, so trying again
+// cannot help (and may repeat side effects).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately instead of retrying.
+// errors.Is / errors.As see through the wrapper.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Backoff bounds a Retry loop.
+type Backoff struct {
+	// Attempts is the maximum number of tries (default 1 = no retry).
+	Attempts int
+	// Delay is the sleep before the second attempt (default 10ms when
+	// Attempts > 1).
+	Delay time.Duration
+	// MaxDelay caps the exponential growth (default 1s).
+	MaxDelay time.Duration
+	// Factor multiplies the delay after each failure (default 2).
+	Factor float64
+}
+
+// withDefaults normalizes a Backoff.
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts < 1 {
+		b.Attempts = 1
+	}
+	if b.Delay <= 0 {
+		b.Delay = 10 * time.Millisecond
+	}
+	if b.MaxDelay <= 0 {
+		b.MaxDelay = time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// Retry runs fn up to b.Attempts times with exponential backoff between
+// failures, stopping early when ctx is done or fn returns nil, a context
+// error, or an error marked Permanent. It returns the number of attempts
+// actually made (0 when ctx was already done) and fn's final error.
+func Retry(ctx context.Context, b Backoff, fn func(ctx context.Context) error) (int, error) {
+	b = b.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	delay := b.Delay
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn(ctx)
+		if err == nil {
+			return attempt, nil
+		}
+		if attempt >= b.Attempts || IsPermanent(err) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return attempt, err
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return attempt, ctx.Err()
+		case <-timer.C:
+		}
+		delay = time.Duration(float64(delay) * b.Factor)
+		if delay > b.MaxDelay {
+			delay = b.MaxDelay
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package taskgroup
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsAllTasks(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	var n atomic.Int32
+	for i := 0; i < 20; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", n.Load())
+	}
+}
+
+func TestGroupLimitBoundsConcurrency(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	g.SetLimit(3)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	for i := 0; i < 24; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent tasks, limit 3", p)
+	}
+}
+
+func TestGroupFirstErrorCancelsContext(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	boom := errors.New("boom")
+	cancelled := make(chan struct{})
+	g.Go(func() error {
+		<-ctx.Done()
+		close(cancelled)
+		return ctx.Err()
+	})
+	g.Go(func() error { return boom })
+	err := g.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want first error boom", err)
+	}
+	select {
+	case <-cancelled:
+	default:
+		t.Fatal("sibling task did not observe cancellation")
+	}
+}
+
+func TestGroupWaitCancelsContext(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	g.Go(func() error { return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("group context still live after Wait")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	attempts, err := Retry(context.Background(), Backoff{Attempts: 5, Delay: time.Microsecond}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 || calls != 3 {
+		t.Fatalf("attempts = %d, calls = %d, want 3", attempts, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	attempts, err := Retry(context.Background(), Backoff{Attempts: 3, Delay: time.Microsecond}, func(context.Context) error {
+		return boom
+	})
+	if !errors.Is(err, boom) || attempts != 3 {
+		t.Fatalf("attempts = %d, err = %v, want 3 attempts of boom", attempts, err)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	attempts, err := Retry(context.Background(), Backoff{Attempts: 5, Delay: time.Microsecond}, func(context.Context) error {
+		calls++
+		return Permanent(boom)
+	})
+	if calls != 1 || attempts != 1 {
+		t.Fatalf("calls = %d, attempts = %d, want 1 (no retry of permanent errors)", calls, attempts)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v does not unwrap to boom", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("permanence lost through return")
+	}
+}
+
+func TestRetryStopsOnContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Retry(ctx, Backoff{Attempts: 100, Delay: 50 * time.Millisecond}, func(context.Context) error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled from backoff sleep", err)
+	}
+	if calls > 2 {
+		t.Fatalf("made %d calls after cancellation", calls)
+	}
+}
+
+func TestRetryZeroAttemptsWhenContextAlreadyDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts, err := Retry(ctx, Backoff{Attempts: 3}, func(context.Context) error {
+		t.Fatal("fn ran despite dead context")
+		return nil
+	})
+	if attempts != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("attempts = %d, err = %v", attempts, err)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if IsPermanent(errors.New("plain")) {
+		t.Fatal("plain error reported permanent")
+	}
+}
