@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-hot allocs check
 
 ## build: compile every package
 build:
@@ -26,5 +26,14 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench 'Parallel|Multi|ServerThroughput' -benchmem -cpu 4 ./internal/cache/ ./internal/server/
 
+## bench-hot: hot-path benchmarks — in-process parse/handle/write cost
+## (allocs/op must read 0) and loopback pipelining at depth 1/8/64
+bench-hot:
+	$(GO) test -run '^$$' -bench 'HotPath|ServerPipelined' -benchmem ./internal/server/
+
+## allocs: the zero-allocation regression gate for the data-path hot path
+allocs:
+	$(GO) test -run TestHotPathAllocs -count 1 -v ./internal/server/
+
 ## check: everything the CI gate runs
-check: build vet test race
+check: build vet test race allocs

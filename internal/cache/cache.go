@@ -45,11 +45,20 @@ var (
 
 // Item is one cached KV pair. The prev/next pointers chain it into its slab
 // class's MRU list.
+//
+// The cache owns every Value buffer: stores copy bytes in (reusing the
+// item's buffer when the slab class is unchanged, so a steady-state set
+// allocates nothing) and reads copy bytes out under the shard lock. No
+// caller-visible slice ever aliases an item's live buffer.
 type Item struct {
 	// Key is the item's key.
 	Key string
-	// Value is the stored bytes.
+	// Value is the stored bytes. The buffer is cache-owned and may be
+	// rewritten in place by a later store of the same key.
 	Value []byte
+	// Flags is the client-opaque flags word of the storing command,
+	// echoed verbatim in VALUE replies (memcached semantics).
+	Flags uint32
 	// LastAccess is the MRU timestamp: the time of the most recent Get or
 	// Set. ElMem's hotness comparisons (Sections III-C, III-D) use it.
 	LastAccess time.Time
@@ -192,8 +201,9 @@ func (c *Cache) ShardDistribution() []int {
 	return out
 }
 
-// Get returns the value for key and refreshes its MRU position and
-// timestamp, or ErrNotFound.
+// Get returns a copy of the value for key and refreshes its MRU position
+// and timestamp, or ErrNotFound. The hot path's allocation-free variant is
+// GetInto, which also reports the item's flags and CAS token.
 func (c *Cache) Get(key string) ([]byte, error) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
@@ -206,12 +216,12 @@ func (c *Cache) Get(key string) ([]byte, error) {
 	sh.hits++
 	it.LastAccess = c.now()
 	sh.slabs[it.classID].list.moveToFront(it)
-	return it.Value, nil
+	return append(make([]byte, 0, len(it.Value)), it.Value...), nil
 }
 
-// Peek returns the value for key without refreshing recency or counting a
-// hit/miss. Agents use it during migration so metadata reads do not perturb
-// hotness.
+// Peek returns a copy of the value for key without refreshing recency or
+// counting a hit/miss. Agents use it during migration so metadata reads do
+// not perturb hotness.
 func (c *Cache) Peek(key string) ([]byte, bool) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
@@ -220,7 +230,7 @@ func (c *Cache) Peek(key string) ([]byte, bool) {
 	if !ok || it.expired(c.now()) {
 		return nil, false
 	}
-	return it.Value, true
+	return append(make([]byte, 0, len(it.Value)), it.Value...), true
 }
 
 // Contains reports key residence without touching recency.
@@ -232,8 +242,9 @@ func (c *Cache) Contains(key string) bool {
 	return ok && !it.expired(c.now())
 }
 
-// Set stores the value under key, updating MRU state. It evicts LRU items
-// of the same class as needed.
+// Set stores a copy of the value under key with zero flags, updating MRU
+// state. It evicts LRU items of the same class as needed. The wire hot
+// path's byte-key variant is SetBytes.
 func (c *Cache) Set(key string, value []byte) error {
 	if key == "" {
 		return ErrEmptyKey
@@ -241,7 +252,8 @@ func (c *Cache) Set(key string, value []byte) error {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.setLocked(key, value, c.now())
+	_, err := sh.setLocked(key, value, 0, c.now())
+	return err
 }
 
 // Delete removes key, or returns ErrNotFound.

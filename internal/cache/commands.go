@@ -29,40 +29,53 @@ func (it *Item) expired(now time.Time) bool {
 	return !it.ExpiresAt.IsZero() && !now.Before(it.ExpiresAt)
 }
 
-// SetExpiring stores the value with an absolute expiry (zero = never).
+// SetExpiring stores the value with an absolute expiry (zero = never) and
+// zero flags.
 func (c *Cache) SetExpiring(key string, value []byte, expiresAt time.Time) error {
+	return c.SetExpiringFlags(key, value, 0, expiresAt)
+}
+
+// SetExpiringFlags stores the value with client flags and an absolute
+// expiry (zero = never). This is the full memcached "set".
+func (c *Cache) SetExpiringFlags(key string, value []byte, flags uint32, expiresAt time.Time) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := sh.setLocked(key, value, c.now()); err != nil {
+	it, err := sh.setLocked(key, value, flags, c.now())
+	if err != nil {
 		return err
 	}
-	sh.table[key].ExpiresAt = expiresAt
+	it.ExpiresAt = expiresAt
 	return nil
 }
 
-// GetWithCAS returns the value and the item's CAS token (memcached's
-// gets), refreshing recency.
-func (c *Cache) GetWithCAS(key string) (value []byte, casToken uint64, err error) {
+// GetWithCAS returns a copy of the value, the item's client flags, and its
+// CAS token (memcached's gets), refreshing recency.
+func (c *Cache) GetWithCAS(key string) (value []byte, flags uint32, casToken uint64, err error) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	it, ok := sh.lookupLocked(key, c.now())
 	if !ok {
 		sh.misses++
-		return nil, 0, fmt.Errorf("gets %q: %w", key, ErrNotFound)
+		return nil, 0, 0, fmt.Errorf("gets %q: %w", key, ErrNotFound)
 	}
 	sh.hits++
 	it.LastAccess = c.now()
 	sh.slabs[it.classID].list.moveToFront(it)
-	return it.Value, it.casID, nil
+	return append(make([]byte, 0, len(it.Value)), it.Value...), it.Flags, it.casID, nil
 }
 
 // Add stores only if the key is absent (memcached's add).
 func (c *Cache) Add(key string, value []byte, expiresAt time.Time) error {
+	return c.AddFlags(key, value, 0, expiresAt)
+}
+
+// AddFlags is Add carrying client flags.
+func (c *Cache) AddFlags(key string, value []byte, flags uint32, expiresAt time.Time) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
@@ -73,15 +86,21 @@ func (c *Cache) Add(key string, value []byte, expiresAt time.Time) error {
 	if _, ok := sh.lookupLocked(key, now); ok {
 		return fmt.Errorf("add %q: %w", key, ErrNotStored)
 	}
-	if err := sh.setLocked(key, value, now); err != nil {
+	it, err := sh.setLocked(key, value, flags, now)
+	if err != nil {
 		return err
 	}
-	sh.table[key].ExpiresAt = expiresAt
+	it.ExpiresAt = expiresAt
 	return nil
 }
 
 // Replace stores only if the key is present (memcached's replace).
 func (c *Cache) Replace(key string, value []byte, expiresAt time.Time) error {
+	return c.ReplaceFlags(key, value, 0, expiresAt)
+}
+
+// ReplaceFlags is Replace carrying client flags.
+func (c *Cache) ReplaceFlags(key string, value []byte, flags uint32, expiresAt time.Time) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
@@ -92,16 +111,22 @@ func (c *Cache) Replace(key string, value []byte, expiresAt time.Time) error {
 	if _, ok := sh.lookupLocked(key, now); !ok {
 		return fmt.Errorf("replace %q: %w", key, ErrNotStored)
 	}
-	if err := sh.setLocked(key, value, now); err != nil {
+	it, err := sh.setLocked(key, value, flags, now)
+	if err != nil {
 		return err
 	}
-	sh.table[key].ExpiresAt = expiresAt
+	it.ExpiresAt = expiresAt
 	return nil
 }
 
 // CompareAndSwap stores only if the item's CAS token still matches
 // (memcached's cas).
 func (c *Cache) CompareAndSwap(key string, value []byte, expiresAt time.Time, casToken uint64) error {
+	return c.CompareAndSwapFlags(key, value, 0, expiresAt, casToken)
+}
+
+// CompareAndSwapFlags is CompareAndSwap carrying client flags.
+func (c *Cache) CompareAndSwapFlags(key string, value []byte, flags uint32, expiresAt time.Time, casToken uint64) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
@@ -116,10 +141,11 @@ func (c *Cache) CompareAndSwap(key string, value []byte, expiresAt time.Time, ca
 	if it.casID != casToken {
 		return fmt.Errorf("cas %q: %w", key, ErrExists)
 	}
-	if err := sh.setLocked(key, value, now); err != nil {
+	it, err := sh.setLocked(key, value, flags, now)
+	if err != nil {
 		return err
 	}
-	sh.table[key].ExpiresAt = expiresAt
+	it.ExpiresAt = expiresAt
 	return nil
 }
 
@@ -142,7 +168,9 @@ func (c *Cache) Prepend(key string, data []byte) error {
 	})
 }
 
-// edit rewrites an existing item's value in place, preserving expiry.
+// edit rewrites an existing item's value in place, preserving expiry and
+// flags. fn must return a freshly allocated slice (setLocked copies into
+// the item's existing buffer, so returning a view of old would overlap).
 func (c *Cache) edit(key string, fn func(old []byte) []byte) error {
 	if key == "" {
 		return ErrEmptyKey
@@ -155,11 +183,12 @@ func (c *Cache) edit(key string, fn func(old []byte) []byte) error {
 	if !ok {
 		return fmt.Errorf("edit %q: %w", key, ErrNotStored)
 	}
-	expiresAt := it.ExpiresAt
-	if err := sh.setLocked(key, fn(it.Value), now); err != nil {
+	expiresAt, flags := it.ExpiresAt, it.Flags
+	it, err := sh.setLocked(key, fn(it.Value), flags, now)
+	if err != nil {
 		return err
 	}
-	sh.table[key].ExpiresAt = expiresAt
+	it.ExpiresAt = expiresAt
 	return nil
 }
 
@@ -196,11 +225,12 @@ func (c *Cache) arith(key string, fn func(uint64) uint64) (uint64, error) {
 		return 0, fmt.Errorf("arith %q: %w", key, ErrNotNumber)
 	}
 	out := fn(v)
-	expiresAt := it.ExpiresAt
-	if err := sh.setLocked(key, []byte(strconv.FormatUint(out, 10)), now); err != nil {
+	expiresAt, flags := it.ExpiresAt, it.Flags
+	it, err = sh.setLocked(key, []byte(strconv.FormatUint(out, 10)), flags, now)
+	if err != nil {
 		return 0, err
 	}
-	sh.table[key].ExpiresAt = expiresAt
+	it.ExpiresAt = expiresAt
 	return out, nil
 }
 

@@ -174,7 +174,7 @@ func TestGetWithCASAndCompareAndSwap(t *testing.T) {
 	if err := c.Set("k", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	_, token, err := c.GetWithCAS("k")
+	_, _, token, err := c.GetWithCAS("k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,14 +199,14 @@ func TestCASTokenChangesOnEverySet(t *testing.T) {
 	if err := c.Set("k", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	_, t1, err := c.GetWithCAS("k")
+	_, _, t1, err := c.GetWithCAS("k")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Set("k", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	_, t2, err := c.GetWithCAS("k")
+	_, _, t2, err := c.GetWithCAS("k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestCASTokenChangesOnEverySet(t *testing.T) {
 
 func TestGetWithCASMiss(t *testing.T) {
 	c, _ := expiryCache(t)
-	if _, _, err := c.GetWithCAS("missing"); !errors.Is(err, ErrNotFound) {
+	if _, _, _, err := c.GetWithCAS("missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 	if st := c.Stats(); st.Misses != 1 {

@@ -224,11 +224,14 @@ func (c *Cache) ClassAbsorbCapacity(classID int) int {
 	return c.pool.free()*chunksPerPage + c.ClassCapacity(classID)
 }
 
-// KV is a key/value/timestamp triple shipped in migration phase 3.
+// KV is a key/value/timestamp tuple shipped in migration phase 3.
 type KV struct {
 	// Key and Value carry the pair.
 	Key   string `json:"key"`
 	Value []byte `json:"value"`
+	// Flags are the opaque client flags stored with the item; shipping them
+	// keeps `set` flag semantics intact across a migration.
+	Flags uint32 `json:"flags,omitempty"`
 	// LastAccess preserves the MRU timestamp across the move so merged
 	// hotness stays meaningful.
 	LastAccess time.Time `json:"lastAccess"`
@@ -251,7 +254,7 @@ func (sh *shard) fetchTop(classID, count int, now time.Time, filter func(key str
 		if filter == nil || filter(it.Key) {
 			v := make([]byte, len(it.Value))
 			copy(v, it.Value)
-			out = append(out, KV{Key: it.Key, Value: v, LastAccess: it.LastAccess})
+			out = append(out, KV{Key: it.Key, Value: v, Flags: it.Flags, LastAccess: it.LastAccess})
 			if len(out) == count {
 				return false
 			}
@@ -383,7 +386,8 @@ func (sh *shard) importOneLocked(p KV) error {
 			it.LastAccess = p.LastAccess
 		}
 		if it.classID == classID {
-			it.Value = p.Value
+			it.Value = append(it.Value[:0], p.Value...)
+			it.Flags = p.Flags
 			sh.slabs[classID].list.moveToFront(it)
 			return nil
 		}
@@ -393,7 +397,13 @@ func (sh *shard) importOneLocked(p KV) error {
 	if err := sh.reserveChunkLocked(sl); err != nil {
 		return fmt.Errorf("import %q: %w", p.Key, err)
 	}
-	it := &Item{Key: p.Key, Value: p.Value, LastAccess: p.LastAccess, classID: classID}
+	it := &Item{
+		Key:        p.Key,
+		Value:      append(make([]byte, 0, len(p.Value)), p.Value...),
+		Flags:      p.Flags,
+		LastAccess: p.LastAccess,
+		classID:    classID,
+	}
 	sl.list.pushFront(it)
 	sl.used++
 	sh.table[p.Key] = it

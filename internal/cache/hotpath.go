@@ -1,0 +1,133 @@
+package cache
+
+import "time"
+
+// The wire hot path: byte-slice-keyed variants of Get/Set/GetMulti that
+// perform zero steady-state heap allocations. Keys arrive from the protocol
+// parser as slices into its read buffer; the map lookups use the
+// compiler-elided string(key) index form, and results are appended into
+// caller-provided scratch that the server pools per connection. The
+// convenience string-keyed API (Get/Set/GetMulti) stays for everything that
+// is not serving sockets.
+
+// GetInto looks up key, refreshing recency, and appends a copy of the value
+// to dst. It returns the extended slice together with the item's client
+// flags and CAS token; hit is false on miss (dst is returned unchanged).
+// It never allocates when dst has capacity for the value.
+func (c *Cache) GetInto(key []byte, dst []byte) (out []byte, flags uint32, casToken uint64, hit bool) {
+	sh := c.shards[shardHashBytes(key)&c.mask]
+	sh.mu.Lock()
+	now := c.now()
+	it, ok := sh.lookupBytesLocked(key, now)
+	if !ok {
+		sh.misses++
+		sh.mu.Unlock()
+		return dst, 0, 0, false
+	}
+	sh.hits++
+	it.LastAccess = now
+	sh.slabs[it.classID].list.moveToFront(it)
+	dst = append(dst, it.Value...)
+	flags, casToken = it.Flags, it.casID
+	sh.mu.Unlock()
+	return dst, flags, casToken, true
+}
+
+// SetBytes stores a copy of value under a byte-slice key with client flags
+// and an absolute expiry (zero = never). Overwriting an existing item of
+// the same slab class reuses its buffer and allocates nothing; only the
+// first store of a new key materializes the key string and value buffer.
+func (c *Cache) SetBytes(key, value []byte, flags uint32, expiresAt time.Time) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	sh := c.shards[shardHashBytes(key)&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, err := sh.setKeyedLocked("", key, value, flags, c.now())
+	if err != nil {
+		return err
+	}
+	it.ExpiresAt = expiresAt
+	return nil
+}
+
+// MultiItem is one in-order result of a GetMultiInto. Values live in the
+// arena the call returns; resolve them with ValueIn.
+type MultiItem struct {
+	// Hit reports whether the key was resident; the other fields are only
+	// meaningful when it is true.
+	Hit bool
+	// Flags are the opaque client flags stored with the item.
+	Flags uint32
+	// CAS is the item's compare-and-swap token.
+	CAS uint64
+
+	off, n int
+}
+
+// ValueIn resolves the item's value inside the arena returned by the same
+// GetMultiInto call.
+func (m MultiItem) ValueIn(arena []byte) []byte { return arena[m.off : m.off+m.n] }
+
+// getMultiScratchKeys bounds the stack-resident shard-index scratch; larger
+// batches fall back to one heap allocation for the index array.
+const getMultiScratchKeys = 64
+
+// GetMultiInto is the hot-path multi-get: one result per requested key, in
+// request order, appended into the caller-provided dst and value arena
+// (both are reset and returned, possibly grown). Hits and misses count and
+// promote exactly like per-key Get. Locking is grouped by shard — each
+// touched stripe's lock is taken once per call — and nothing allocates once
+// dst and arena have warmed up to the workload's batch shape (batches over
+// 64 keys pay one index-scratch allocation).
+func (c *Cache) GetMultiInto(keys [][]byte, dst []MultiItem, arena []byte) ([]MultiItem, []byte) {
+	dst, arena = dst[:0], arena[:0]
+	if len(keys) == 0 {
+		return dst, arena
+	}
+	if cap(dst) < len(keys) {
+		dst = make([]MultiItem, len(keys))
+	} else {
+		dst = dst[:len(keys)]
+	}
+	var idxArr [getMultiScratchKeys]int
+	idx := idxArr[:]
+	if len(keys) > len(idxArr) {
+		idx = make([]int, len(keys))
+	} else {
+		idx = idx[:len(keys)]
+	}
+	for i, key := range keys {
+		idx[i] = int(shardHashBytes(key) & c.mask)
+	}
+	for i := range keys {
+		si := idx[i]
+		if si < 0 {
+			continue // already served under an earlier shard's lock
+		}
+		sh := c.shards[si]
+		sh.mu.Lock()
+		now := c.now()
+		for j := i; j < len(keys); j++ {
+			if idx[j] != si {
+				continue
+			}
+			idx[j] = -1
+			it, ok := sh.lookupBytesLocked(keys[j], now)
+			if !ok {
+				sh.misses++
+				dst[j] = MultiItem{}
+				continue
+			}
+			sh.hits++
+			it.LastAccess = now
+			sh.slabs[it.classID].list.moveToFront(it)
+			off := len(arena)
+			arena = append(arena, it.Value...)
+			dst[j] = MultiItem{Hit: true, Flags: it.Flags, CAS: it.casID, off: off, n: len(it.Value)}
+		}
+		sh.mu.Unlock()
+	}
+	return dst, arena
+}

@@ -9,18 +9,21 @@ import "time"
 // request costs at most ShardCount() lock acquisitions. The server's
 // multi-key read path and the bench harness preloads run on these.
 
-// MultiValue is one hit of a GetMulti: the value plus the item's CAS token
-// (so one call serves both `get` and `gets`).
+// MultiValue is one hit of a GetMulti: the value plus the item's client
+// flags and CAS token (so one call serves both `get` and `gets`).
 type MultiValue struct {
-	// Value is the stored bytes.
+	// Value is a copy of the stored bytes.
 	Value []byte
+	// Flags are the opaque client flags stored with the item.
+	Flags uint32
 	// CAS is the item's compare-and-swap token.
 	CAS uint64
 }
 
 // GetMulti looks up every key, refreshing recency and counting hits and
 // misses exactly like per-key Get, and returns the hits keyed by name.
-// Missing or expired keys are simply absent from the result.
+// Missing or expired keys are simply absent from the result. The wire hot
+// path's allocation-free, in-order variant is GetMultiInto.
 func (c *Cache) GetMulti(keys []string) map[string]MultiValue {
 	if len(keys) == 0 {
 		return nil
@@ -36,7 +39,11 @@ func (c *Cache) GetMulti(keys []string) map[string]MultiValue {
 		sh.hits++
 		it.LastAccess = now
 		sh.slabs[it.classID].list.moveToFront(it)
-		out[key] = MultiValue{Value: it.Value, CAS: it.casID}
+		out[key] = MultiValue{
+			Value: append(make([]byte, 0, len(it.Value)), it.Value...),
+			Flags: it.Flags,
+			CAS:   it.casID,
+		}
 	})
 	return out
 }
@@ -76,6 +83,8 @@ type SetItem struct {
 	// Key and Value carry the pair.
 	Key   string
 	Value []byte
+	// Flags are opaque client flags stored with the item.
+	Flags uint32
 	// ExpiresAt is the absolute expiry; zero means the item never expires.
 	ExpiresAt time.Time
 }
@@ -104,13 +113,14 @@ func (c *Cache) SetBatch(items []SetItem) (int, error) {
 			}
 			return
 		}
-		if err := sh.setLocked(item.Key, item.Value, now); err != nil {
+		it, err := sh.setLocked(item.Key, item.Value, item.Flags, now)
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			return
 		}
-		sh.table[item.Key].ExpiresAt = item.ExpiresAt
+		it.ExpiresAt = item.ExpiresAt
 		stored++
 	})
 	return stored, firstErr

@@ -70,6 +70,17 @@ func shardHash(key string) uint64 {
 	return h ^ h>>32
 }
 
+// shardHashBytes is shardHash over a byte-slice key, for wire-path callers
+// that keep keys as parser-owned slices.
+func shardHashBytes(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h ^ h>>32
+}
+
 // pagePool is the shared page allocator. Pages, once acquired by a
 // (shard, class) slab, are never returned — the classic memcached rule —
 // so the pool is a single high-water counter.
@@ -146,26 +157,68 @@ func (sh *shard) lookupLocked(key string, now time.Time) (*Item, bool) {
 	return it, true
 }
 
-// setLocked is the core insert path; callers hold sh.mu.
-func (sh *shard) setLocked(key string, value []byte, ts time.Time) error {
+// lookupBytesLocked is lookupLocked keyed by a byte slice. The compiler
+// elides the string conversion in the map index, so no allocation happens
+// on this path.
+func (sh *shard) lookupBytesLocked(key []byte, now time.Time) (*Item, bool) {
+	it, ok := sh.table[string(key)]
+	if !ok {
+		return nil, false
+	}
+	if it.expired(now) {
+		sh.expireLocked(it)
+		return nil, false
+	}
+	return it, true
+}
+
+// setLocked is the core insert path; callers hold sh.mu. The value is
+// copied into a cache-owned buffer (reused in place when the slab class is
+// unchanged), so callers keep ownership of theirs. Returns the stored item
+// so callers can adjust expiry without a second map lookup.
+func (sh *shard) setLocked(key string, value []byte, flags uint32, ts time.Time) (*Item, error) {
+	return sh.setKeyedLocked(key, nil, value, flags, ts)
+}
+
+// setKeyedLocked is setLocked with the key supplied as a string, a byte
+// slice, or both. Exactly one form is consulted for lookups (keyB wins when
+// non-nil, avoiding a conversion allocation on the wire path); the string
+// is materialized from keyB only when a brand-new item must own its key.
+func (sh *shard) setKeyedLocked(key string, keyB []byte, value []byte, flags uint32, ts time.Time) (*Item, error) {
 	c := sh.owner
-	need := len(key) + len(value) + ItemOverhead
+	keyLen := len(key)
+	if keyB != nil {
+		keyLen = len(keyB)
+	}
+	need := keyLen + len(value) + ItemOverhead
 	classID := classForSize(c.classes, need)
 	if classID < 0 {
-		return &ValueTooLargeError{Key: key, Need: need}
+		if keyB != nil {
+			key = string(keyB)
+		}
+		return nil, &ValueTooLargeError{Key: key, Need: need}
 	}
 
 	cas := c.casSeq.Add(1)
-	if it, ok := sh.table[key]; ok {
+	var it *Item
+	var ok bool
+	if keyB != nil {
+		it, ok = sh.table[string(keyB)]
+	} else {
+		it, ok = sh.table[key]
+	}
+	if ok {
 		if it.classID == classID {
-			// In-place update within the same chunk class.
-			it.Value = value
+			// In-place update within the same chunk class: reuse the
+			// existing buffer, so steady-state overwrites allocate nothing.
+			it.Value = append(it.Value[:0], value...)
+			it.Flags = flags
 			it.LastAccess = ts
 			it.ExpiresAt = time.Time{}
 			it.casID = cas
 			sh.slabs[classID].list.moveToFront(it)
 			sh.sets++
-			return nil
+			return it, nil
 		}
 		// Size class changed: drop and reinsert.
 		sh.removeLocked(it)
@@ -173,14 +226,27 @@ func (sh *shard) setLocked(key string, value []byte, ts time.Time) error {
 
 	sl := sh.slab(classID)
 	if err := sh.reserveChunkLocked(sl); err != nil {
-		return fmt.Errorf("set %q: %w", key, err)
+		if keyB != nil {
+			key = string(keyB)
+		}
+		return nil, fmt.Errorf("set %q: %w", key, err)
 	}
-	it := &Item{Key: key, Value: value, LastAccess: ts, classID: classID, casID: cas}
+	if keyB != nil {
+		key = string(keyB)
+	}
+	it = &Item{
+		Key:        key,
+		Value:      append(make([]byte, 0, len(value)), value...),
+		Flags:      flags,
+		LastAccess: ts,
+		classID:    classID,
+		casID:      cas,
+	}
 	sl.list.pushFront(it)
 	sl.used++
 	sh.table[key] = it
 	sh.sets++
-	return nil
+	return it, nil
 }
 
 // reserveChunkLocked guarantees sl has a free chunk: first by acquiring an

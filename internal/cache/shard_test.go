@@ -249,7 +249,7 @@ func TestGetMultiHitsMissesAndPromotion(t *testing.T) {
 		t.Fatalf("stats after GetMulti = %d hits / %d misses, want 3/2", st.Hits, st.Misses)
 	}
 	// CAS tokens must match the single-key gets path.
-	_, cas, err := c.GetWithCAS("key-11")
+	_, _, cas, err := c.GetWithCAS("key-11")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -197,8 +197,8 @@ func (c *Cluster) MultiGetContext(ctx context.Context, keys []string) (map[strin
 	}
 
 	type result struct {
-		values map[string][]byte
-		err    error
+		hits []hit
+		err  error
 	}
 	owners := make([]string, 0, len(byOwner))
 	for o := range byOwner {
@@ -211,8 +211,8 @@ func (c *Cluster) MultiGetContext(ctx context.Context, keys []string) (map[strin
 		wg.Add(1)
 		go func(i int, owner string) {
 			defer wg.Done()
-			values, err := c.getFromNode(ctx, owner, byOwner[owner])
-			results[i] = result{values: values, err: err}
+			hits, err := c.getFromNode(ctx, owner, byOwner[owner])
+			results[i] = result{hits: hits, err: err}
 		}(i, owner)
 	}
 	wg.Wait()
@@ -222,8 +222,8 @@ func (c *Cluster) MultiGetContext(ctx context.Context, keys []string) (map[strin
 		if r.err != nil {
 			return nil, fmt.Errorf("multi-get from %s: %w", owners[i], r.err)
 		}
-		for k, v := range r.values {
-			out[k] = v
+		for _, h := range r.hits {
+			out[h.key] = h.value
 		}
 	}
 	return out, nil
@@ -329,18 +329,43 @@ func (c *Cluster) Close() {
 	}
 }
 
-// getFromNode issues one multi-get to a node.
-func (c *Cluster) getFromNode(ctx context.Context, addr string, keys []string) (map[string][]byte, error) {
-	var values map[string][]byte
+// hit is one returned key/value of a node multi-get.
+type hit struct {
+	key   string
+	value []byte
+}
+
+// getFromNode issues one multi-get to a node. The server emits VALUE
+// blocks in request order — an ordered subsequence of keys — so hits are
+// matched positionally while streaming through ReadValuesFunc: no per-node
+// result map and no re-allocated key strings, just one value copy per hit.
+func (c *Cluster) getFromNode(ctx context.Context, addr string, keys []string) ([]hit, error) {
+	hits := make([]hit, 0, len(keys))
 	err := c.withConnCtx(ctx, addr, func(conn *poolConn) error {
+		hits = hits[:0]
 		if err := conn.write(memproto.FormatGet(keys)); err != nil {
 			return err
 		}
-		var err error
-		values, err = conn.reply.ReadValues()
-		return err
+		j := 0
+		return conn.reply.ReadValuesFunc(func(key string, _ uint32, value []byte, _ uint64) error {
+			for j < len(keys) && keys[j] != key {
+				j++ // keys[j] missed: no VALUE block was emitted for it
+			}
+			if j == len(keys) {
+				return fmt.Errorf("client: unexpected key %q in multi-get reply", key)
+			}
+			hits = append(hits, hit{
+				key:   keys[j],
+				value: append(make([]byte, 0, len(value)), value...),
+			})
+			j++
+			return nil
+		})
 	})
-	return values, err
+	if err != nil {
+		return nil, err
+	}
+	return hits, nil
 }
 
 // withConn runs fn with a pooled connection to addr, discarding the

@@ -75,7 +75,7 @@ func TestParseIncrDecr(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if req.Command != CmdIncr || req.Delta != 5 || req.Keys[0] != "counter" {
+	if req.Command != CmdIncr || req.Delta != 5 || string(req.Keys[0]) != "counter" {
 		t.Fatalf("req = %+v", req)
 	}
 	req, err = parseOne(t, "decr counter 3 noreply\r\n")

@@ -2,15 +2,20 @@
 // ElMem testbed uses (Section II-A): get (multi-key), set, delete, touch,
 // stats, flush_all, version, and quit. It provides a parser and response
 // writers shared by the node server and the client library.
+//
+// The parser is built for the serving hot path: it performs zero heap
+// allocations per request in steady state. One Request struct is reused
+// across Next calls, keys are byte slices into parser-owned buffers,
+// values land in a scratch buffer that grows once per connection, and
+// field splitting and number parsing are hand-rolled so no intermediate
+// strings are materialized. See DESIGN.md, "Data-path hot path".
 package memproto
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
 )
 
 // Command identifies a parsed request type.
@@ -44,6 +49,10 @@ const (
 	MaxValueLen = 1 << 20
 	// maxLineLen bounds a request line (keys in a multi-get).
 	maxLineLen = 64 << 10
+	// maxSkipBytes bounds how much of an oversized value body the parser
+	// will read and discard to keep the stream in sync; beyond it the
+	// connection is declared desynchronized.
+	maxSkipBytes = 8 << 20
 )
 
 var (
@@ -53,13 +62,42 @@ var (
 	ErrTooLarge = errors.New("memproto: key or value too large")
 )
 
-// Request is one parsed client request.
+// desyncError marks a protocol error after which the parser no longer
+// knows where the next request begins, so the connection must close.
+type desyncError struct{ err error }
+
+func (e *desyncError) Error() string { return e.err.Error() }
+func (e *desyncError) Unwrap() error { return e.err }
+
+func desync(err error) error { return &desyncError{err: err} }
+
+// IsRecoverable reports whether the connection can keep serving after a
+// Next error: the parser consumed the offending line (and, for storage
+// commands with a parseable byte count, the data block) and is positioned
+// at the start of the next request, so the server can answer CLIENT_ERROR
+// and resync — real memcached's behavior. I/O errors and desynchronized
+// streams are not recoverable.
+func IsRecoverable(err error) bool {
+	if err == nil {
+		return true
+	}
+	var d *desyncError
+	if errors.As(err, &d) {
+		return false
+	}
+	return errors.Is(err, ErrProtocol) || errors.Is(err, ErrTooLarge)
+}
+
+// Request is one parsed client request. The Parser returns the same
+// Request on every Next call: all fields, including the key and value
+// byte slices, are only valid until the next Next call.
 type Request struct {
 	// Command is the request type.
 	Command Command
-	// Keys holds the key (set/delete/touch) or keys (get).
-	Keys []string
-	// Value is the payload of a set.
+	// Keys holds the key (set/delete/touch) or keys (get). The slices
+	// alias parser-owned buffers; copy them to retain past the request.
+	Keys [][]byte
+	// Value is the payload of a set, aliasing the parser's scratch buffer.
 	Value []byte
 	// Flags and Exptime echo the set/touch parameters (stored opaquely).
 	Flags   uint32
@@ -72,9 +110,16 @@ type Request struct {
 	NoReply bool
 }
 
-// Parser reads requests from a stream.
+// Parser reads requests from a stream. It is not safe for concurrent use;
+// each connection owns one Parser (servers pool them via Reset).
 type Parser struct {
 	r *bufio.Reader
+
+	req    Request  // reused across Next calls
+	fields [][]byte // field-split scratch
+	line   []byte   // spillover scratch for lines longer than the read buffer
+	key    []byte   // storage-command key scratch (must survive the body read)
+	val    []byte   // value scratch: grows to the largest body seen
 }
 
 // NewParser wraps a reader.
@@ -82,19 +127,34 @@ func NewParser(r io.Reader) *Parser {
 	return &Parser{r: bufio.NewReaderSize(r, 16<<10)}
 }
 
-// Next reads and parses one request. io.EOF signals a clean close.
+// Reset repoints the parser at a new stream, keeping its internal buffers.
+// Servers use it to pool per-connection parser state.
+func (p *Parser) Reset(r io.Reader) {
+	p.r.Reset(r)
+}
+
+// Buffered reports how many request bytes are already buffered. The
+// server's flush-coalescing rule flushes responses only when this is zero,
+// i.e. when no further pipelined requests are queued.
+func (p *Parser) Buffered() int { return p.r.Buffered() }
+
+// Next reads and parses one request. io.EOF signals a clean close. The
+// returned Request is reused: it and its byte slices are invalidated by
+// the following Next call. Errors for which IsRecoverable returns true
+// leave the stream positioned at the next request line.
 func (p *Parser) Next() (*Request, error) {
 	line, err := p.readLine()
 	if err != nil {
 		return nil, err
 	}
-	if len(line) == 0 {
+	p.fields = splitFields(line, p.fields[:0])
+	if len(p.fields) == 0 {
 		return nil, fmt.Errorf("%w: empty command line", ErrProtocol)
 	}
-	fields := bytes.Fields(line)
-	cmd := string(fields[0])
-	args := fields[1:]
-	switch cmd {
+	req := &p.req
+	*req = Request{Keys: req.Keys[:0]}
+	args := p.fields[1:]
+	switch string(p.fields[0]) {
 	case "get":
 		return p.parseGet(args, CmdGet)
 	case "gets":
@@ -110,7 +170,7 @@ func (p *Parser) Next() (*Request, error) {
 	case "prepend":
 		return p.parseStore(args, CmdPrepend)
 	case "cas":
-		return p.parseCas(args)
+		return p.parseStore(args, CmdCas)
 	case "incr":
 		return p.parseArith(args, CmdIncr)
 	case "decr":
@@ -120,131 +180,226 @@ func (p *Parser) Next() (*Request, error) {
 	case "touch":
 		return p.parseTouch(args)
 	case "stats":
-		return &Request{Command: CmdStats}, nil
+		req.Command = CmdStats
+		return req, nil
 	case "flush_all":
-		req := &Request{Command: CmdFlushAll}
+		req.Command = CmdFlushAll
 		req.NoReply = hasNoReply(args)
 		return req, nil
 	case "version":
-		return &Request{Command: CmdVersion}, nil
+		req.Command = CmdVersion
+		return req, nil
 	case "quit":
-		return &Request{Command: CmdQuit}, nil
+		req.Command = CmdQuit
+		return req, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, cmd)
+		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, p.fields[0])
 	}
 }
 
+// readLine returns one request line without its terminator. The returned
+// slice aliases the read buffer (or p.line for oversized lines) and is
+// valid until the next read. An over-limit line is consumed through its
+// newline so the error is recoverable.
 func (p *Parser) readLine() ([]byte, error) {
-	line, err := p.r.ReadBytes('\n')
-	if err != nil {
-		if err == io.EOF && len(line) == 0 {
+	line, err := p.r.ReadSlice('\n')
+	if err == nil {
+		return trimCRLF(line), nil
+	}
+	switch {
+	case err == io.EOF:
+		if len(line) == 0 {
 			return nil, io.EOF
 		}
-		if err == io.EOF {
-			return nil, io.ErrUnexpectedEOF
-		}
+		return nil, io.ErrUnexpectedEOF
+	case err != bufio.ErrBufferFull:
 		return nil, err
 	}
-	if len(line) > maxLineLen {
-		return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrTooLarge, maxLineLen)
+	// Line longer than the read buffer: spill into the scratch.
+	p.line = append(p.line[:0], line...)
+	for {
+		if len(p.line) > maxLineLen {
+			if err := p.drainLine(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrTooLarge, maxLineLen)
+		}
+		line, err = p.r.ReadSlice('\n')
+		p.line = append(p.line, line...)
+		switch {
+		case err == nil:
+			return trimCRLF(p.line), nil
+		case err == io.EOF:
+			return nil, io.ErrUnexpectedEOF
+		case err != bufio.ErrBufferFull:
+			return nil, err
+		}
 	}
-	// Strip \r\n (tolerate bare \n).
-	line = line[:len(line)-1]
+}
+
+// drainLine consumes the rest of the current line, discarding it.
+func (p *Parser) drainLine() error {
+	for {
+		_, err := p.r.ReadSlice('\n')
+		switch {
+		case err == nil:
+			return nil
+		case err == bufio.ErrBufferFull:
+			continue
+		case err == io.EOF:
+			return io.ErrUnexpectedEOF
+		default:
+			return err
+		}
+	}
+}
+
+func trimCRLF(line []byte) []byte {
+	line = line[:len(line)-1] // '\n'
 	if n := len(line); n > 0 && line[n-1] == '\r' {
 		line = line[:n-1]
 	}
-	return line, nil
+	return line
+}
+
+// splitFields splits on runs of spaces and tabs without allocating; out is
+// the caller's reusable backing slice.
+func splitFields(line []byte, out [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			out = append(out, line[start:i])
+		}
+	}
+	return out
 }
 
 func (p *Parser) parseGet(args [][]byte, cmd Command) (*Request, error) {
 	if len(args) == 0 {
 		return nil, fmt.Errorf("%w: get requires at least one key", ErrProtocol)
 	}
-	req := &Request{Command: cmd, Keys: make([]string, 0, len(args))}
 	for _, a := range args {
 		if err := validateKey(a); err != nil {
 			return nil, err
 		}
-		req.Keys = append(req.Keys, string(a))
+		p.req.Keys = append(p.req.Keys, a)
 	}
-	return req, nil
+	p.req.Command = cmd
+	return &p.req, nil
 }
 
-// parseStore handles set/add/replace/append/prepend:
-// <cmd> <key> <flags> <exptime> <bytes> [noreply]
+// parseStore handles the storage family:
+//
+//	set|add|replace|append|prepend <key> <flags> <exptime> <bytes> [noreply]
+//	cas <key> <flags> <exptime> <bytes> <casid> [noreply]
+//
+// Every line field is validated before the data block is read, so a bad
+// command line with a parseable byte count can skip its body and recover.
 func (p *Parser) parseStore(args [][]byte, cmd Command) (*Request, error) {
-	if len(args) < 4 || len(args) > 5 {
-		return nil, fmt.Errorf("%w: storage command requires 4 or 5 arguments", ErrProtocol)
+	fixed := 4 // key flags exptime bytes
+	if cmd == CmdCas {
+		fixed = 5 // + casid
 	}
-	if err := validateKey(args[0]); err != nil {
-		return nil, err
+	if len(args) < fixed || len(args) > fixed+1 {
+		return nil, fmt.Errorf("%w: storage command requires %d or %d arguments", ErrProtocol, fixed, fixed+1)
 	}
-	flags, err := strconv.ParseUint(string(args[1]), 10, 32)
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad flags: %v", ErrProtocol, err)
-	}
-	exptime, err := strconv.ParseInt(string(args[2]), 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad exptime: %v", ErrProtocol, err)
-	}
-	size, err := strconv.ParseInt(string(args[3]), 10, 64)
-	if err != nil || size < 0 {
+	// The byte count first: knowing it lets every later error skip the
+	// data block and keep the stream in sync.
+	size64, sizeOK := parseUint64(args[3])
+	if !sizeOK {
+		// No trustworthy body length: the data block, if any, will be
+		// misread as command lines and rejected one by one — exactly how
+		// real memcached resyncs after a bad byte count.
 		return nil, fmt.Errorf("%w: bad byte count", ErrProtocol)
 	}
-	if size > MaxValueLen {
-		return nil, fmt.Errorf("%w: value of %d bytes", ErrTooLarge, size)
+	if size64 > maxSkipBytes {
+		// Parseable but beyond what the parser will read-and-discard to
+		// stay aligned; the body, if present, resyncs like a bad count.
+		return nil, fmt.Errorf("%w: value of %d bytes", ErrTooLarge, size64)
 	}
-	req := &Request{
-		Command: cmd,
-		Keys:    []string{string(args[0])},
-		Flags:   uint32(flags),
-		Exptime: exptime,
-	}
-	if len(args) == 5 {
-		if string(args[4]) != "noreply" {
-			return nil, fmt.Errorf("%w: unexpected token %q", ErrProtocol, args[4])
+	size := int(size64)
+	fail := func(err error) (*Request, error) {
+		if derr := p.discardBody(size); derr != nil {
+			// The body could not be skipped (stream truncated or broken):
+			// keep the original cause but mark the stream desynchronized.
+			return nil, desync(err)
 		}
-		req.NoReply = true
+		return nil, err
 	}
-	value := make([]byte, size)
-	if _, err := io.ReadFull(p.r, value); err != nil {
-		return nil, fmt.Errorf("%w: short value read: %v", ErrProtocol, err)
+	if size > MaxValueLen {
+		return fail(fmt.Errorf("%w: value of %d bytes", ErrTooLarge, size))
 	}
-	// Consume the trailing \r\n.
-	tail := make([]byte, 2)
-	if _, err := io.ReadFull(p.r, tail); err != nil {
-		return nil, fmt.Errorf("%w: missing value terminator", ErrProtocol)
+	if err := validateKey(args[0]); err != nil {
+		return fail(err)
 	}
-	if tail[0] != '\r' || tail[1] != '\n' {
-		return nil, fmt.Errorf("%w: bad value terminator", ErrProtocol)
+	flags, ok := parseUint32(args[1])
+	if !ok {
+		return fail(fmt.Errorf("%w: bad flags", ErrProtocol))
 	}
-	req.Value = value
-	return req, nil
-}
-
-// parseCas handles: cas <key> <flags> <exptime> <bytes> <casid> [noreply]
-func (p *Parser) parseCas(args [][]byte) (*Request, error) {
-	if len(args) < 5 || len(args) > 6 {
-		return nil, fmt.Errorf("%w: cas requires 5 or 6 arguments", ErrProtocol)
+	exptime, ok := parseInt64(args[2])
+	if !ok {
+		return fail(fmt.Errorf("%w: bad exptime", ErrProtocol))
+	}
+	var casID uint64
+	if cmd == CmdCas {
+		casID, ok = parseUint64(args[4])
+		if !ok {
+			return fail(fmt.Errorf("%w: bad cas token", ErrProtocol))
+		}
 	}
 	noreply := false
-	if len(args) == 6 {
-		if string(args[5]) != "noreply" {
-			return nil, fmt.Errorf("%w: unexpected token %q", ErrProtocol, args[5])
+	if len(args) == fixed+1 {
+		if string(args[fixed]) != "noreply" {
+			return fail(fmt.Errorf("%w: unexpected token %q", ErrProtocol, args[fixed]))
 		}
 		noreply = true
 	}
-	casID, err := strconv.ParseUint(string(args[4]), 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad cas token: %v", ErrProtocol, err)
+
+	// The line is fully parsed. Copy the key out of the line buffer —
+	// reading the body below may refill the buffer under it.
+	p.key = append(p.key[:0], args[0]...)
+
+	// Read value and trailing \r\n in one ReadFull into the scratch.
+	need := size + 2
+	if cap(p.val) < need {
+		p.val = make([]byte, need)
 	}
-	req, err := p.parseStore(args[:4], CmdCas)
-	if err != nil {
-		return nil, err
+	body := p.val[:need]
+	if _, err := io.ReadFull(p.r, body); err != nil {
+		return nil, desync(fmt.Errorf("%w: short value read: %v", ErrProtocol, err))
 	}
+	if body[size] != '\r' || body[size+1] != '\n' {
+		// The stream consumed exactly size+2 bytes; if the client's byte
+		// count was right this is the next line boundary, so let the
+		// connection try to continue — memcached's "bad data chunk" path.
+		return nil, fmt.Errorf("%w: bad value terminator", ErrProtocol)
+	}
+
+	req := &p.req
+	req.Command = cmd
+	req.Keys = append(req.Keys, p.key)
+	req.Value = body[:size]
+	req.Flags = flags
+	req.Exptime = exptime
 	req.CAS = casID
 	req.NoReply = noreply
 	return req, nil
+}
+
+// discardBody skips a data block plus its \r\n terminator.
+func (p *Parser) discardBody(size int) error {
+	_, err := p.r.Discard(size + 2)
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // parseArith handles: incr|decr <key> <delta> [noreply]
@@ -255,11 +410,14 @@ func (p *Parser) parseArith(args [][]byte, cmd Command) (*Request, error) {
 	if err := validateKey(args[0]); err != nil {
 		return nil, err
 	}
-	delta, err := strconv.ParseUint(string(args[1]), 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad delta: %v", ErrProtocol, err)
+	delta, ok := parseUint64(args[1])
+	if !ok {
+		return nil, fmt.Errorf("%w: bad delta", ErrProtocol)
 	}
-	req := &Request{Command: cmd, Keys: []string{string(args[0])}, Delta: delta}
+	req := &p.req
+	req.Command = cmd
+	req.Keys = append(req.Keys, args[0])
+	req.Delta = delta
 	req.NoReply = hasNoReply(args[2:])
 	return req, nil
 }
@@ -271,7 +429,9 @@ func (p *Parser) parseDelete(args [][]byte) (*Request, error) {
 	if err := validateKey(args[0]); err != nil {
 		return nil, err
 	}
-	req := &Request{Command: CmdDelete, Keys: []string{string(args[0])}}
+	req := &p.req
+	req.Command = CmdDelete
+	req.Keys = append(req.Keys, args[0])
 	req.NoReply = hasNoReply(args[1:])
 	return req, nil
 }
@@ -283,11 +443,14 @@ func (p *Parser) parseTouch(args [][]byte) (*Request, error) {
 	if err := validateKey(args[0]); err != nil {
 		return nil, err
 	}
-	exptime, err := strconv.ParseInt(string(args[1]), 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad exptime: %v", ErrProtocol, err)
+	exptime, ok := parseInt64(args[1])
+	if !ok {
+		return nil, fmt.Errorf("%w: bad exptime", ErrProtocol)
 	}
-	req := &Request{Command: CmdTouch, Keys: []string{string(args[0])}, Exptime: exptime}
+	req := &p.req
+	req.Command = CmdTouch
+	req.Keys = append(req.Keys, args[0])
+	req.Exptime = exptime
 	req.NoReply = hasNoReply(args[2:])
 	return req, nil
 }
@@ -311,113 +474,51 @@ func validateKey(key []byte) error {
 	return nil
 }
 
-// Response writers. All take a *bufio.Writer the caller flushes.
+// Hand-rolled numeric parsers: strconv would force a string conversion
+// (an allocation) per field on the hot path.
 
-// WriteValue writes one VALUE block of a get response.
-func WriteValue(w *bufio.Writer, key string, flags uint32, value []byte) error {
-	if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(value)); err != nil {
-		return err
+// parseUint64 parses a decimal uint64, rejecting empty input, non-digits,
+// and overflow.
+func parseUint64(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
 	}
-	if _, err := w.Write(value); err != nil {
-		return err
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
 	}
-	_, err := w.WriteString("\r\n")
-	return err
+	return n, true
 }
 
-// WriteValueCAS writes one VALUE block of a gets response, including the
-// item's CAS token.
-func WriteValueCAS(w *bufio.Writer, key string, flags uint32, value []byte, casToken uint64) error {
-	if _, err := fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", key, flags, len(value), casToken); err != nil {
-		return err
+// parseUint32 is parseUint64 range-checked to 32 bits.
+func parseUint32(b []byte) (uint32, bool) {
+	n, ok := parseUint64(b)
+	if !ok || n > 1<<32-1 {
+		return 0, false
 	}
-	if _, err := w.Write(value); err != nil {
-		return err
+	return uint32(n), true
+}
+
+// parseInt64 parses a decimal int64 with an optional leading minus.
+func parseInt64(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
 	}
-	_, err := w.WriteString("\r\n")
-	return err
-}
-
-// WriteExists reports a cas conflict.
-func WriteExists(w *bufio.Writer) error {
-	_, err := w.WriteString("EXISTS\r\n")
-	return err
-}
-
-// WriteNumber reports an incr/decr result.
-func WriteNumber(w *bufio.Writer, v uint64) error {
-	_, err := fmt.Fprintf(w, "%d\r\n", v)
-	return err
-}
-
-// WriteEnd terminates a get or stats response.
-func WriteEnd(w *bufio.Writer) error {
-	_, err := w.WriteString("END\r\n")
-	return err
-}
-
-// WriteStored acknowledges a set.
-func WriteStored(w *bufio.Writer) error {
-	_, err := w.WriteString("STORED\r\n")
-	return err
-}
-
-// WriteNotStored reports a failed conditional store.
-func WriteNotStored(w *bufio.Writer) error {
-	_, err := w.WriteString("NOT_STORED\r\n")
-	return err
-}
-
-// WriteDeleted acknowledges a delete.
-func WriteDeleted(w *bufio.Writer) error {
-	_, err := w.WriteString("DELETED\r\n")
-	return err
-}
-
-// WriteNotFound reports a missing key for delete/touch.
-func WriteNotFound(w *bufio.Writer) error {
-	_, err := w.WriteString("NOT_FOUND\r\n")
-	return err
-}
-
-// WriteTouched acknowledges a touch.
-func WriteTouched(w *bufio.Writer) error {
-	_, err := w.WriteString("TOUCHED\r\n")
-	return err
-}
-
-// WriteOK acknowledges flush_all.
-func WriteOK(w *bufio.Writer) error {
-	_, err := w.WriteString("OK\r\n")
-	return err
-}
-
-// WriteVersion reports the server version.
-func WriteVersion(w *bufio.Writer, version string) error {
-	_, err := fmt.Fprintf(w, "VERSION %s\r\n", version)
-	return err
-}
-
-// WriteStat writes one STAT line.
-func WriteStat(w *bufio.Writer, name, value string) error {
-	_, err := fmt.Fprintf(w, "STAT %s %s\r\n", name, value)
-	return err
-}
-
-// WriteClientError reports a client-caused failure.
-func WriteClientError(w *bufio.Writer, msg string) error {
-	_, err := fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", msg)
-	return err
-}
-
-// WriteServerError reports a server-side failure.
-func WriteServerError(w *bufio.Writer, msg string) error {
-	_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", msg)
-	return err
-}
-
-// WriteError reports an unknown command.
-func WriteError(w *bufio.Writer) error {
-	_, err := w.WriteString("ERROR\r\n")
-	return err
+	n, ok := parseUint64(b)
+	if !ok || n > 1<<63-1 {
+		return 0, false
+	}
+	if neg {
+		return -int64(n), true
+	}
+	return int64(n), true
 }

@@ -20,7 +20,7 @@ func TestParseGetSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if req.Command != CmdGet || len(req.Keys) != 1 || req.Keys[0] != "foo" {
+	if req.Command != CmdGet || len(req.Keys) != 1 || string(req.Keys[0]) != "foo" {
 		t.Fatalf("req = %+v", req)
 	}
 }
@@ -30,7 +30,7 @@ func TestParseGetMulti(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(req.Keys) != 3 || req.Keys[2] != "c" {
+	if len(req.Keys) != 3 || string(req.Keys[2]) != "c" {
 		t.Fatalf("keys = %v", req.Keys)
 	}
 }
@@ -50,7 +50,7 @@ func TestParseSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if req.Command != CmdSet || req.Keys[0] != "foo" {
+	if req.Command != CmdSet || string(req.Keys[0]) != "foo" {
 		t.Fatalf("req = %+v", req)
 	}
 	if req.Flags != 7 || !bytes.Equal(req.Value, []byte("hello")) {
@@ -121,7 +121,7 @@ func TestParseDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if req.Command != CmdDelete || req.Keys[0] != "foo" {
+	if req.Command != CmdDelete || string(req.Keys[0]) != "foo" {
 		t.Fatalf("req = %+v", req)
 	}
 	req, err = parseOne(t, "delete foo noreply\r\n")
@@ -212,7 +212,7 @@ func TestParseBareLF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if req.Keys[0] != "foo" {
+	if string(req.Keys[0]) != "foo" {
 		t.Fatalf("keys = %v", req.Keys)
 	}
 }
@@ -244,7 +244,7 @@ func TestRoundTripSetProperty(t *testing.T) {
 			return false
 		}
 		return req.Command == CmdSet &&
-			req.Keys[0] == "some-key" &&
+			string(req.Keys[0]) == "some-key" &&
 			req.Flags == flags &&
 			bytes.Equal(req.Value, raw)
 	}

@@ -16,7 +16,8 @@ var ErrServer = errors.New("memproto: server reported error")
 
 // ReplyReader parses server responses on the client side.
 type ReplyReader struct {
-	r *bufio.Reader
+	r   *bufio.Reader
+	val []byte // value scratch reused by ReadValuesFunc
 }
 
 // NewReplyReader wraps a reader.
@@ -45,35 +46,57 @@ func errorFromLine(line string) error {
 	return nil
 }
 
+// ReadValuesFunc consumes a get/gets response — zero or more VALUE blocks
+// followed by END — invoking fn for each block in arrival order. The value
+// slice aliases a scratch buffer reused across blocks: copy it to retain
+// it past fn's return. This is the allocation-light path the cluster
+// client's positional multi-get matching runs on.
+func (rr *ReplyReader) ReadValuesFunc(fn func(key string, flags uint32, value []byte, casToken uint64) error) error {
+	for {
+		line, err := rr.readLine()
+		if err != nil {
+			return err
+		}
+		if line == "END" {
+			return nil
+		}
+		if err := errorFromLine(line); err != nil {
+			return err
+		}
+		key, flags, size, casToken, err := parseValueLine(line)
+		if err != nil {
+			return err
+		}
+		// Read value and trailing \r\n in one ReadFull into the scratch.
+		need := size + 2
+		if cap(rr.val) < need {
+			rr.val = make([]byte, need)
+		}
+		body := rr.val[:need]
+		if _, err := io.ReadFull(rr.r, body); err != nil {
+			return fmt.Errorf("%w: short value: %v", ErrProtocol, err)
+		}
+		if !bytes.Equal(body[size:], []byte("\r\n")) {
+			return fmt.Errorf("%w: bad value terminator", ErrProtocol)
+		}
+		if err := fn(key, flags, body[:size], casToken); err != nil {
+			return err
+		}
+	}
+}
+
 // ReadValues consumes a get response: zero or more VALUE blocks followed
 // by END. Returns key → value.
 func (rr *ReplyReader) ReadValues() (map[string][]byte, error) {
 	out := make(map[string][]byte)
-	for {
-		line, err := rr.readLine()
-		if err != nil {
-			return nil, err
-		}
-		if line == "END" {
-			return out, nil
-		}
-		if err := errorFromLine(line); err != nil {
-			return nil, err
-		}
-		key, _, size, _, err := parseValueLine(line)
-		if err != nil {
-			return nil, err
-		}
-		value := make([]byte, size)
-		if _, err := io.ReadFull(rr.r, value); err != nil {
-			return nil, fmt.Errorf("%w: short value: %v", ErrProtocol, err)
-		}
-		tail := make([]byte, 2)
-		if _, err := io.ReadFull(rr.r, tail); err != nil || !bytes.Equal(tail, []byte("\r\n")) {
-			return nil, fmt.Errorf("%w: bad value terminator", ErrProtocol)
-		}
-		out[key] = value
+	err := rr.ReadValuesFunc(func(key string, _ uint32, value []byte, _ uint64) error {
+		out[key] = append(make([]byte, 0, len(value)), value...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // ValueCAS is one entry of a gets response.
@@ -88,31 +111,17 @@ type ValueCAS struct {
 // tokens, terminated by END.
 func (rr *ReplyReader) ReadValuesCAS() (map[string]ValueCAS, error) {
 	out := make(map[string]ValueCAS)
-	for {
-		line, err := rr.readLine()
-		if err != nil {
-			return nil, err
+	err := rr.ReadValuesFunc(func(key string, _ uint32, value []byte, casToken uint64) error {
+		out[key] = ValueCAS{
+			Value: append(make([]byte, 0, len(value)), value...),
+			CAS:   casToken,
 		}
-		if line == "END" {
-			return out, nil
-		}
-		if err := errorFromLine(line); err != nil {
-			return nil, err
-		}
-		key, _, size, casToken, err := parseValueLine(line)
-		if err != nil {
-			return nil, err
-		}
-		value := make([]byte, size)
-		if _, err := io.ReadFull(rr.r, value); err != nil {
-			return nil, fmt.Errorf("%w: short value: %v", ErrProtocol, err)
-		}
-		tail := make([]byte, 2)
-		if _, err := io.ReadFull(rr.r, tail); err != nil || !bytes.Equal(tail, []byte("\r\n")) {
-			return nil, fmt.Errorf("%w: bad value terminator", ErrProtocol)
-		}
-		out[key] = ValueCAS{Value: value, CAS: casToken}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // parseValueLine parses "VALUE <key> <flags> <bytes> [<cas>]".

@@ -1,0 +1,293 @@
+package memproto
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ReplyWriter renders server responses into an owned buffered writer with
+// zero heap allocations per reply: numbers are formatted with
+// strconv.Append* into a scratch buffer that lives with the writer, so the
+// serving hot path never touches fmt. One ReplyWriter serves one
+// connection; servers pool them via Reset.
+//
+// Errors are sticky through the underlying bufio.Writer: intermediate
+// write errors surface on the final write or on Flush, so methods only
+// return the last write's error.
+type ReplyWriter struct {
+	w   *bufio.Writer
+	num []byte // strconv.Append* scratch
+}
+
+// NewReplyWriter wraps w in a ReplyWriter with a 16 KiB buffer.
+func NewReplyWriter(w io.Writer) *ReplyWriter {
+	return &ReplyWriter{
+		w:   bufio.NewWriterSize(w, 16<<10),
+		num: make([]byte, 0, 64),
+	}
+}
+
+// Reset repoints the writer at a new stream, keeping its buffers.
+func (rw *ReplyWriter) Reset(w io.Writer) { rw.w.Reset(w) }
+
+// Flush writes buffered responses to the connection. The server calls it
+// only when the request parser has no more pipelined input buffered.
+func (rw *ReplyWriter) Flush() error { return rw.w.Flush() }
+
+// Buffered reports bytes pending in the write buffer.
+func (rw *ReplyWriter) Buffered() int { return rw.w.Buffered() }
+
+// writeUint formats a decimal into the scratch and emits it.
+func (rw *ReplyWriter) writeUint(v uint64) {
+	rw.num = strconv.AppendUint(rw.num[:0], v, 10)
+	_, _ = rw.w.Write(rw.num)
+}
+
+// Value writes one VALUE block of a get response.
+func (rw *ReplyWriter) Value(key []byte, flags uint32, value []byte) error {
+	_, _ = rw.w.WriteString("VALUE ")
+	_, _ = rw.w.Write(key)
+	_ = rw.w.WriteByte(' ')
+	rw.writeUint(uint64(flags))
+	_ = rw.w.WriteByte(' ')
+	rw.writeUint(uint64(len(value)))
+	_, _ = rw.w.WriteString("\r\n")
+	_, _ = rw.w.Write(value)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+// ValueCAS writes one VALUE block of a gets response, including the CAS
+// token.
+func (rw *ReplyWriter) ValueCAS(key []byte, flags uint32, value []byte, casToken uint64) error {
+	_, _ = rw.w.WriteString("VALUE ")
+	_, _ = rw.w.Write(key)
+	_ = rw.w.WriteByte(' ')
+	rw.writeUint(uint64(flags))
+	_ = rw.w.WriteByte(' ')
+	rw.writeUint(uint64(len(value)))
+	_ = rw.w.WriteByte(' ')
+	rw.writeUint(casToken)
+	_, _ = rw.w.WriteString("\r\n")
+	_, _ = rw.w.Write(value)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+// Number reports an incr/decr result.
+func (rw *ReplyWriter) Number(v uint64) error {
+	rw.writeUint(v)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+func (rw *ReplyWriter) writeLine(s string) error {
+	_, err := rw.w.WriteString(s)
+	return err
+}
+
+// End terminates a get or stats response.
+func (rw *ReplyWriter) End() error { return rw.writeLine("END\r\n") }
+
+// Stored acknowledges a set.
+func (rw *ReplyWriter) Stored() error { return rw.writeLine("STORED\r\n") }
+
+// NotStored reports a failed conditional store.
+func (rw *ReplyWriter) NotStored() error { return rw.writeLine("NOT_STORED\r\n") }
+
+// Exists reports a cas conflict.
+func (rw *ReplyWriter) Exists() error { return rw.writeLine("EXISTS\r\n") }
+
+// Deleted acknowledges a delete.
+func (rw *ReplyWriter) Deleted() error { return rw.writeLine("DELETED\r\n") }
+
+// NotFound reports a missing key for delete/touch/cas.
+func (rw *ReplyWriter) NotFound() error { return rw.writeLine("NOT_FOUND\r\n") }
+
+// Touched acknowledges a touch.
+func (rw *ReplyWriter) Touched() error { return rw.writeLine("TOUCHED\r\n") }
+
+// OK acknowledges flush_all.
+func (rw *ReplyWriter) OK() error { return rw.writeLine("OK\r\n") }
+
+// Error reports an unknown command.
+func (rw *ReplyWriter) Error() error { return rw.writeLine("ERROR\r\n") }
+
+// Version reports the server version.
+func (rw *ReplyWriter) Version(version string) error {
+	_, _ = rw.w.WriteString("VERSION ")
+	_, _ = rw.w.WriteString(version)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+// Stat writes one STAT line.
+func (rw *ReplyWriter) Stat(name, value string) error {
+	_, _ = rw.w.WriteString("STAT ")
+	_, _ = rw.w.WriteString(name)
+	_ = rw.w.WriteByte(' ')
+	_, _ = rw.w.WriteString(value)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+// StatUint writes one STAT line with a numeric value, avoiding the
+// strconv.Format allocation of Stat.
+func (rw *ReplyWriter) StatUint(name string, v uint64) error {
+	_, _ = rw.w.WriteString("STAT ")
+	_, _ = rw.w.WriteString(name)
+	_ = rw.w.WriteByte(' ')
+	rw.writeUint(v)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+// ClientError reports a client-caused failure.
+func (rw *ReplyWriter) ClientError(msg string) error {
+	_, _ = rw.w.WriteString("CLIENT_ERROR ")
+	_, _ = rw.w.WriteString(msg)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+// ServerError reports a server-side failure.
+func (rw *ReplyWriter) ServerError(msg string) error {
+	_, _ = rw.w.WriteString("SERVER_ERROR ")
+	_, _ = rw.w.WriteString(msg)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+// Legacy free-function writers over a caller-owned bufio.Writer. The node
+// server runs on ReplyWriter; these remain for tests and ad-hoc tools.
+// They avoid fmt but may allocate for number formatting.
+
+// WriteValue writes one VALUE block of a get response.
+func WriteValue(w *bufio.Writer, key string, flags uint32, value []byte) error {
+	var num [20]byte
+	_, _ = w.WriteString("VALUE ")
+	_, _ = w.WriteString(key)
+	_ = w.WriteByte(' ')
+	_, _ = w.Write(strconv.AppendUint(num[:0], uint64(flags), 10))
+	_ = w.WriteByte(' ')
+	_, _ = w.Write(strconv.AppendInt(num[:0], int64(len(value)), 10))
+	_, _ = w.WriteString("\r\n")
+	_, _ = w.Write(value)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteValueCAS writes one VALUE block of a gets response, including the
+// item's CAS token.
+func WriteValueCAS(w *bufio.Writer, key string, flags uint32, value []byte, casToken uint64) error {
+	var num [20]byte
+	_, _ = w.WriteString("VALUE ")
+	_, _ = w.WriteString(key)
+	_ = w.WriteByte(' ')
+	_, _ = w.Write(strconv.AppendUint(num[:0], uint64(flags), 10))
+	_ = w.WriteByte(' ')
+	_, _ = w.Write(strconv.AppendInt(num[:0], int64(len(value)), 10))
+	_ = w.WriteByte(' ')
+	_, _ = w.Write(strconv.AppendUint(num[:0], casToken, 10))
+	_, _ = w.WriteString("\r\n")
+	_, _ = w.Write(value)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteExists reports a cas conflict.
+func WriteExists(w *bufio.Writer) error {
+	_, err := w.WriteString("EXISTS\r\n")
+	return err
+}
+
+// WriteNumber reports an incr/decr result.
+func WriteNumber(w *bufio.Writer, v uint64) error {
+	var num [20]byte
+	_, _ = w.Write(strconv.AppendUint(num[:0], v, 10))
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteEnd terminates a get or stats response.
+func WriteEnd(w *bufio.Writer) error {
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+// WriteStored acknowledges a set.
+func WriteStored(w *bufio.Writer) error {
+	_, err := w.WriteString("STORED\r\n")
+	return err
+}
+
+// WriteNotStored reports a failed conditional store.
+func WriteNotStored(w *bufio.Writer) error {
+	_, err := w.WriteString("NOT_STORED\r\n")
+	return err
+}
+
+// WriteDeleted acknowledges a delete.
+func WriteDeleted(w *bufio.Writer) error {
+	_, err := w.WriteString("DELETED\r\n")
+	return err
+}
+
+// WriteNotFound reports a missing key for delete/touch.
+func WriteNotFound(w *bufio.Writer) error {
+	_, err := w.WriteString("NOT_FOUND\r\n")
+	return err
+}
+
+// WriteTouched acknowledges a touch.
+func WriteTouched(w *bufio.Writer) error {
+	_, err := w.WriteString("TOUCHED\r\n")
+	return err
+}
+
+// WriteOK acknowledges flush_all.
+func WriteOK(w *bufio.Writer) error {
+	_, err := w.WriteString("OK\r\n")
+	return err
+}
+
+// WriteVersion reports the server version.
+func WriteVersion(w *bufio.Writer, version string) error {
+	_, _ = w.WriteString("VERSION ")
+	_, _ = w.WriteString(version)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteStat writes one STAT line.
+func WriteStat(w *bufio.Writer, name, value string) error {
+	_, _ = w.WriteString("STAT ")
+	_, _ = w.WriteString(name)
+	_ = w.WriteByte(' ')
+	_, _ = w.WriteString(value)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteClientError reports a client-caused failure.
+func WriteClientError(w *bufio.Writer, msg string) error {
+	_, _ = w.WriteString("CLIENT_ERROR ")
+	_, _ = w.WriteString(msg)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteServerError reports a server-side failure.
+func WriteServerError(w *bufio.Writer, msg string) error {
+	_, _ = w.WriteString("SERVER_ERROR ")
+	_, _ = w.WriteString(msg)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteError reports an unknown command.
+func WriteError(w *bufio.Writer) error {
+	_, err := w.WriteString("ERROR\r\n")
+	return err
+}

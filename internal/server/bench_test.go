@@ -129,6 +129,94 @@ func BenchmarkServerMultiGet(b *testing.B) {
 	})
 }
 
+// BenchmarkServerPipelined measures single-key gets over one connection at
+// pipeline depths 1, 8, and 64. Depth 1 is the request-at-a-time baseline:
+// one write syscall, one read syscall, and one response flush per request.
+// At higher depths the client batches `depth` requests into a single write
+// and the server's flush coalescing batches all `depth` responses into
+// (ideally) a single flush, so the syscall cost amortizes. ns/op is per
+// request, not per batch.
+func BenchmarkServerPipelined(b *testing.B) {
+	const nkeys = 1024
+	c, err := cache.New(64 * cache.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]cache.SetItem, nkeys)
+	val := make([]byte, 64)
+	for i := range items {
+		items[i] = cache.SetItem{Key: benchServerKey(i), Value: val}
+	}
+	if _, err := c.SetBatch(items); err != nil {
+		b.Fatal(err)
+	}
+	s, err := Listen("127.0.0.1:0", c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			conn, err := net.Dial("tcp", s.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			var batch []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i += depth {
+				n := depth
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				batch = batch[:0]
+				for j := 0; j < n; j++ {
+					batch = append(batch, "get "...)
+					batch = append(batch, benchServerKey((i+j)%nkeys)...)
+					batch = append(batch, "\r\n"...)
+				}
+				if _, err := conn.Write(batch); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < n; j++ {
+					if err := readUntilEnd(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotPath measures the in-process parse → handle → write pipeline
+// with no sockets, isolating per-request CPU and allocation cost. Run with
+// -benchmem: the headline numbers are B/op and allocs/op, which must stay 0
+// in steady state (TestHotPathAllocs enforces this in `make check`).
+func BenchmarkHotPath(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		payload string
+	}{
+		{"get", "get hot\r\n"},
+		{"set", "set hot 11 0 5\r\nhello\r\n"},
+		{"multi-get-4", "get hot hot hot hot\r\n"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			h := newHotPathHarness(b)
+			h.serve(b, []byte("set hot 11 0 5\r\nhello\r\n"))
+			payload := []byte(tc.payload)
+			h.serve(b, payload)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.serve(b, payload)
+			}
+		})
+	}
+}
+
 func benchServerKey(i int) string { return fmt.Sprintf("bench-key-%05d", i) }
 
 // readUntilEnd consumes response lines through the END terminator. Values

@@ -5,7 +5,6 @@
 package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +12,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -31,6 +31,12 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	// Wire counters, exposed through `stats` like memcached's
+	// curr_connections / total_connections / bytes_read / bytes_written.
+	connsTotal   atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
 
 	stopCrawler chan struct{}
 	wg          sync.WaitGroup
@@ -166,33 +172,109 @@ func (s *Server) dropConn(conn net.Conn) {
 	_ = conn.Close()
 }
 
+// countingReader forwards reads to the connection, adding byte counts to
+// the owning server's counter. The indirections are repointed on every
+// pool checkout so the pooled state can move between servers.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(uint64(n))
+	return n, err
+}
+
+// countingWriter is countingReader's write-side twin.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(uint64(n))
+	return n, err
+}
+
+// connState is the pooled per-connection hot-path state: parser and reply
+// writer (with their internal buffers), the counting stream adapters, and
+// the get scratches. Pooling it means an accepted connection performs no
+// steady-state allocations at all — buffers warmed by one connection are
+// inherited by the next.
+type connState struct {
+	parser *memproto.Parser
+	rw     *memproto.ReplyWriter
+	in     countingReader
+	out    countingWriter
+
+	val   []byte            // single-key get value scratch
+	multi []cache.MultiItem // multi-get result scratch
+	arena []byte            // multi-get value arena
+}
+
+var connStatePool = sync.Pool{
+	New: func() any {
+		st := &connState{}
+		st.parser = memproto.NewParser(&st.in)
+		st.rw = memproto.NewReplyWriter(&st.out)
+		return st
+	},
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
+	s.connsTotal.Add(1)
 
-	parser := memproto.NewParser(conn)
-	w := bufio.NewWriterSize(conn, 16<<10)
+	st := connStatePool.Get().(*connState)
+	st.in = countingReader{r: conn, n: &s.bytesRead}
+	st.out = countingWriter{w: conn, n: &s.bytesWritten}
+	st.parser.Reset(&st.in)
+	st.rw.Reset(&st.out)
+	defer func() {
+		st.in = countingReader{}
+		st.out = countingWriter{}
+		connStatePool.Put(st)
+	}()
+
+	parser, rw := st.parser, st.rw
 	for {
 		req, err := parser.Next()
 		if err != nil {
-			if err == io.EOF {
-				return
+			if memproto.IsRecoverable(err) {
+				// The parser consumed the malformed request and is aligned on
+				// the next line: report and keep serving, like real memcached.
+				_ = rw.ClientError(err.Error())
+				if parser.Buffered() == 0 {
+					if rw.Flush() != nil {
+						return
+					}
+				}
+				continue
 			}
-			if errors.Is(err, memproto.ErrProtocol) || errors.Is(err, memproto.ErrTooLarge) {
-				_ = memproto.WriteClientError(w, err.Error())
-				_ = w.Flush()
+			if err != io.EOF && (errors.Is(err, memproto.ErrProtocol) || errors.Is(err, memproto.ErrTooLarge)) {
+				_ = rw.ClientError(err.Error())
 			}
+			_ = rw.Flush()
 			return
 		}
 		if req.Command == memproto.CmdQuit {
+			_ = rw.Flush()
 			return
 		}
-		if err := s.handle(req, w); err != nil {
+		if err := s.handle(req, st); err != nil {
 			s.log.Printf("server: handle: %v", err)
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
+		// Flush coalescing: while more pipelined request bytes are already
+		// buffered, keep accumulating responses and write them out in one
+		// syscall when the input queue drains (see DESIGN.md).
+		if parser.Buffered() == 0 {
+			if err := rw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -215,117 +297,127 @@ func expiryFromExptime(exptime int64, now time.Time) time.Time {
 	}
 }
 
-// handle executes one request and writes its response.
-func (s *Server) handle(req *memproto.Request, w *bufio.Writer) error {
+// handle executes one request and renders its response into st.rw. The
+// get/set arms are the zero-allocation hot path: byte-slice keys straight
+// from the parser, values appended into pooled scratch. The rarer commands
+// convert keys to strings and go through the convenience cache API.
+func (s *Server) handle(req *memproto.Request, st *connState) error {
+	rw := st.rw
 	switch req.Command {
 	case memproto.CmdGet:
 		if len(req.Keys) == 1 {
-			value, err := s.cache.Get(req.Keys[0])
-			if err == nil {
-				if err := memproto.WriteValue(w, req.Keys[0], 0, value); err != nil {
+			key := req.Keys[0]
+			var flags uint32
+			var hit bool
+			st.val, flags, _, hit = s.cache.GetInto(key, st.val[:0])
+			if hit {
+				if err := rw.Value(key, flags, st.val); err != nil {
 					return err
 				}
 			}
-			return memproto.WriteEnd(w)
+			return rw.End()
 		}
-		// Multi-key: one batched lookup costs at most one lock acquisition
-		// per cache shard instead of one per key.
-		hits := s.cache.GetMulti(req.Keys)
-		for _, key := range req.Keys {
-			mv, ok := hits[key]
-			if !ok {
+		// Multi-key: one batched in-order lookup costs at most one lock
+		// acquisition per cache shard instead of one per key.
+		st.multi, st.arena = s.cache.GetMultiInto(req.Keys, st.multi, st.arena)
+		for i, m := range st.multi {
+			if !m.Hit {
 				continue // miss: omit the VALUE block
 			}
-			if err := memproto.WriteValue(w, key, 0, mv.Value); err != nil {
+			if err := rw.Value(req.Keys[i], m.Flags, m.ValueIn(st.arena)); err != nil {
 				return err
 			}
 		}
-		return memproto.WriteEnd(w)
+		return rw.End()
 
 	case memproto.CmdGets:
 		if len(req.Keys) == 1 {
-			value, casToken, err := s.cache.GetWithCAS(req.Keys[0])
-			if err == nil {
-				if err := memproto.WriteValueCAS(w, req.Keys[0], 0, value, casToken); err != nil {
+			key := req.Keys[0]
+			var flags uint32
+			var casToken uint64
+			var hit bool
+			st.val, flags, casToken, hit = s.cache.GetInto(key, st.val[:0])
+			if hit {
+				if err := rw.ValueCAS(key, flags, st.val, casToken); err != nil {
 					return err
 				}
 			}
-			return memproto.WriteEnd(w)
+			return rw.End()
 		}
-		hits := s.cache.GetMulti(req.Keys)
-		for _, key := range req.Keys {
-			mv, ok := hits[key]
-			if !ok {
+		st.multi, st.arena = s.cache.GetMultiInto(req.Keys, st.multi, st.arena)
+		for i, m := range st.multi {
+			if !m.Hit {
 				continue
 			}
-			if err := memproto.WriteValueCAS(w, key, 0, mv.Value, mv.CAS); err != nil {
+			if err := rw.ValueCAS(req.Keys[i], m.Flags, m.ValueIn(st.arena), m.CAS); err != nil {
 				return err
 			}
 		}
-		return memproto.WriteEnd(w)
+		return rw.End()
 
 	case memproto.CmdSet:
-		err := s.cache.SetExpiring(req.Keys[0], req.Value, expiryFromExptime(req.Exptime, time.Now()))
+		err := s.cache.SetBytes(req.Keys[0], req.Value, req.Flags,
+			expiryFromExptime(req.Exptime, time.Now()))
 		if req.NoReply {
 			return nil
 		}
 		if err != nil {
-			return memproto.WriteServerError(w, err.Error())
+			return rw.ServerError(err.Error())
 		}
-		return memproto.WriteStored(w)
+		return rw.Stored()
 
 	case memproto.CmdAdd, memproto.CmdReplace:
 		expiry := expiryFromExptime(req.Exptime, time.Now())
 		var err error
 		if req.Command == memproto.CmdAdd {
-			err = s.cache.Add(req.Keys[0], req.Value, expiry)
+			err = s.cache.AddFlags(string(req.Keys[0]), req.Value, req.Flags, expiry)
 		} else {
-			err = s.cache.Replace(req.Keys[0], req.Value, expiry)
+			err = s.cache.ReplaceFlags(string(req.Keys[0]), req.Value, req.Flags, expiry)
 		}
 		if req.NoReply {
 			return nil
 		}
 		if errors.Is(err, cache.ErrNotStored) {
-			return memproto.WriteNotStored(w)
+			return rw.NotStored()
 		}
 		if err != nil {
-			return memproto.WriteServerError(w, err.Error())
+			return rw.ServerError(err.Error())
 		}
-		return memproto.WriteStored(w)
+		return rw.Stored()
 
 	case memproto.CmdAppend, memproto.CmdPrepend:
 		var err error
 		if req.Command == memproto.CmdAppend {
-			err = s.cache.Append(req.Keys[0], req.Value)
+			err = s.cache.Append(string(req.Keys[0]), req.Value)
 		} else {
-			err = s.cache.Prepend(req.Keys[0], req.Value)
+			err = s.cache.Prepend(string(req.Keys[0]), req.Value)
 		}
 		if req.NoReply {
 			return nil
 		}
 		if errors.Is(err, cache.ErrNotStored) {
-			return memproto.WriteNotStored(w)
+			return rw.NotStored()
 		}
 		if err != nil {
-			return memproto.WriteServerError(w, err.Error())
+			return rw.ServerError(err.Error())
 		}
-		return memproto.WriteStored(w)
+		return rw.Stored()
 
 	case memproto.CmdCas:
-		err := s.cache.CompareAndSwap(req.Keys[0], req.Value,
+		err := s.cache.CompareAndSwapFlags(string(req.Keys[0]), req.Value, req.Flags,
 			expiryFromExptime(req.Exptime, time.Now()), req.CAS)
 		if req.NoReply {
 			return nil
 		}
 		switch {
 		case err == nil:
-			return memproto.WriteStored(w)
+			return rw.Stored()
 		case errors.Is(err, cache.ErrExists):
-			return memproto.WriteExists(w)
+			return rw.Exists()
 		case errors.Is(err, cache.ErrNotFound):
-			return memproto.WriteNotFound(w)
+			return rw.NotFound()
 		default:
-			return memproto.WriteServerError(w, err.Error())
+			return rw.ServerError(err.Error())
 		}
 
 	case memproto.CmdIncr, memproto.CmdDecr:
@@ -334,77 +426,86 @@ func (s *Server) handle(req *memproto.Request, w *bufio.Writer) error {
 			err error
 		)
 		if req.Command == memproto.CmdIncr {
-			v, err = s.cache.Incr(req.Keys[0], req.Delta)
+			v, err = s.cache.Incr(string(req.Keys[0]), req.Delta)
 		} else {
-			v, err = s.cache.Decr(req.Keys[0], req.Delta)
+			v, err = s.cache.Decr(string(req.Keys[0]), req.Delta)
 		}
 		if req.NoReply {
 			return nil
 		}
 		switch {
 		case err == nil:
-			return memproto.WriteNumber(w, v)
+			return rw.Number(v)
 		case errors.Is(err, cache.ErrNotFound):
-			return memproto.WriteNotFound(w)
+			return rw.NotFound()
 		case errors.Is(err, cache.ErrNotNumber):
-			return memproto.WriteClientError(w, "cannot increment or decrement non-numeric value")
+			return rw.ClientError("cannot increment or decrement non-numeric value")
 		default:
-			return memproto.WriteServerError(w, err.Error())
+			return rw.ServerError(err.Error())
 		}
 
 	case memproto.CmdDelete:
-		err := s.cache.Delete(req.Keys[0])
+		err := s.cache.Delete(string(req.Keys[0]))
 		if req.NoReply {
 			return nil
 		}
 		if errors.Is(err, cache.ErrNotFound) {
-			return memproto.WriteNotFound(w)
+			return rw.NotFound()
 		}
 		if err != nil {
-			return memproto.WriteServerError(w, err.Error())
+			return rw.ServerError(err.Error())
 		}
-		return memproto.WriteDeleted(w)
+		return rw.Deleted()
 
 	case memproto.CmdTouch:
-		err := s.cache.TouchExpiry(req.Keys[0], expiryFromExptime(req.Exptime, time.Now()))
+		err := s.cache.TouchExpiry(string(req.Keys[0]), expiryFromExptime(req.Exptime, time.Now()))
 		if req.NoReply {
 			return nil
 		}
 		if errors.Is(err, cache.ErrNotFound) {
-			return memproto.WriteNotFound(w)
+			return rw.NotFound()
 		}
 		if err != nil {
-			return memproto.WriteServerError(w, err.Error())
+			return rw.ServerError(err.Error())
 		}
-		return memproto.WriteTouched(w)
+		return rw.Touched()
 
 	case memproto.CmdStats:
 		st := s.cache.Stats()
-		pairs := []struct{ name, value string }{
-			{"get_hits", strconv.FormatUint(st.Hits, 10)},
-			{"get_misses", strconv.FormatUint(st.Misses, 10)},
-			{"cmd_set", strconv.FormatUint(st.Sets, 10)},
-			{"evictions", strconv.FormatUint(st.Evictions, 10)},
-			{"expired_unfetched", strconv.FormatUint(st.Expirations, 10)},
-			{"curr_items", strconv.Itoa(st.Items)},
-			{"bytes", strconv.FormatInt(st.BytesUsed, 10)},
-			{"total_pages", strconv.Itoa(st.MaxPages)},
-			{"assigned_pages", strconv.Itoa(st.AssignedPages)},
-		}
-		for _, p := range pairs {
-			if err := memproto.WriteStat(w, p.name, p.value); err != nil {
+		s.mu.Lock()
+		currConns := len(s.conns)
+		s.mu.Unlock()
+		for _, p := range []struct {
+			name  string
+			value uint64
+		}{
+			{"curr_connections", uint64(currConns)},
+			{"total_connections", s.connsTotal.Load()},
+			{"bytes_read", s.bytesRead.Load()},
+			{"bytes_written", s.bytesWritten.Load()},
+			{"get_hits", st.Hits},
+			{"get_misses", st.Misses},
+			{"cmd_set", st.Sets},
+			{"evictions", st.Evictions},
+			{"expired_unfetched", st.Expirations},
+			{"curr_items", uint64(st.Items)},
+			{"bytes", uint64(st.BytesUsed)},
+			{"total_pages", uint64(st.MaxPages)},
+			{"assigned_pages", uint64(st.AssignedPages)},
+		} {
+			if err := rw.StatUint(p.name, p.value); err != nil {
 				return err
 			}
 		}
 		for _, sl := range st.Slabs {
 			prefix := "slab" + strconv.Itoa(sl.ClassID) + ":"
-			if err := memproto.WriteStat(w, prefix+"chunk_size", strconv.Itoa(sl.ChunkSize)); err != nil {
+			if err := rw.StatUint(prefix+"chunk_size", uint64(sl.ChunkSize)); err != nil {
 				return err
 			}
-			if err := memproto.WriteStat(w, prefix+"pages", strconv.Itoa(sl.Pages)); err != nil {
+			if err := rw.StatUint(prefix+"pages", uint64(sl.Pages)); err != nil {
 				return err
 			}
-			if err := memproto.WriteStat(w, prefix+"items", strconv.Itoa(sl.Items)); err != nil {
+			if err := rw.StatUint(prefix+"items", uint64(sl.Items)); err != nil {
 				return err
 			}
 		}
@@ -412,30 +513,33 @@ func (s *Server) handle(req *memproto.Request, w *bufio.Writer) error {
 		// wire, mirroring memcached's stats conns/threads breakdowns.
 		for _, sh := range st.Shards {
 			prefix := "shard" + strconv.Itoa(sh.Shard) + ":"
-			for _, p := range []struct{ name, value string }{
-				{"items", strconv.Itoa(sh.Items)},
-				{"get_hits", strconv.FormatUint(sh.Hits, 10)},
-				{"get_misses", strconv.FormatUint(sh.Misses, 10)},
-				{"evictions", strconv.FormatUint(sh.Evictions, 10)},
+			for _, p := range []struct {
+				name  string
+				value uint64
+			}{
+				{"items", uint64(sh.Items)},
+				{"get_hits", sh.Hits},
+				{"get_misses", sh.Misses},
+				{"evictions", sh.Evictions},
 			} {
-				if err := memproto.WriteStat(w, prefix+p.name, p.value); err != nil {
+				if err := rw.StatUint(prefix+p.name, p.value); err != nil {
 					return err
 				}
 			}
 		}
-		return memproto.WriteEnd(w)
+		return rw.End()
 
 	case memproto.CmdFlushAll:
 		s.cache.FlushAll()
 		if req.NoReply {
 			return nil
 		}
-		return memproto.WriteOK(w)
+		return rw.OK()
 
 	case memproto.CmdVersion:
-		return memproto.WriteVersion(w, Version)
+		return rw.Version(Version)
 
 	default:
-		return memproto.WriteError(w)
+		return rw.Error()
 	}
 }
