@@ -1,6 +1,8 @@
 GO ?= go
+SEEDS ?= 10
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-hot allocs check
+.PHONY: build test race vet bench bench-hot allocs chaos fuzz check
 
 ## build: compile every package
 build:
@@ -15,7 +17,8 @@ test:
 ## cluster), whose migration phases fan out across goroutines
 race:
 	$(GO) test -race ./internal/cache/... ./internal/server/... \
-		./internal/taskgroup/... ./internal/core/... ./internal/agent/... ./internal/cluster/...
+		./internal/taskgroup/... ./internal/core/... ./internal/agent/... \
+		./internal/cluster/... ./internal/faultnet/...
 
 ## vet: run go vet across the module
 vet:
@@ -35,5 +38,16 @@ bench-hot:
 allocs:
 	$(GO) test -run TestHotPathAllocs -count 1 -v ./internal/server/
 
+## chaos: the deterministic fault-injection sweep — SEEDS seeds, each run
+## twice under faults plus once fault-free, checking the five migration
+## invariants and schedule reproducibility; a failing seed replays with
+## `go run ./cmd/elmem-chaos -seed <n>`
+chaos:
+	$(GO) run ./cmd/elmem-chaos -seeds $(SEEDS)
+
+## fuzz: time-boxed native fuzzing of the memcached protocol parser
+fuzz:
+	$(GO) test -fuzz FuzzParser -fuzztime $(FUZZTIME) ./internal/memproto/
+
 ## check: everything the CI gate runs
-check: build vet test race allocs
+check: build vet test race allocs chaos fuzz

@@ -1,0 +1,83 @@
+// Command elmem-chaos runs the deterministic fault-injection sweep: N
+// seeds, each staging an in-process ElMem cluster, running one scaling
+// action (scale-in or scale-out, seed-chosen) under a seeded faultnet
+// schedule, and checking the migration invariants. Every seed runs three
+// times — faulty twice and fault-free once — so the sweep also asserts
+// that the schedule is reproducible (identical event logs and final
+// states) and that a completed faulty run converges to the fault-free
+// state.
+//
+// Usage:
+//
+//	elmem-chaos -seeds 25            # sweep seeds 1..25
+//	elmem-chaos -seed 17 -v          # replay one failing seed, verbose
+//	elmem-chaos -seeds 10 -base 100  # sweep seeds 100..109
+//
+// Exit status is 1 when any seed reports an invariant violation or a
+// determinism mismatch. A failing run prints its seed; re-running with
+// -seed <n> reproduces the identical fault schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster/invariants"
+)
+
+func main() {
+	var (
+		seeds   = flag.Int("seeds", 10, "number of seeds to sweep")
+		base    = flag.Int64("base", 1, "first seed of the sweep")
+		oneSeed = flag.Int64("seed", 0, "replay a single seed (overrides -seeds/-base)")
+		nodes   = flag.Int("nodes", 0, "cluster size (0 = harness default)")
+		items   = flag.Int("items", 0, "items per node (0 = harness default)")
+		verbose = flag.Bool("v", false, "print the injected-event log of failing seeds")
+	)
+	flag.Parse()
+
+	start, count := *base, *seeds
+	if *oneSeed != 0 {
+		start, count = *oneSeed, 1
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	reports, clean, err := invariants.Sweep(start, count, *nodes, *items, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(2)
+	}
+
+	completed, aborted, injected := 0, 0, 0
+	for _, r := range reports {
+		injected += r.Injected
+		if r.Completed {
+			completed++
+		} else {
+			aborted++
+		}
+	}
+	fmt.Printf("\n%d seeds: %d completed, %d aborted cleanly, %d faults injected\n",
+		len(reports), completed, aborted, injected)
+
+	if !clean {
+		fmt.Println("RESULT: FAIL — invariant violations above; replay with -seed <n>")
+		if *verbose {
+			for _, r := range reports {
+				if len(r.Violations) > 0 {
+					res, err := invariants.Run(invariants.Config{
+						Seed: r.Seed, Nodes: *nodes, Items: *items, Faults: true,
+					})
+					if err == nil {
+						fmt.Printf("\nseed %d injected-event log:\n%s", r.Seed, res.EventLog)
+					}
+				}
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: OK")
+}

@@ -75,6 +75,16 @@ type Agent struct {
 
 	mu     sync.Mutex
 	offers map[string]map[int][]cache.ItemMeta // sender → class → MRU metadata
+
+	// lastTakes memoizes the most recent successful ComputeTakes result.
+	// ComputeTakes drains the offers, so without it a retried call whose
+	// first reply was lost on the wire would see no offers, report
+	// ErrNoMetadata, and the Master would silently drop this target from
+	// phase 3 — the selected hot items would never migrate. Serving the
+	// memoized result makes the RPC idempotent under reply loss; any new
+	// offer invalidates it (a new migration round has begun). Surfaced by
+	// the chaos harness (internal/cluster/invariants), invariant 1.
+	lastTakes Takes
 }
 
 // Option configures an Agent.
@@ -206,6 +216,7 @@ func (a *Agent) OfferMetadata(_ context.Context, from string, metas map[int][]ca
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.offers[from] = metas
+	a.lastTakes = nil // a new round invalidates any memoized result
 	return nil
 }
 
@@ -222,10 +233,19 @@ func (a *Agent) ComputeTakes(ctx context.Context) (_ Takes, retErr error) {
 	a.mu.Lock()
 	offers := a.offers
 	a.offers = make(map[string]map[int][]cache.ItemMeta)
-	a.mu.Unlock()
 	if len(offers) == 0 {
+		// No fresh offers: either nothing hashed to this node, or this is a
+		// retry whose first reply was lost after the offers were drained.
+		// Serve the memoized result so the retry is idempotent instead of
+		// silently dropping this target from the migration.
+		cached := a.lastTakes.clone()
+		a.mu.Unlock()
+		if cached != nil {
+			return cached, nil
+		}
 		return nil, ErrNoMetadata
 	}
+	a.mu.Unlock()
 	defer func() {
 		if retErr == nil {
 			return
@@ -297,7 +317,28 @@ func (a *Agent) ComputeTakes(ctx context.Context) (_ Takes, retErr error) {
 			}
 		}
 	}
+	a.mu.Lock()
+	if len(a.offers) == 0 { // no newer round started while computing
+		a.lastTakes = out.clone()
+	}
+	a.mu.Unlock()
 	return out, nil
+}
+
+// clone deep-copies a Takes map (nil stays nil).
+func (t Takes) clone() Takes {
+	if t == nil {
+		return nil
+	}
+	out := make(Takes, len(t))
+	for sender, byClass := range t {
+		m := make(map[int]int, len(byClass))
+		for classID, n := range byClass {
+			m[classID] = n
+		}
+		out[sender] = m
+	}
+	return out
 }
 
 // metasToList projects dump metadata onto FuseCache hotness values.

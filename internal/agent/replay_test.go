@@ -1,0 +1,121 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// Regression tests for the ComputeTakes reply-loss bug the chaos harness
+// surfaced (internal/cluster/invariants, invariant I1): ComputeTakes
+// drains the offer buffer, so when its reply was lost on the wire the
+// Master's retry used to find no offers, get ErrNoMetadata, and silently
+// drop the target from phase 3 — the FuseCache-selected hot items never
+// migrated. The fix memoizes the last successful result and serves it to
+// the retry.
+
+func takesEqual(a, b Takes) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for sender, byClass := range a {
+		other, ok := b[sender]
+		if !ok || len(other) != len(byClass) {
+			return false
+		}
+		for classID, n := range byClass {
+			if other[classID] != n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestComputeTakesRetryAfterReplyLoss: a second call with no new offers —
+// exactly what a Master retry after a lost reply looks like — must return
+// the same takes, not ErrNoMetadata.
+func TestComputeTakesRetryAfterReplyLoss(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTestClock()
+	retiring := newNode(t, reg, "retiring", 1, clk)
+	r1 := newNode(t, reg, "r1", 1, clk)
+	populate(t, retiring, 50)
+	if err := retiring.SendMetadata(context.Background(), []string{"r1"}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := r1.ComputeTakes(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("no takes computed for a populated retiring node")
+	}
+	retry, err := r1.ComputeTakes(context.Background())
+	if err != nil {
+		t.Fatalf("retry after reply loss: %v", err)
+	}
+	if !takesEqual(first, retry) {
+		t.Fatalf("retry takes %v, want the memoized %v", retry, first)
+	}
+	// The memoized result must be a private copy: mutating the first reply
+	// must not leak into later retries.
+	for _, byClass := range first {
+		for classID := range byClass {
+			byClass[classID] = -999
+		}
+	}
+	again, err := r1.ComputeTakes(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !takesEqual(retry, again) {
+		t.Fatal("memoized takes alias a returned map")
+	}
+}
+
+// TestComputeTakesMemoInvalidatedByNewOffer: a fresh OfferMetadata starts
+// a new migration round; the stale memoized result must not survive it.
+func TestComputeTakesMemoInvalidatedByNewOffer(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTestClock()
+	retiring := newNode(t, reg, "retiring", 1, clk)
+	r1 := newNode(t, reg, "r1", 1, clk)
+	populate(t, retiring, 50)
+	ctx := context.Background()
+	if err := retiring.SendMetadata(ctx, []string{"r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.ComputeTakes(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// New round: the retiring node re-offers (e.g. a retried phase 1).
+	if err := retiring.SendMetadata(ctx, []string{"r1"}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := r1.ComputeTakes(ctx)
+	if err != nil {
+		t.Fatalf("fresh round: %v", err)
+	}
+	if len(fresh) == 0 {
+		t.Fatal("fresh round computed no takes")
+	}
+	// Draining the fresh round and retrying again serves the new memo...
+	if _, err := r1.ComputeTakes(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComputeTakesNoMemoWithoutSuccess: a node that never computed takes
+// still reports ErrNoMetadata.
+func TestComputeTakesNoMemoWithoutSuccess(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTestClock()
+	a := newNode(t, reg, "n1", 1, clk)
+	if _, err := a.ComputeTakes(context.Background()); !errors.Is(err, ErrNoMetadata) {
+		t.Fatalf("err = %v, want ErrNoMetadata", err)
+	}
+	if _, err := a.ComputeTakes(context.Background()); !errors.Is(err, ErrNoMetadata) {
+		t.Fatalf("second call err = %v, want ErrNoMetadata", err)
+	}
+}

@@ -102,6 +102,39 @@ func (c *Cache) DumpAll(filter func(key string) bool) map[int][]ItemMeta {
 	return out
 }
 
+// ClassOrderByShard returns each shard's raw MRU list for the class, head
+// (hottest position) first, without the cross-shard timestamp merge the
+// dumps apply. Position in a run is the item's true list position, which
+// the migration invariant harness needs: a timestamp-sorted dump would
+// mask MRU inversions (an item sitting ahead of a fresher one), the exact
+// defect a replayed batch import used to introduce. Expired items are
+// included — this is a structural probe, not a serving path.
+func (c *Cache) ClassOrderByShard(classID int) ([][]ItemMeta, error) {
+	if classID < 0 || classID >= len(c.classes) {
+		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
+	}
+	out := make([][]ItemMeta, 0, len(c.shards))
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var run []ItemMeta
+		if sl := sh.slabs[classID]; sl != nil && sl.list.size > 0 {
+			run = make([]ItemMeta, 0, sl.list.size)
+			sl.list.each(func(it *Item) bool {
+				run = append(run, ItemMeta{
+					Key:        it.Key,
+					LastAccess: it.LastAccess,
+					ValueSize:  len(it.Value),
+					ClassID:    classID,
+				})
+				return true
+			})
+		}
+		sh.mu.Unlock()
+		out = append(out, run)
+	}
+	return out, nil
+}
+
 // MedianTimestamp returns the MRU timestamp of the median item (by global
 // MRU position across shards) of the slab class. The boolean is false when
 // the class is empty. The Master compares these medians across nodes to
@@ -380,11 +413,18 @@ func (sh *shard) importOneLocked(p KV) error {
 		return &ValueTooLargeError{Key: p.Key, Need: need}
 	}
 	if it, ok := sh.table[p.Key]; ok {
-		// The receiver may already hold the key (set while metadata was in
-		// flight). Keep the fresher timestamp and move to head.
-		if p.LastAccess.After(it.LastAccess) {
-			it.LastAccess = p.LastAccess
+		// The receiver may already hold the key: set by a client while
+		// metadata was in flight, or — after a lost reply — delivered again
+		// by the sender's retry. Only a strictly fresher copy may update the
+		// item or its MRU position; an equal-or-older incoming pair is a
+		// replay (or stale race loser) and must be a no-op, otherwise each
+		// retried batch re-hoists its items to the head, inflating their MRU
+		// position past pairs that landed in between (see DESIGN.md, "Fault
+		// injection & invariants").
+		if !p.LastAccess.After(it.LastAccess) {
+			return nil
 		}
+		it.LastAccess = p.LastAccess
 		if it.classID == classID {
 			it.Value = append(it.Value[:0], p.Value...)
 			it.Flags = p.Flags

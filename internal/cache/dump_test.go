@@ -335,7 +335,7 @@ func TestBatchImportEvictsColdTail(t *testing.T) {
 	}
 }
 
-func TestBatchImportExistingKeyKeepsFresherTimestamp(t *testing.T) {
+func TestBatchImportExistingKeyKeepsFresherCopy(t *testing.T) {
 	c, _ := newTestCache(t, 1)
 	if err := c.Set("k", []byte("local")); err != nil {
 		t.Fatal(err)
@@ -343,6 +343,9 @@ func TestBatchImportExistingKeyKeepsFresherTimestamp(t *testing.T) {
 	metas, _ := c.DumpClass(0, nil)
 	localTS := metas[0].LastAccess
 
+	// An older migrated pair (a replay, or a race the local set won) must
+	// not touch the fresher resident copy: neither its timestamp, nor its
+	// value, nor its MRU position.
 	older := localTS.Add(-time.Hour)
 	if _, err := c.BatchImport([]KV{{Key: "k", Value: []byte("migrated"), LastAccess: older}}, true); err != nil {
 		t.Fatal(err)
@@ -352,8 +355,22 @@ func TestBatchImportExistingKeyKeepsFresherTimestamp(t *testing.T) {
 		t.Fatal("import regressed a fresher local timestamp")
 	}
 	got, _ := c.Peek("k")
+	if string(got) != "local" {
+		t.Fatalf("value = %q, want the fresher local copy", got)
+	}
+
+	// A strictly fresher migrated pair replaces the copy.
+	newer := localTS.Add(time.Hour)
+	if _, err := c.BatchImport([]KV{{Key: "k", Value: []byte("migrated"), LastAccess: newer}}, true); err != nil {
+		t.Fatal(err)
+	}
+	metas, _ = c.DumpClass(0, nil)
+	if !metas[0].LastAccess.Equal(newer) {
+		t.Fatal("fresher import did not update the timestamp")
+	}
+	got, _ = c.Peek("k")
 	if string(got) != "migrated" {
-		t.Fatalf("value = %q, want imported value", got)
+		t.Fatalf("value = %q, want the fresher imported copy", got)
 	}
 }
 

@@ -110,15 +110,27 @@ func TestFlagsSurviveMigration(t *testing.T) {
 		t.Fatalf("after import: value=%q flags=%d hit=%v, want payload/1234", val, flags, hit)
 	}
 
-	// Importing onto an existing same-class item must update flags too.
+	// A local set after the pair was fetched is the fresher write: the
+	// replayed import must not clobber its value or flags.
 	if err := dst.SetBytes([]byte("mig"), []byte("stale-v"), 1, time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	if n, err := dst.BatchImport(pairs, true); err != nil || n != 1 {
 		t.Fatalf("re-import = %d, %v", n, err)
 	}
+	if _, flags, _, _ := dst.GetInto([]byte("mig"), nil); flags != 1 {
+		t.Fatalf("flags after stale re-import = %d, want the local set's 1", flags)
+	}
+
+	// A strictly fresher import onto the existing same-class item must
+	// update value and flags together.
+	fresher := pairs
+	fresher[0].LastAccess = time.Now().Add(time.Hour)
+	if n, err := dst.BatchImport(fresher, true); err != nil || n != 1 {
+		t.Fatalf("fresher re-import = %d, %v", n, err)
+	}
 	if _, flags, _, _ := dst.GetInto([]byte("mig"), nil); flags != 1234 {
-		t.Fatalf("flags after re-import = %d, want 1234", flags)
+		t.Fatalf("flags after fresher re-import = %d, want 1234", flags)
 	}
 }
 

@@ -1,0 +1,512 @@
+package invariants
+
+// The five checked properties, each tied to the paper mechanism it guards:
+//
+//  I1 — No hot item selected by FuseCache is lost (Section III-D:
+//       "migrate the hot data of that node to the rest of the Memcached
+//       servers"). Every item the oracle's FuseCache selection picks must
+//       reside on its target after a completed action, with its value and
+//       MRU timestamp intact; a missing item is tolerated only when the
+//       target evicted it as the coldest of its class.
+//  I2 — Batch import preserves MRU order (Section V-A1: imports prepend
+//       at the MRU head so "the migrated data is placed at the MRU end").
+//       Within one sender's import set, per shard, list position must be
+//       non-increasing in timestamp — a replayed or duplicated push that
+//       re-hoists an item shows up here as an inversion.
+//  I3 — Retries never double-apply (the RPC layer's at-least-once
+//       delivery must compose with idempotent imports). Checked by the
+//       sweep: a completed faulty run's final state must equal the gold
+//       run's, byte for byte.
+//  I4 — Reports are consistent with the observed cluster: a completed
+//       report names the right membership and an ItemsMigrated consistent
+//       with the oracle; an aborted report names a real phase, leaves the
+//       membership untouched, and claims no migration before data moved.
+//  I5 — The cluster converges to a consistent hash ring (Section III-A):
+//       after completion every resident key sits on the ring owner the
+//       final membership implies, and no key is resident twice.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fusecache"
+	"repro/internal/hashring"
+)
+
+// itemInfo is one resident item's identity for comparisons.
+type itemInfo struct {
+	ts    time.Time
+	class int
+	vhash uint64
+}
+
+// nodeState is one node's snapshot: per-class MRU-ordered metadata plus a
+// key index and the capacity numbers the oracle needs.
+type nodeState struct {
+	byClass map[int][]cache.ItemMeta
+	keys    map[string]itemInfo
+	absorb  map[int]int
+	pages   int
+	chunks  []int
+}
+
+func snapshot(c *cache.Cache) *nodeState {
+	st := &nodeState{
+		byClass: make(map[int][]cache.ItemMeta),
+		keys:    make(map[string]itemInfo),
+		absorb:  make(map[int]int),
+		pages:   int(c.Capacity() / cache.PageSize),
+		chunks:  c.ChunkSizes(),
+	}
+	for classID := range st.chunks {
+		st.absorb[classID] = c.ClassAbsorbCapacity(classID)
+	}
+	for _, classID := range c.PopulatedClasses() {
+		metas, err := c.DumpClass(classID, nil)
+		if err != nil {
+			continue
+		}
+		st.byClass[classID] = metas
+		for _, mt := range metas {
+			val, ok := c.Peek(mt.Key)
+			if !ok {
+				continue
+			}
+			st.keys[mt.Key] = itemInfo{ts: mt.LastAccess, class: classID, vhash: valueHash(val)}
+		}
+	}
+	return st
+}
+
+func snapshotAll(caches map[string]*cache.Cache) map[string]*nodeState {
+	out := make(map[string]*nodeState, len(caches))
+	for name, c := range caches {
+		out[name] = snapshot(c)
+	}
+	return out
+}
+
+func valueHash(v []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(v)
+	return h.Sum64()
+}
+
+// minClassTS returns the coldest resident timestamp of the class (zero
+// time when the class is empty). byClass lists are MRU-merged, so the
+// minimum is the last entry.
+func (st *nodeState) minClassTS(classID int) (time.Time, bool) {
+	metas := st.byClass[classID]
+	if len(metas) == 0 {
+		return time.Time{}, false
+	}
+	return metas[len(metas)-1].LastAccess, true
+}
+
+// migrated is one oracle-expected transfer: the MRU-ordered items one
+// sender ships to one target for one slab class.
+type migrated struct {
+	sender, target string
+	class          int
+	metas          []cache.ItemMeta
+}
+
+// expectation is the oracle's full prediction for the action.
+type expectation struct {
+	moved        []migrated
+	total        int
+	finalMembers []string
+}
+
+func toList(metas []cache.ItemMeta) fusecache.List {
+	l := make(fusecache.List, len(metas))
+	for i, m := range metas {
+		l[i] = m.LastAccess.UnixNano()
+	}
+	return l
+}
+
+func sortedClasses(m map[int][]cache.ItemMeta) []int {
+	out := make([]int, 0, len(m))
+	for classID := range m {
+		out = append(out, classID)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// expectScaleIn recomputes, centrally and fault-free, what the distributed
+// phases 1–2 should decide: split the victim's metadata by consistent-hash
+// target, run FuseCache per (target, class) against the target's own list
+// with the same absorb capacity the agent would use, and take the winning
+// head counts. Valid because phases 1–2 move no data — the agents consult
+// exactly the snapshotted pre-state.
+func expectScaleIn(pre map[string]*nodeState, members []string, victim string) (*expectation, error) {
+	var retained []string
+	for _, n := range members {
+		if n != victim {
+			retained = append(retained, n)
+		}
+	}
+	sort.Strings(retained)
+	ring, err := hashring.New(retained)
+	if err != nil {
+		return nil, err
+	}
+	offered := make(map[string]map[int][]cache.ItemMeta)
+	vic := pre[victim]
+	for _, classID := range sortedClasses(vic.byClass) {
+		for _, mt := range vic.byClass[classID] {
+			owner, err := ring.Get(mt.Key)
+			if err != nil {
+				return nil, err
+			}
+			if offered[owner] == nil {
+				offered[owner] = make(map[int][]cache.ItemMeta)
+			}
+			offered[owner][classID] = append(offered[owner][classID], mt)
+		}
+	}
+	exp := &expectation{finalMembers: retained}
+	for _, target := range retained {
+		byClass := offered[target]
+		if len(byClass) == 0 {
+			continue // no offer reaches this target: it reports ErrNoMetadata
+		}
+		tst := pre[target]
+		for _, classID := range sortedClasses(byClass) {
+			own := tst.byClass[classID]
+			lists := []fusecache.List{toList(byClass[classID]), toList(own)}
+			n := tst.absorb[classID]
+			if n < len(own) {
+				n = len(own)
+			}
+			res, err := fusecache.TopN(lists, n)
+			if err != nil {
+				return nil, fmt.Errorf("oracle fusecache class %d: %w", classID, err)
+			}
+			if take := res.Take[0]; take > 0 {
+				exp.moved = append(exp.moved, migrated{
+					sender: victim, target: target, class: classID,
+					metas: byClass[classID][:take],
+				})
+				exp.total += take
+			}
+		}
+	}
+	return exp, nil
+}
+
+// expectScaleOut mirrors Agent.HashSplit: per existing member and class,
+// the MRU prefix of the items remapping to the new node, capped at the
+// newcomer's per-sender share of the class.
+func expectScaleOut(pre map[string]*nodeState, members []string, added string) (*expectation, error) {
+	full := append(append([]string(nil), members...), added)
+	sort.Strings(full)
+	ring, err := hashring.New(full)
+	if err != nil {
+		return nil, err
+	}
+	existing := len(members)
+	exp := &expectation{finalMembers: full}
+	senders := append([]string(nil), members...)
+	sort.Strings(senders)
+	for _, sender := range senders {
+		st := pre[sender]
+		for _, classID := range sortedClasses(st.byClass) {
+			limit := st.pages * (cache.PageSize / st.chunks[classID]) / existing
+			if limit < 1 {
+				limit = 1
+			}
+			var sel []cache.ItemMeta
+			for _, mt := range st.byClass[classID] {
+				owner, err := ring.Get(mt.Key)
+				if err != nil || owner != added {
+					continue
+				}
+				if len(sel) >= limit {
+					continue // beyond the newcomer's share: FuseCache cut-off
+				}
+				sel = append(sel, mt)
+			}
+			if len(sel) > 0 {
+				exp.moved = append(exp.moved, migrated{sender: sender, target: added, class: classID, metas: sel})
+				exp.total += len(sel)
+			}
+		}
+	}
+	return exp, nil
+}
+
+// runCtx bundles everything the checks compare.
+type runCtx struct {
+	direction string
+	victim    string
+	added     string
+	initial   []string
+	caches    map[string]*cache.Cache
+	pre       map[string]*nodeState
+	post      map[string]*nodeState
+	exp       *expectation
+	report    *core.ScaleReport
+	master    *core.Master
+	runErr    error
+}
+
+// runChecks runs every applicable invariant and returns the violations.
+func runChecks(rc *runCtx) []string {
+	rc.post = snapshotAll(rc.caches)
+	v := checkReport(rc)
+	if rc.runErr == nil {
+		v = append(v, checkSelectedSurvive(rc)...)
+		v = append(v, checkImportOrder(rc)...)
+		v = append(v, checkRing(rc)...)
+	} else {
+		v = append(v, checkAbortSafety(rc)...)
+	}
+	return v
+}
+
+// checkSelectedSurvive is I1: every oracle-selected item must reside on
+// its target with value and timestamp intact, unless the target provably
+// evicted it as the coldest of its class.
+func checkSelectedSurvive(rc *runCtx) []string {
+	var v []string
+	for _, mig := range rc.exp.moved {
+		post := rc.post[mig.target]
+		for _, mt := range mig.metas {
+			info, ok := post.keys[mt.Key]
+			if !ok {
+				if rc.direction == "out" && rc.caches[mig.sender].Contains(mt.Key) {
+					v = append(v, fmt.Sprintf("I1: %s expected on %s but still resident on %s", mt.Key, mig.target, mig.sender))
+					continue
+				}
+				if min, populated := post.minClassTS(mig.class); populated && !min.Before(mt.LastAccess) {
+					continue // evicted as the coldest of the class: legal
+				}
+				v = append(v, fmt.Sprintf("I1: hot item %s (class %d) selected for %s was lost", mt.Key, mig.class, mig.target))
+				continue
+			}
+			if !info.ts.Equal(mt.LastAccess) {
+				v = append(v, fmt.Sprintf("I1: %s on %s has timestamp %v, want %v", mt.Key, mig.target, info.ts, mt.LastAccess))
+			}
+			if want := rc.pre[mig.sender].keys[mt.Key].vhash; info.vhash != want {
+				v = append(v, fmt.Sprintf("I1: %s on %s has corrupted value", mt.Key, mig.target))
+			}
+		}
+	}
+	return v
+}
+
+// checkImportOrder is I2: within one sender's import set, each target
+// shard's list order must be non-increasing in timestamp — a replayed
+// import that re-hoists an item to the MRU head breaks this.
+func checkImportOrder(rc *runCtx) []string {
+	var v []string
+	for _, mig := range rc.exp.moved {
+		keys := make(map[string]struct{}, len(mig.metas))
+		for _, mt := range mig.metas {
+			keys[mt.Key] = struct{}{}
+		}
+		shards, err := rc.caches[mig.target].ClassOrderByShard(mig.class)
+		if err != nil {
+			v = append(v, fmt.Sprintf("I2: dump %s class %d: %v", mig.target, mig.class, err))
+			continue
+		}
+		for si, list := range shards {
+			var prev time.Time
+			prevKey := ""
+			for _, it := range list { // head (MRU end) first
+				if _, ok := keys[it.Key]; !ok {
+					continue
+				}
+				if prevKey != "" && it.LastAccess.After(prev) {
+					v = append(v, fmt.Sprintf("I2: MRU inversion on %s class %d shard %d: %s(%v) sits behind %s(%v)",
+						mig.target, mig.class, si, it.Key, it.LastAccess, prevKey, prev))
+				}
+				prev, prevKey = it.LastAccess, it.Key
+			}
+		}
+	}
+	return v
+}
+
+// checkReport is I4: the ScaleReport must match the observed outcome.
+func checkReport(rc *runCtx) []string {
+	var v []string
+	if rc.report == nil {
+		if rc.runErr == nil {
+			v = append(v, "I4: completed action returned no report")
+		}
+		return v
+	}
+	r := rc.report
+	wantDir := rc.direction
+	if r.Direction != wantDir {
+		v = append(v, fmt.Sprintf("I4: report direction %q, want %q", r.Direction, wantDir))
+	}
+	if rc.runErr == nil {
+		if r.Aborted != "" {
+			v = append(v, fmt.Sprintf("I4: completed run reports aborted phase %q", r.Aborted))
+		}
+		if !equalStrings(r.Members, rc.exp.finalMembers) {
+			v = append(v, fmt.Sprintf("I4: report members %v, want %v", r.Members, rc.exp.finalMembers))
+		}
+		if !equalStrings(rc.master.Members(), rc.exp.finalMembers) {
+			v = append(v, fmt.Sprintf("I4: master members %v, want %v", rc.master.Members(), rc.exp.finalMembers))
+		}
+		if wantDir == "in" && r.ItemsMigrated != rc.exp.total {
+			v = append(v, fmt.Sprintf("I4: report migrated %d items, oracle expects %d", r.ItemsMigrated, rc.exp.total))
+		}
+		// Scale-out replays can legitimately under-report: a lost HashSplit
+		// reply makes the retry find the already-moved (and locally deleted)
+		// keys gone, so the last attempt counts less than actually moved.
+		if wantDir == "out" && r.ItemsMigrated > rc.exp.total {
+			v = append(v, fmt.Sprintf("I4: report migrated %d items, oracle cap is %d", r.ItemsMigrated, rc.exp.total))
+		}
+		return v
+	}
+	valid := map[string]bool{"metadata": true, "fusecache": true, "data": true}
+	if wantDir == "out" {
+		valid = map[string]bool{"hashsplit": true}
+	}
+	if !valid[r.Aborted] {
+		v = append(v, fmt.Sprintf("I4: aborted run names phase %q, not a %s-scaling phase", r.Aborted, wantDir))
+	}
+	if !equalStrings(rc.master.Members(), sortedCopy(rc.initial)) {
+		v = append(v, fmt.Sprintf("I4: abort changed membership to %v", rc.master.Members()))
+	}
+	if (r.Aborted == "metadata" || r.Aborted == "fusecache") && r.ItemsMigrated != 0 {
+		v = append(v, fmt.Sprintf("I4: aborted in %s yet reports %d items migrated", r.Aborted, r.ItemsMigrated))
+	}
+	return v
+}
+
+// checkAbortSafety is I1's abort side: a clean abort must lose nothing.
+// Scale-in never removes data from the victim; hash-split deletes a local
+// copy only after its full stream landed on the newcomer.
+func checkAbortSafety(rc *runCtx) []string {
+	var v []string
+	if rc.direction == "in" {
+		post := rc.post[rc.victim]
+		for key, info := range rc.pre[rc.victim].keys {
+			got, ok := post.keys[key]
+			if !ok {
+				v = append(v, fmt.Sprintf("I1: aborted scale-in lost %s from retiring node %s", key, rc.victim))
+				continue
+			}
+			if got.vhash != info.vhash {
+				v = append(v, fmt.Sprintf("I1: aborted scale-in corrupted %s on %s", key, rc.victim))
+			}
+		}
+		return v
+	}
+	addedPost := rc.post[rc.added]
+	for _, sender := range rc.initial {
+		post := rc.post[sender]
+		for key, info := range rc.pre[sender].keys {
+			if got, ok := post.keys[key]; ok {
+				if got.vhash != info.vhash {
+					v = append(v, fmt.Sprintf("I1: aborted scale-out corrupted %s on %s", key, sender))
+				}
+				continue
+			}
+			got, ok := addedPost.keys[key]
+			if !ok {
+				v = append(v, fmt.Sprintf("I1: aborted scale-out lost %s (gone from %s, absent on %s)", key, sender, rc.added))
+				continue
+			}
+			if got.vhash != info.vhash {
+				v = append(v, fmt.Sprintf("I1: aborted scale-out corrupted %s on %s", key, rc.added))
+			}
+		}
+	}
+	return v
+}
+
+// checkRing is I5: after completion the membership converges and every
+// guaranteed-remapped key sits on its consistent-hash owner, with no key
+// resident on two members.
+func checkRing(rc *runCtx) []string {
+	var v []string
+	final := rc.master.Members()
+	ring, err := hashring.New(final)
+	if err != nil {
+		return []string{fmt.Sprintf("I5: final membership %v invalid: %v", final, err)}
+	}
+	holder := make(map[string]string)
+	for _, node := range final {
+		for key := range rc.post[node].keys {
+			if other, dup := holder[key]; dup {
+				v = append(v, fmt.Sprintf("I5: %s resident on both %s and %s", key, other, node))
+				continue
+			}
+			holder[key] = node
+		}
+	}
+	if rc.direction == "in" {
+		// Removing a member remaps only its own keys, so every surviving
+		// resident key must sit on its ring owner.
+		for key, node := range holder {
+			if owner, err := ring.Get(key); err != nil || owner != node {
+				v = append(v, fmt.Sprintf("I5: %s resident on %s, ring owner is %s", key, node, owner))
+			}
+		}
+		return v
+	}
+	// Scale-out: existing members may legitimately keep remapped keys that
+	// exceeded the newcomer's share, but everything ON the newcomer must be
+	// owned by it.
+	for key := range rc.post[rc.added].keys {
+		if owner, err := ring.Get(key); err != nil || owner != rc.added {
+			v = append(v, fmt.Sprintf("I5: %s resident on new node %s, ring owner is %s", key, rc.added, owner))
+		}
+	}
+	return v
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+// stateHash digests the cluster's externally observable state — the
+// membership plus every member's resident (key, timestamp, class, value)
+// set. Two runs that converge to the same state hash identically; MRU
+// positions are deliberately excluded (I2 checks order structurally).
+func stateHash(caches map[string]*cache.Cache, members []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "members|%v\n", members)
+	for _, node := range sortedCopy(members) {
+		st := snapshot(caches[node])
+		keys := make([]string, 0, len(st.keys))
+		for k := range st.keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			info := st.keys[k]
+			fmt.Fprintf(h, "%s|%s|%d|%d|%016x\n", node, k, info.ts.UnixNano(), info.class, info.vhash)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,109 @@
+package invariants
+
+import (
+	"fmt"
+)
+
+// SeedReport is the verdict for one seed: the faulty run's outcome plus
+// the cross-run checks (determinism and gold-state idempotence).
+type SeedReport struct {
+	Seed      int64
+	Direction string
+	Completed bool
+	Aborted   string
+	Injected  int
+	Migrated  int
+	Retries   int
+	// Violations merges the in-run invariant breaches with the cross-run
+	// determinism and I3 findings. Empty means the seed is clean.
+	Violations []string
+}
+
+// CheckSeed runs one seed three times — faulty twice, gold once — and
+// verifies that (a) the two faulty runs are bit-identical in fault
+// schedule, outcome, and final state, and (b) a completed faulty run
+// converges to exactly the gold run's state (invariant I3: at-least-once
+// delivery composed with idempotent imports changes nothing).
+func CheckSeed(seed int64, nodes, items int) (*SeedReport, error) {
+	faulty := Config{Seed: seed, Nodes: nodes, Items: items, Faults: true}
+	r1, err := Run(faulty)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d run 1: %w", seed, err)
+	}
+	r2, err := Run(faulty)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d run 2: %w", seed, err)
+	}
+	gold, err := Run(Config{Seed: seed, Nodes: nodes, Items: items, Faults: false})
+	if err != nil {
+		return nil, fmt.Errorf("seed %d gold run: %w", seed, err)
+	}
+
+	rep := &SeedReport{
+		Seed:       seed,
+		Direction:  r1.Direction,
+		Completed:  r1.Completed,
+		Aborted:    r1.Aborted,
+		Injected:   r1.Injected,
+		Migrated:   r1.ItemsMigrated,
+		Retries:    r1.Retries,
+		Violations: append([]string(nil), r1.Violations...),
+	}
+	if r1.EventLog != r2.EventLog {
+		rep.Violations = append(rep.Violations, "determinism: same seed produced different fault schedules")
+	}
+	if r1.StateHash != r2.StateHash {
+		rep.Violations = append(rep.Violations, "determinism: same seed converged to different final states")
+	}
+	if r1.Completed != r2.Completed || r1.Aborted != r2.Aborted {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("determinism: outcomes differ (completed=%v/%v aborted=%q/%q)",
+				r1.Completed, r2.Completed, r1.Aborted, r2.Aborted))
+	}
+	if !gold.Completed {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("gold run failed without faults: %s", gold.Err))
+	}
+	if len(gold.Violations) > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("gold run violated invariants: %v", gold.Violations))
+	}
+	if r1.Completed && gold.Completed && r1.StateHash != gold.StateHash {
+		rep.Violations = append(rep.Violations,
+			"I3: completed faulty run diverged from the fault-free state — a retry or duplicate was double-applied")
+	}
+	return rep, nil
+}
+
+// Sweep checks count seeds starting at base, logging one line per seed
+// through logf (which may be nil). It returns the per-seed reports and
+// whether every seed came back clean.
+func Sweep(base int64, count, nodes, items int, logf func(format string, args ...any)) ([]*SeedReport, bool, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	clean := true
+	reports := make([]*SeedReport, 0, count)
+	for i := 0; i < count; i++ {
+		seed := base + int64(i)
+		rep, err := CheckSeed(seed, nodes, items)
+		if err != nil {
+			return reports, false, err
+		}
+		reports = append(reports, rep)
+		status := "ok"
+		if rep.Aborted != "" {
+			status = "aborted:" + rep.Aborted
+		}
+		if len(rep.Violations) > 0 {
+			clean = false
+			status = fmt.Sprintf("VIOLATED(%d)", len(rep.Violations))
+		}
+		logf("seed %-4d dir=%-3s injected=%-4d migrated=%-4d retries=%-3d %s",
+			seed, rep.Direction, rep.Injected, rep.Migrated, rep.Retries, status)
+		for _, viol := range rep.Violations {
+			logf("  seed %d: %s", seed, viol)
+		}
+	}
+	return reports, clean, nil
+}

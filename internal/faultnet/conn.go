@@ -1,0 +1,253 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the byte layer: faults applied to real wire traffic. Conn
+// wraps a single net.Conn (a server can wrap every accepted data-path
+// connection); Proxy interposes a TCP hop between a client and a server —
+// the way the invariant tests inject faults under the agentrpc transport
+// and the memcached data path without touching either endpoint.
+//
+// Byte-layer ops in the event log: "write" and "read" for Conn, "fwd"
+// (client→server chunks) and "rsp" (server→client chunks) for Proxy.
+
+// Conn applies the schedule to one established connection. From/To name
+// the directed link for writes; reads draw from the reverse link.
+type Conn struct {
+	net.Conn
+	netw     *Network
+	from, to string
+}
+
+// WrapConn wraps an established connection on the from→to link.
+func WrapConn(n *Network, from, to string, c net.Conn) *Conn {
+	return &Conn{Conn: c, netw: n, from: from, to: to}
+}
+
+// Write applies reset / partial-write / delay / throttle faults, then
+// forwards to the wrapped connection. A reset closes the underlying
+// connection so the peer observes it too.
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.netw.Decide(c.from, c.to, "write", true)
+	switch d.Action {
+	case ActPartition, ActDrop:
+		// Swallow the bytes: the peer never sees them, the writer thinks
+		// they left. The stream is now desynchronized, as after real loss
+		// without retransmit; the connection is closed to surface it.
+		_ = c.Conn.Close()
+		return len(p), nil
+	case ActReset:
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection reset on %s->%s", ErrInjected, c.from, c.to)
+	case ActPartialWrite:
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("%w: partial write (%d of %d bytes) on %s->%s", ErrInjected, n, len(p), c.from, c.to)
+	case ActDelay:
+		time.Sleep(d.Delay)
+	}
+	if d.ThrottleBPS > 0 {
+		return throttledWrite(c.Conn, p, d.ThrottleBPS)
+	}
+	return c.Conn.Write(p)
+}
+
+// Read applies reset and delay faults on the reverse link, then reads.
+func (c *Conn) Read(p []byte) (int, error) {
+	d := c.netw.Decide(c.to, c.from, "read", true)
+	switch d.Action {
+	case ActPartition, ActDrop, ActReset:
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection reset on %s->%s", ErrInjected, c.to, c.from)
+	case ActDelay:
+		time.Sleep(d.Delay)
+	}
+	return c.Conn.Read(p)
+}
+
+// throttledWrite paces p onto w in 1 KiB slices at roughly bps bytes per
+// second — the slow-node fault: the node works, just slowly.
+func throttledWrite(w io.Writer, p []byte, bps int) (int, error) {
+	const slice = 1 << 10
+	written := 0
+	for written < len(p) {
+		end := written + slice
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := w.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		time.Sleep(time.Duration(float64(n) / float64(bps) * float64(time.Second)))
+	}
+	return written, nil
+}
+
+// Listener wraps a net.Listener so every accepted connection is a faulty
+// Conn on the (peer → node) link; used to put the schedule under a
+// server's data path without a proxy hop. The link's From is the fixed
+// peerName (data-path clients are anonymous), To is the node name.
+type Listener struct {
+	net.Listener
+	netw     *Network
+	peerName string
+	node     string
+}
+
+// WrapListener wraps ln; accepted conns read on peerName→node and write
+// on node→peerName.
+func WrapListener(n *Network, peerName, node string, ln net.Listener) *Listener {
+	return &Listener{Listener: ln, netw: n, peerName: peerName, node: node}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	// From the server's side, writes go node→peer and reads come peer→node.
+	return WrapConn(l.netw, l.node, l.peerName, c), nil
+}
+
+// Proxy is a faulty TCP hop: it listens on its own address, dials the
+// target for every accepted connection, and forwards chunks in both
+// directions under the schedule. Request chunks run on (from→to, "fwd");
+// reply chunks on (to→from, "rsp"). Dropping a reply chunk closes both
+// sides — the caller sees a dead connection after the server already
+// executed, which is how real networks manufacture duplicate RPCs.
+type Proxy struct {
+	netw     *Network
+	from, to string
+	target   string
+	ln       net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy for the from→to link in front of target
+// ("host:port"). Callers dial Addr() instead of the target.
+func NewProxy(n *Network, from, to, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: proxy listen: %w", err)
+	}
+	p := &Proxy{netw: n, from: from, to: to, target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the proxy and severs every proxied connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		upstream, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			_ = upstream.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.conns[upstream] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pipe(conn, upstream, p.from, p.to, "fwd")
+		go p.pipe(upstream, conn, p.to, p.from, "rsp")
+	}
+}
+
+// dropPipe removes a finished pipe's conns from the tracking map.
+func (p *Proxy) dropPipe(a, b net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, a)
+	delete(p.conns, b)
+	p.mu.Unlock()
+	_ = a.Close()
+	_ = b.Close()
+}
+
+// pipe forwards src→dst chunk by chunk under the schedule. Any injected
+// fault tears the proxied connection down (both directions), because a
+// half-dead proxied stream otherwise wedges callers that have no
+// application-level timeout.
+func (p *Proxy) pipe(src, dst net.Conn, from, to, op string) {
+	defer p.wg.Done()
+	defer p.dropPipe(src, dst)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			d := p.netw.Decide(from, to, op, true)
+			switch d.Action {
+			case ActPartition, ActDrop, ActReset:
+				return // chunk swallowed, both sides closed by the deferred drop
+			case ActPartialWrite:
+				_, _ = dst.Write(buf[:n/2])
+				return
+			case ActDelay:
+				time.Sleep(d.Delay)
+			}
+			var werr error
+			if d.ThrottleBPS > 0 {
+				_, werr = throttledWrite(dst, buf[:n], d.ThrottleBPS)
+			} else {
+				_, werr = dst.Write(buf[:n])
+			}
+			if werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				return
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package faultnet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/agentrpc"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/taskgroup"
+)
+
+// rawSet performs one memcached text-protocol set over a fresh connection
+// and reports whether the server acknowledged it.
+func rawSet(addr, key, value string) bool {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	if _, err := fmt.Fprintf(conn, "set %s 0 0 %d\r\n%s\r\n", key, len(value), value); err != nil {
+		return false
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	return err == nil && line == "STORED\r\n"
+}
+
+// rawGet reads one key over an existing reader/conn pair.
+func rawGet(conn net.Conn, rd *bufio.Reader, key string) (string, bool, error) {
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	if _, err := fmt.Fprintf(conn, "get %s\r\n", key); err != nil {
+		return "", false, err
+	}
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		return "", false, err
+	}
+	if line == "END\r\n" {
+		return "", false, nil
+	}
+	var k string
+	var flags, n int
+	if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &k, &flags, &n); err != nil {
+		return "", false, fmt.Errorf("bad VALUE line %q: %w", line, err)
+	}
+	body := make([]byte, n+2)
+	if _, err := readFull(rd, body); err != nil {
+		return "", false, err
+	}
+	if end, err := rd.ReadString('\n'); err != nil || end != "END\r\n" {
+		return "", false, fmt.Errorf("missing END, got %q (%v)", end, err)
+	}
+	return string(body[:n]), true, nil
+}
+
+func readFull(rd *bufio.Reader, p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		n, err := rd.Read(p[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// TestProxyDataPathNoTornWrites pushes sets through a faulty proxy that
+// resets, truncates, and swallows chunks, then audits the cache over a
+// clean direct connection: every key must be either absent or hold its
+// exact value — a torn command must never produce a partial store.
+func TestProxyDataPathNoTornWrites(t *testing.T) {
+	c, err := cache.New(32 * cache.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Listen("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	n := New(2026)
+	n.SetLinkRule("cli", "node", Rule{Reset: 0.15, PartialWrite: 0.15})
+	n.SetLinkRule("node", "cli", Rule{Drop: 0.15})
+	px, err := NewProxy(n, "cli", "node", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	const keys = 60
+	acked := 0
+	for i := 0; i < keys; i++ {
+		if rawSet(px.Addr(), fmt.Sprintf("key%02d", i), fmt.Sprintf("value-%02d", i)) {
+			acked++
+		}
+	}
+	if n.InjectedCount() == 0 {
+		t.Fatal("proxy injected no faults across 60 sets")
+	}
+	if acked == 0 {
+		t.Fatal("no set survived the faulty proxy")
+	}
+
+	// Audit over a clean path.
+	direct, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	rd := bufio.NewReader(direct)
+	present := 0
+	for i := 0; i < keys; i++ {
+		val, hit, err := rawGet(direct, rd, fmt.Sprintf("key%02d", i))
+		if err != nil {
+			t.Fatalf("audit get key%02d: %v", i, err)
+		}
+		if hit {
+			present++
+			if want := fmt.Sprintf("value-%02d", i); val != want {
+				t.Fatalf("key%02d torn: got %q, want %q", i, val, want)
+			}
+		}
+	}
+	// Every acked set must be present: STORED only leaves the server after
+	// the item is in the cache.
+	if present < acked {
+		t.Fatalf("present %d < acked %d: an acknowledged set was lost", present, acked)
+	}
+}
+
+// proxyDirectory routes the Master's control-plane calls through per-node
+// faulty proxies.
+type proxyDirectory struct{ clients map[string]*agentrpc.Client }
+
+func (d proxyDirectory) Agent(node string) (core.MasterAgent, error) {
+	cl, ok := d.clients[node]
+	if !ok {
+		return nil, fmt.Errorf("unknown node %q", node)
+	}
+	return cl, nil
+}
+
+// TestScaleInOverFaultyAgentRPC runs a real three-node ScaleIn where every
+// Master→agent RPC crosses a proxy that drops reply chunks. Dropped
+// replies force redial+retry after the agent already executed — the
+// duplicate-RPC scenario — and the migration must still complete with a
+// consistent report.
+func TestScaleInOverFaultyAgentRPC(t *testing.T) {
+	n := New(7)
+	logger := log.New(os.Stderr, "", 0)
+
+	names := []string{"n1", "n2", "n3"}
+	caches := map[string]*cache.Cache{}
+	book := agentrpc.NewAddressBook()
+	defer book.Close()
+	clients := map[string]*agentrpc.Client{}
+	for _, name := range names {
+		c, err := cache.New(32 * cache.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[name] = c
+		ag, err := agent.New(name, c, book)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := agentrpc.Serve("127.0.0.1:0", ag, logger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		book.Register(name, srv.Addr())
+
+		// Master→node traffic crosses a faulty hop; reply chunks get lost.
+		px, err := NewProxy(n, "master", name, srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer px.Close()
+		clients[name] = agentrpc.NewClient(name, px.Addr())
+		defer clients[name].Close()
+
+		for j := 0; j < 20; j++ {
+			key := fmt.Sprintf("%s-key%02d", name, j)
+			if err := c.SetBytes([]byte(key), []byte("migratable-value"), 0, time.Time{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n.SetLinkOpRule("n3", "master", "rsp", Rule{Drop: 0.3})
+
+	m, err := core.NewMaster(proxyDirectory{clients}, names,
+		core.WithWorkerLimit(1),
+		core.WithRetry(taskgroup.Backoff{Attempts: 6, Delay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Factor: 2}),
+		core.WithPhaseTimeout(10*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, err := m.ScaleInNodes(ctx, []string{"n3"})
+	if err != nil {
+		t.Fatalf("ScaleInNodes: %v (events: %d injected)", err, n.InjectedCount())
+	}
+	if report.Aborted != "" {
+		t.Fatalf("aborted in phase %q", report.Aborted)
+	}
+	if len(report.Members) != 2 {
+		t.Fatalf("members after scale-in = %v", report.Members)
+	}
+	if report.ItemsMigrated == 0 {
+		t.Fatal("no items migrated off a populated node")
+	}
+	if n.InjectedCount() == 0 {
+		t.Fatal("fault schedule injected nothing; test is vacuous")
+	}
+	// Migrated keys must have landed on a retained node exactly where the
+	// report claims: count n3's keys now resident elsewhere.
+	landed := 0
+	for j := 0; j < 20; j++ {
+		key := fmt.Sprintf("n3-key%02d", j)
+		for _, retained := range []string{"n1", "n2"} {
+			if _, ok := caches[retained].Peek(key); ok {
+				landed++
+				break
+			}
+		}
+	}
+	if landed == 0 {
+		t.Fatal("no n3 key found on any retained node after migration")
+	}
+}

@@ -1,0 +1,225 @@
+package faultnet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// This file wraps ElMem's RPC surfaces — agent.Transport/agent.Peer for
+// agent-to-agent pushes and core.Directory/core.MasterAgent for Master
+// commands — so every control-plane operation passes through the
+// schedule. Operation names mirror the agentrpc wire ops, which map
+// one-to-one onto the paper's migration phases.
+
+// The RPC operation names used for schedule lookup.
+const (
+	OpScore         = "score"
+	OpSendMetadata  = "send_metadata"
+	OpComputeTakes  = "compute_takes"
+	OpSendData      = "send_data"
+	OpHashSplit     = "hash_split"
+	OpOfferMetadata = "offer_metadata"
+	OpImportData    = "import_data"
+)
+
+// apply runs one RPC-shaped operation under the schedule's decision for
+// (from, to, op). Drop fails before deliver runs; DropReply runs deliver
+// and then reports failure (the lost-reply case that makes retries
+// replay); Dup runs deliver twice; Delay sleeps deterministically first.
+// Injected failures are plain (non-Permanent) errors so taskgroup.Retry
+// treats them as transient, exactly like a real transport fault.
+func (n *Network) apply(ctx context.Context, from, to, op string, deliver func() error) error {
+	d := n.Decide(from, to, op, false)
+	switch d.Action {
+	case ActPartition:
+		return fmt.Errorf("%w: link %s->%s partitioned (%s)", ErrInjected, from, to, op)
+	case ActDrop:
+		return fmt.Errorf("%w: %s dropped on %s->%s", ErrInjected, op, from, to)
+	case ActDropReply:
+		if err := deliver(); err != nil {
+			// The real operation failed on its own; keep that cause but
+			// still lose the reply so the caller retries.
+			return fmt.Errorf("%w: reply lost on %s->%s (%s): after %v", ErrInjected, from, to, op, err)
+		}
+		return fmt.Errorf("%w: reply lost on %s->%s (%s)", ErrInjected, from, to, op)
+	case ActDup:
+		if err := deliver(); err != nil {
+			return err
+		}
+		return deliver()
+	case ActDelay:
+		if err := sleepCtx(ctx, d.Delay); err != nil {
+			return err
+		}
+		return deliver()
+	default:
+		return deliver()
+	}
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// faultyPeer applies the schedule to one directed peer link.
+type faultyPeer struct {
+	net      *Network
+	from, to string
+	inner    agent.Peer
+}
+
+// OfferMetadata implements agent.Peer.
+func (p *faultyPeer) OfferMetadata(ctx context.Context, from string, metas map[int][]cache.ItemMeta) error {
+	return p.net.apply(ctx, p.from, p.to, OpOfferMetadata, func() error {
+		return p.inner.OfferMetadata(ctx, from, metas)
+	})
+}
+
+// ImportData implements agent.Peer.
+func (p *faultyPeer) ImportData(ctx context.Context, from string, pairs []cache.KV) error {
+	return p.net.apply(ctx, p.from, p.to, OpImportData, func() error {
+		return p.inner.ImportData(ctx, from, pairs)
+	})
+}
+
+// Transport wraps an agent.Transport so every peer resolved through it
+// injects the schedule's faults for the (from → peer) link. Each agent
+// gets its own wrapper naming itself as the sender.
+type Transport struct {
+	net   *Network
+	from  string
+	inner agent.Transport
+}
+
+// WrapTransport builds the sending-side transport wrapper for one node.
+func WrapTransport(n *Network, from string, inner agent.Transport) *Transport {
+	return &Transport{net: n, from: from, inner: inner}
+}
+
+// Peer implements agent.Transport.
+func (t *Transport) Peer(node string) (agent.Peer, error) {
+	p, err := t.inner.Peer(node)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyPeer{net: t.net, from: t.from, to: node, inner: p}, nil
+}
+
+var _ agent.Transport = (*Transport)(nil)
+
+// faultyAgent applies the schedule to one Master → node link.
+type faultyAgent struct {
+	net      *Network
+	from, to string
+	inner    core.MasterAgent
+}
+
+// Node implements core.MasterAgent.
+func (a *faultyAgent) Node() string { return a.inner.Node() }
+
+// Score implements core.MasterAgent. Score cannot report failure (the
+// interface returns no error), so only delays apply; drop-family verdicts
+// return the empty report an unreachable node would yield.
+func (a *faultyAgent) Score(ctx context.Context) agent.ScoreReport {
+	var rep agent.ScoreReport
+	err := a.net.apply(ctx, a.from, a.to, OpScore, func() error {
+		rep = a.inner.Score(ctx)
+		return nil
+	})
+	if err != nil {
+		return agent.ScoreReport{Node: a.inner.Node()}
+	}
+	return rep
+}
+
+// SendMetadata implements core.MasterAgent.
+func (a *faultyAgent) SendMetadata(ctx context.Context, retained []string) error {
+	return a.net.apply(ctx, a.from, a.to, OpSendMetadata, func() error {
+		return a.inner.SendMetadata(ctx, retained)
+	})
+}
+
+// ComputeTakes implements core.MasterAgent.
+func (a *faultyAgent) ComputeTakes(ctx context.Context) (agent.Takes, error) {
+	var takes agent.Takes
+	err := a.net.apply(ctx, a.from, a.to, OpComputeTakes, func() error {
+		var ierr error
+		takes, ierr = a.inner.ComputeTakes(ctx)
+		return ierr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return takes, nil
+}
+
+// SendData implements core.MasterAgent.
+func (a *faultyAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
+	sent := 0
+	err := a.net.apply(ctx, a.from, a.to, OpSendData, func() error {
+		var ierr error
+		sent, ierr = a.inner.SendData(ctx, target, takes, retained)
+		return ierr
+	})
+	if err != nil {
+		return sent, err
+	}
+	return sent, nil
+}
+
+// HashSplit implements core.MasterAgent.
+func (a *faultyAgent) HashSplit(ctx context.Context, newMembers, fullMembership []string) (int, error) {
+	sent := 0
+	err := a.net.apply(ctx, a.from, a.to, OpHashSplit, func() error {
+		var ierr error
+		sent, ierr = a.inner.HashSplit(ctx, newMembers, fullMembership)
+		return ierr
+	})
+	if err != nil {
+		return sent, err
+	}
+	return sent, nil
+}
+
+var _ core.MasterAgent = (*faultyAgent)(nil)
+
+// Directory wraps a core.Directory so the Master's commands inject the
+// schedule's faults on the (from → node) links; from is conventionally
+// "master".
+type Directory struct {
+	net   *Network
+	from  string
+	inner core.Directory
+}
+
+// WrapDirectory builds the Master-side directory wrapper.
+func WrapDirectory(n *Network, from string, inner core.Directory) *Directory {
+	return &Directory{net: n, from: from, inner: inner}
+}
+
+// Agent implements core.Directory.
+func (d *Directory) Agent(node string) (core.MasterAgent, error) {
+	ag, err := d.inner.Agent(node)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyAgent{net: d.net, from: d.from, to: node, inner: ag}, nil
+}
+
+var _ core.Directory = (*Directory)(nil)

@@ -1,0 +1,162 @@
+package fusecache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A seeded differential sweep against the brute-force oracle, wider than
+// the quick.Check properties in fusecache_test.go: 1000 deterministic
+// cases whose shape distribution is skewed toward the regimes that have
+// historically broken selection algorithms — heavy duplicate hotness
+// values (ties at the threshold), empty lists mixed into the offer set,
+// and n at the exact boundaries (0, 1, total-1, total, beyond-total).
+// A failing case prints its seed so it replays with -run/.../seed alone.
+
+// genEdgeLists builds k MRU-ordered lists with seed-chosen pathologies.
+func genEdgeLists(rng *rand.Rand) []List {
+	k := rng.Intn(9) + 1
+	// Duplicate-heavy cases draw from a tiny value range so most hotness
+	// values collide; LastAccess timestamps in a real cluster collide the
+	// same way when a burst of imports lands inside one clock tick.
+	valueRange := int64(3)
+	switch rng.Intn(4) {
+	case 1:
+		valueRange = 25
+	case 2:
+		valueRange = 1_000
+	case 3:
+		valueRange = 1 << 40
+	}
+	lists := make([]List, k)
+	for i := range lists {
+		if rng.Intn(4) == 0 {
+			lists[i] = List{} // empty offer: a node with nothing in the class
+			continue
+		}
+		lists[i] = genLists(rng, 1, rng.Intn(300)+1, valueRange)[0]
+	}
+	return lists
+}
+
+// pickN chooses the selection size, biased toward the edges.
+func pickN(rng *rand.Rand, total int) int {
+	switch rng.Intn(6) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		if total > 0 {
+			return total - 1
+		}
+		return 0
+	case 3:
+		return total
+	case 4:
+		return total + rng.Intn(10) + 1 // beyond-total clamps to total
+	default:
+		return rng.Intn(total + 1)
+	}
+}
+
+func TestPropertySeededSweepMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 1000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lists := genEdgeLists(rng)
+		total := totalLen(lists)
+		n := pickN(rng, total)
+
+		r, err := TopN(lists, n)
+		if err != nil {
+			t.Fatalf("seed %d: TopN(n=%d) error: %v", seed, n, err)
+		}
+
+		// Structural checks: takes are head counts within each list, and
+		// they account for exactly Total items.
+		sum := 0
+		for i, take := range r.Take {
+			if take < 0 || take > len(lists[i]) {
+				t.Fatalf("seed %d: take[%d] = %d of a %d-item list", seed, i, take, len(lists[i]))
+			}
+			sum += take
+		}
+		want := n
+		if want > total {
+			want = total
+		}
+		if r.Total != want || sum != want {
+			t.Fatalf("seed %d: Total = %d, take sum = %d, want %d (n=%d of %d items)",
+				seed, r.Total, sum, want, n, total)
+		}
+
+		// Differential check: the selected multiset must equal the oracle's
+		// sort-everything-and-take-n prefix.
+		if !multisetsEqual(SelectedMultiset(lists, r), referenceTopN(lists, n)) {
+			t.Fatalf("seed %d: selected multiset diverges from oracle (k=%d n=%d total=%d)",
+				seed, len(lists), n, total)
+		}
+
+		// Cross-check the comparison algorithms on a sample of the cases:
+		// all four selectors must pick the same multiset.
+		if seed%10 == 0 {
+			for name, algo := range map[string]func([]List, int) (Result, error){
+				"mergesort": SelectMergeSort, "kway": SelectKWay, "heap": SelectHeap,
+			} {
+				alt, err := algo(lists, n)
+				if err != nil {
+					t.Fatalf("seed %d: %s error: %v", seed, name, err)
+				}
+				if !multisetsEqual(SelectedMultiset(lists, alt), referenceTopN(lists, n)) {
+					t.Fatalf("seed %d: %s diverges from oracle", seed, name)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyAllEmptyLists: an offer set of only empty lists — every
+// retained node idle in the class — must select nothing at any n.
+func TestPropertyAllEmptyLists(t *testing.T) {
+	lists := []List{{}, {}, {}}
+	for _, n := range []int{0, 1, 5} {
+		r, err := TopN(lists, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r.Total != 0 {
+			t.Fatalf("n=%d: selected %d items from empty lists", n, r.Total)
+		}
+		for i, take := range r.Take {
+			if take != 0 {
+				t.Fatalf("n=%d: take[%d] = %d from an empty list", n, i, take)
+			}
+		}
+	}
+}
+
+// TestPropertyAllDuplicateHotness: every item identical — the worst tie
+// case; any n items are a correct answer, but exactly n must be taken.
+func TestPropertyAllDuplicateHotness(t *testing.T) {
+	mk := func(n int) List {
+		l := make(List, n)
+		for i := range l {
+			l[i] = 42
+		}
+		return l
+	}
+	lists := []List{mk(7), mk(3), {}, mk(5)}
+	for n := 0; n <= 16; n++ {
+		r, err := TopN(lists, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := n
+		if want > 15 {
+			want = 15
+		}
+		if r.Total != want {
+			t.Fatalf("n=%d: Total = %d, want %d", n, r.Total, want)
+		}
+	}
+}
