@@ -2,7 +2,7 @@ GO ?= go
 SEEDS ?= 10
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-hot allocs chaos fuzz check
+.PHONY: build test race vet bench bench-hot bench-migrate allocs chaos fuzz check
 
 ## build: compile every package
 build:
@@ -13,12 +13,12 @@ test:
 	$(GO) test ./...
 
 ## race: run the concurrency stress tests under the race detector — the
-## data plane (cache/server) and the control plane (taskgroup/core/agent/
-## cluster), whose migration phases fan out across goroutines
+## data plane (cache/server/agentrpc) and the control plane (taskgroup/
+## core/agent/cluster), whose migration phases fan out across goroutines
 race:
 	$(GO) test -race ./internal/cache/... ./internal/server/... \
 		./internal/taskgroup/... ./internal/core/... ./internal/agent/... \
-		./internal/cluster/... ./internal/faultnet/...
+		./internal/cluster/... ./internal/faultnet/... ./internal/agentrpc/...
 
 ## vet: run go vet across the module
 vet:
@@ -26,8 +26,14 @@ vet:
 
 ## bench: run the lock-striping and server throughput benchmarks
 ## (single-lock vs sharded sub-benchmarks) plus the paper-figure benches
-bench:
+bench: bench-migrate
 	$(GO) test -run '^$$' -bench 'Parallel|Multi|ServerThroughput' -benchmem -cpu 4 ./internal/cache/ ./internal/server/
+
+## bench-migrate: the migration data-plane comparison — JSON stop-and-wait
+## vs binary pipelined streaming, with and without 5ms injected RTT; the
+## regression bar is ≥3× pairs/s for the binary plane at 5ms
+bench-migrate:
+	$(GO) test -run '^$$' -bench MigrateDataPlane -benchtime 1s ./internal/agentrpc/
 
 ## bench-hot: hot-path benchmarks — in-process parse/handle/write cost
 ## (allocs/op must read 0) and loopback pipelining at depth 1/8/64

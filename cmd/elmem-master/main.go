@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/agentrpc"
 	"repro/internal/core"
+	"repro/internal/debugsrv"
 )
 
 func main() {
@@ -36,13 +37,23 @@ func main() {
 
 func run() error {
 	var (
-		nodes    = flag.String("nodes", "", "member agents: name=host:port,... (required)")
-		score    = flag.Bool("score", false, "print III-C node scores, coldest first")
-		scaleIn  = flag.Int("scale-in", 0, "retire this many coldest nodes with the ElMem migration")
-		scaleOut = flag.String("scale-out", "", "add nodes: name=host:port,... (already running)")
-		timeout  = flag.Duration("timeout", 0, "abort the whole action after this long (0 = no limit)")
+		nodes     = flag.String("nodes", "", "member agents: name=host:port,... (required)")
+		score     = flag.Bool("score", false, "print III-C node scores, coldest first")
+		scaleIn   = flag.Int("scale-in", 0, "retire this many coldest nodes with the ElMem migration")
+		scaleOut  = flag.String("scale-out", "", "add nodes: name=host:port,... (already running)")
+		timeout   = flag.Duration("timeout", 0, "abort the whole action after this long (0 = no limit)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (off when empty)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := debugsrv.Serve(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = dbg.Close() }()
+		fmt.Fprintf(os.Stderr, "debug endpoints (pprof, expvar) on http://%s/debug/\n", dbg.Addr())
+	}
 
 	// Ctrl-C (or the timeout) aborts the migration before the membership
 	// flip; the cluster keeps serving under its old membership.
@@ -132,6 +143,19 @@ func printReport(report *core.ScaleReport) {
 	fmt.Printf("members=%s\n", strings.Join(report.Members, ","))
 	for _, t := range report.Timings {
 		fmt.Printf("phase %s %v\n", t.Phase, t.Duration.Round(time.Microsecond))
+	}
+	for _, d := range report.Data {
+		target := d.Target
+		if target == "" {
+			target = "*" // hash split fans out to every new node
+		}
+		rate := "-"
+		if d.Duration > 0 {
+			rate = fmt.Sprintf("%.1f MiB/s", float64(d.BytesMoved)/(1<<20)/d.Duration.Seconds())
+		}
+		fmt.Printf("  data %s->%s pairs=%d resumed=%d moved=%dB wire=%dB %v (%s)\n",
+			d.Node, target, d.Pairs, d.Resumed, d.BytesMoved, d.WireBytes,
+			d.Duration.Round(time.Microsecond), rate)
 	}
 	for _, nt := range report.NodeTimings {
 		if nt.Target != "" {

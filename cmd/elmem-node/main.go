@@ -26,6 +26,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/agentrpc"
 	"repro/internal/cache"
+	"repro/internal/debugsrv"
 	"repro/internal/server"
 )
 
@@ -44,6 +45,7 @@ func run() error {
 		memoryMB  = flag.Int("memory-mb", 64, "cache memory budget in MiB")
 		peers     = flag.String("peers", "", "comma-separated peer agents: name=host:port,...")
 		crawl     = flag.Duration("crawl", time.Minute, "expired-item crawler interval (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (off when empty)")
 		verbose   = flag.Bool("v", false, "log requests and agent activity")
 	)
 	flag.Parse()
@@ -94,6 +96,19 @@ func run() error {
 		return err
 	}
 	defer func() { _ = rpc.Close() }()
+
+	if *debugAddr != "" {
+		debugsrv.Publish("elmem_migration", func() any { return ag.Counters() })
+		debugsrv.Publish("elmem_cache", func() any {
+			return map[string]any{"items": c.Len(), "memoryMB": *memoryMB}
+		})
+		dbg, err := debugsrv.Serve(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = dbg.Close() }()
+		logger.Printf("debug endpoints (pprof, expvar) on http://%s/debug/", dbg.Addr())
+	}
 
 	logger.Printf("node %q serving memcached on %s, agent RPC on %s (%d MiB)",
 		nodeName, srv.Addr(), rpc.Addr(), *memoryMB)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/fusecache"
@@ -67,14 +68,24 @@ type ScoreReport struct {
 
 // Agent is the per-node ElMem agent.
 type Agent struct {
-	node      string
-	cache     *cache.Cache
-	transport Transport
-	replicas  int
-	batchSize int
+	node        string
+	cache       *cache.Cache
+	transport   Transport
+	replicas    int
+	batchSize   int
+	batchBytes  int
+	maxInflight int
+
+	counters counters // cumulative data-plane counters (see stream.go)
 
 	mu     sync.Mutex
 	offers map[string]map[int][]cache.ItemMeta // sender → class → MRU metadata
+
+	// imports tracks receiver-side stream state per sender; sendMemo and
+	// epochSeq assign sender-side stream epochs (see stream.go).
+	imports  map[string]*importState
+	sendMemo map[string]sendMemo
+	epochSeq uint64
 
 	// lastTakes memoizes the most recent successful ComputeTakes result.
 	// ComputeTakes drains the offers, so without it a retried call whose
@@ -93,8 +104,10 @@ type Option interface {
 }
 
 type options struct {
-	replicas  int
-	batchSize int
+	replicas    int
+	batchSize   int
+	batchBytes  int
+	maxInflight int
 }
 
 type replicasOption int
@@ -118,6 +131,31 @@ func WithTransferBatchSize(n int) Option { return batchSizeOption(n) }
 // DefaultTransferBatchSize is the default migration push granularity.
 const DefaultTransferBatchSize = 2048
 
+type batchBytesOption int
+
+func (o batchBytesOption) apply(opts *options) { opts.batchBytes = int(o) }
+
+// WithBatchBytes bounds the payload bytes (keys + values) of one
+// migration batch (default 256 KiB; <= 0 disables the byte bound). With
+// WithMaxInflight it fixes the sender's phase-3 memory ceiling at
+// window × batch regardless of hot-set size.
+func WithBatchBytes(n int) Option { return batchBytesOption(n) }
+
+// DefaultBatchBytes is the default per-batch payload bound.
+const DefaultBatchBytes = 256 << 10
+
+type maxInflightOption int
+
+func (o maxInflightOption) apply(opts *options) { opts.maxInflight = int(o) }
+
+// WithMaxInflight sets the pipelining window W: how many unacknowledged
+// batches a streaming push keeps in flight (default 8, minimum 1). Higher
+// windows hide more network latency at the cost of more in-flight memory.
+func WithMaxInflight(n int) Option { return maxInflightOption(n) }
+
+// DefaultMaxInflight is the default pipelining window.
+const DefaultMaxInflight = 8
+
 // New creates an Agent for the given node name and cache.
 func New(node string, c *cache.Cache, transport Transport, opts ...Option) (*Agent, error) {
 	if node == "" {
@@ -130,8 +168,10 @@ func New(node string, c *cache.Cache, transport Transport, opts ...Option) (*Age
 		return nil, errors.New("agent: nil transport")
 	}
 	o := options{
-		replicas:  hashring.DefaultReplicas,
-		batchSize: DefaultTransferBatchSize,
+		replicas:    hashring.DefaultReplicas,
+		batchSize:   DefaultTransferBatchSize,
+		batchBytes:  DefaultBatchBytes,
+		maxInflight: DefaultMaxInflight,
 	}
 	for _, opt := range opts {
 		opt.apply(&o)
@@ -139,13 +179,20 @@ func New(node string, c *cache.Cache, transport Transport, opts ...Option) (*Age
 	if o.batchSize < 1 {
 		o.batchSize = DefaultTransferBatchSize
 	}
+	if o.maxInflight < 1 {
+		o.maxInflight = 1
+	}
 	return &Agent{
-		node:      node,
-		cache:     c,
-		transport: transport,
-		replicas:  o.replicas,
-		batchSize: o.batchSize,
-		offers:    make(map[string]map[int][]cache.ItemMeta),
+		node:        node,
+		cache:       c,
+		transport:   transport,
+		replicas:    o.replicas,
+		batchSize:   o.batchSize,
+		batchBytes:  o.batchBytes,
+		maxInflight: o.maxInflight,
+		offers:      make(map[string]map[int][]cache.ItemMeta),
+		imports:     make(map[string]*importState),
+		sendMemo:    make(map[string]sendMemo),
 	}, nil
 }
 
@@ -351,71 +398,55 @@ func metasToList(metas []cache.ItemMeta) fusecache.List {
 }
 
 // SendData is phase 3, run on a retiring node: for the given target and
-// its per-class take counts, fetch the hottest matching KV pairs and push
-// them to the target for batch import. Cancelling ctx aborts between
-// batches; a retry is safe because the receiver's batch import keeps the
-// fresher copy of already-landed pairs.
-func (a *Agent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
+// its per-class take counts, select the hottest matching items by
+// metadata and stream their KV pairs to the target in bounded, windowed
+// batches (see stream.go). Cancelling ctx aborts the stream; a retry is
+// safe and cheap — the receiver's ack high-water mark lets it resume from
+// the first unacknowledged batch, with fresher-copy idempotence in
+// BatchImport as the safety net. The returned stats count every selected
+// pair the push covered, whether shipped now or skipped on resume.
+func (a *Agent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (SendStats, error) {
 	if len(retained) == 0 {
-		return 0, errors.New("agent: no retained membership for data transfer")
+		return SendStats{}, errors.New("agent: no retained membership for data transfer")
 	}
 	ring, err := hashring.New(retained, hashring.WithReplicas(a.replicas))
 	if err != nil {
-		return 0, fmt.Errorf("send data: %w", err)
+		return SendStats{}, fmt.Errorf("send data: %w", err)
 	}
 	filter := func(key string) bool {
 		owner, err := ring.Get(key)
 		return err == nil && owner == target
 	}
-	var pairs []cache.KV
 	classes := make([]int, 0, len(takes))
 	for classID := range takes {
 		classes = append(classes, classID)
 	}
 	sort.Ints(classes)
+	plan := make([]classSel, 0, len(classes))
 	for _, classID := range classes {
-		kvs, err := a.cache.FetchTop(classID, takes[classID], filter)
+		metas, err := a.cache.TopMeta(classID, takes[classID], filter)
 		if err != nil {
-			return 0, fmt.Errorf("send data class %d: %w", classID, err)
+			return SendStats{}, fmt.Errorf("send data class %d: %w", classID, err)
 		}
-		pairs = append(pairs, kvs...)
+		if len(metas) > 0 {
+			plan = append(plan, classSel{classID: classID, metas: metas})
+		}
 	}
-	if len(pairs) == 0 {
-		return 0, nil
+	if len(plan) == 0 {
+		return SendStats{}, nil
 	}
 	peer, err := a.transport.Peer(target)
 	if err != nil {
-		return 0, fmt.Errorf("send data to %s: %w", target, err)
+		return SendStats{}, fmt.Errorf("send data to %s: %w", target, err)
 	}
-	sent, err := a.pushBatched(ctx, peer, pairs)
+	start := time.Now()
+	stats, err := a.pushPlan(ctx, peer, target, "data", plan)
+	stats.Duration = time.Since(start)
+	a.recordSend(stats)
 	if err != nil {
-		return sent, fmt.Errorf("send data to %s: %w", target, err)
+		return stats, fmt.Errorf("send data to %s: %w", target, err)
 	}
-	return sent, nil
-}
-
-// pushBatched streams hottest-first pairs to a peer in bounded batches.
-// Batches go coldest-first: each ImportData prepends its batch at the MRU
-// head, so the last (hottest) batch must land last to keep the receiver's
-// list in recency order. Cancelling ctx aborts between batches, so an
-// aborted migration stops moving data promptly.
-func (a *Agent) pushBatched(ctx context.Context, peer Peer, pairs []cache.KV) (int, error) {
-	sent := 0
-	for end := len(pairs); end > 0; end -= a.batchSize {
-		if err := ctx.Err(); err != nil {
-			return sent, err
-		}
-		start := end - a.batchSize
-		if start < 0 {
-			start = 0
-		}
-		batch := pairs[start:end]
-		if err := peer.ImportData(ctx, a.node, batch); err != nil {
-			return sent, err
-		}
-		sent += len(batch)
-	}
-	return sent, nil
+	return stats, nil
 }
 
 // ImportData receives a phase-3 push (Peer implementation): pairs arrive
@@ -428,47 +459,45 @@ func (a *Agent) ImportData(_ context.Context, _ string, pairs []cache.KV) error 
 }
 
 // HashSplit implements the scale-out migration (Section III-D4), run on an
-// existing node: under the scaled-out membership, push every local KV pair
-// that now hashes to one of the new nodes, then drop it locally. Returns
-// the number of migrated pairs.
+// existing node: under the scaled-out membership, stream every local KV
+// pair that now hashes to one of the new nodes, then drop it locally.
 //
 // Consistent hashing bounds the remapped share near 1/(k+1) per new node,
 // so the moved set normally fits; in the paper's "rare case" that it would
-// exceed the new node's memory, FuseCache picks the top pairs instead
-// (keepTop applies the per-class cap in MRU order).
-func (a *Agent) HashSplit(ctx context.Context, newMembers []string, fullMembership []string) (int, error) {
+// exceed the new node's memory, FuseCache picks the top pairs instead —
+// the per-class cap keeps the MRU prefix, which for a single sorted list
+// IS the FuseCache top-n. Selection is metadata-only; values are fetched
+// batch by batch during the push, so the sender's memory spike stays
+// O(window × batch).
+func (a *Agent) HashSplit(ctx context.Context, newMembers []string, fullMembership []string) (SendStats, error) {
 	if len(newMembers) == 0 {
-		return 0, nil
+		return SendStats{}, nil
 	}
 	ring, err := hashring.New(fullMembership, hashring.WithReplicas(a.replicas))
 	if err != nil {
-		return 0, fmt.Errorf("hash split: %w", err)
+		return SendStats{}, fmt.Errorf("hash split: %w", err)
 	}
 	newSet := make(map[string]struct{}, len(newMembers))
 	for _, m := range newMembers {
 		newSet[m] = struct{}{}
 	}
 
-	// Gather outgoing pairs per new node in MRU order per class. In the
-	// rare case a sender's share would exceed its fraction of a fresh
-	// target's memory (targets are homogeneous with the sender, split
-	// across all existing senders), keep only the MRU prefix — the
-	// sender's list is sorted, so its prefix IS the FuseCache top-n of a
-	// single list.
+	// Gather outgoing metadata per new node in MRU order per class,
+	// applying the keep-top cap.
 	existing := len(fullMembership) - len(newMembers)
 	if existing < 1 {
 		existing = 1
 	}
 	targetPages := int(a.cache.Capacity() / cache.PageSize)
 	chunkSizes := a.cache.ChunkSizes()
-	outgoing := make(map[string][]cache.KV, len(newMembers))
+	plans := make(map[string][]classSel, len(newMembers))
 	for _, classID := range a.cache.PopulatedClasses() {
 		limit := targetPages * (cache.PageSize / chunkSizes[classID]) / existing
 		if limit < 1 {
 			limit = 1
 		}
 		sentPer := make(map[string]int, len(newMembers))
-		kvs, err := a.cache.FetchTop(classID, a.cache.ClassLen(classID), func(key string) bool {
+		metas, err := a.cache.TopMeta(classID, a.cache.ClassLen(classID), func(key string) bool {
 			owner, err := ring.Get(key)
 			if err != nil {
 				return false
@@ -477,10 +506,11 @@ func (a *Agent) HashSplit(ctx context.Context, newMembers []string, fullMembersh
 			return isNew
 		})
 		if err != nil {
-			return 0, fmt.Errorf("hash split class %d: %w", classID, err)
+			return SendStats{}, fmt.Errorf("hash split class %d: %w", classID, err)
 		}
-		for _, kv := range kvs {
-			owner, err := ring.Get(kv.Key)
+		sel := make(map[string][]cache.ItemMeta, len(newMembers))
+		for _, m := range metas {
+			owner, err := ring.Get(m.Key)
 			if err != nil {
 				continue
 			}
@@ -488,35 +518,48 @@ func (a *Agent) HashSplit(ctx context.Context, newMembers []string, fullMembersh
 				continue // beyond the target's share: FuseCache cut-off
 			}
 			sentPer[owner]++
-			outgoing[owner] = append(outgoing[owner], kv)
+			sel[owner] = append(sel[owner], m)
+		}
+		// PopulatedClasses ascends, so each target's plan stays sorted.
+		for owner, ms := range sel {
+			plans[owner] = append(plans[owner], classSel{classID: classID, metas: ms})
 		}
 	}
 
-	migrated := 0
-	targets := make([]string, 0, len(outgoing))
-	for tgt := range outgoing {
+	var stats SendStats
+	targets := make([]string, 0, len(plans))
+	for tgt := range plans {
 		targets = append(targets, tgt)
 	}
 	sort.Strings(targets)
+	start := time.Now()
 	for _, tgt := range targets {
 		if err := ctx.Err(); err != nil {
-			return migrated, fmt.Errorf("hash split: %w", err)
+			stats.Duration = time.Since(start)
+			return stats, fmt.Errorf("hash split: %w", err)
 		}
 		peer, err := a.transport.Peer(tgt)
 		if err != nil {
-			return migrated, fmt.Errorf("hash split to %s: %w", tgt, err)
+			stats.Duration = time.Since(start)
+			return stats, fmt.Errorf("hash split to %s: %w", tgt, err)
 		}
-		if _, err := a.pushBatched(ctx, peer, outgoing[tgt]); err != nil {
-			return migrated, fmt.Errorf("hash split to %s: %w", tgt, err)
+		st, err := a.pushPlan(ctx, peer, tgt, "split", plans[tgt])
+		stats.merge(st)
+		a.recordSend(st)
+		if err != nil {
+			stats.Duration = time.Since(start)
+			return stats, fmt.Errorf("hash split to %s: %w", tgt, err)
 		}
-		for _, kv := range outgoing[tgt] {
-			// Local drop only after the whole target stream landed, so a
-			// mid-stream failure loses nothing and a retry is safe.
-			_ = a.cache.Delete(kv.Key)
+		for _, cs := range plans[tgt] {
+			for _, m := range cs.metas {
+				// Local drop only after the whole target stream landed, so
+				// a mid-stream failure loses nothing and a retry is safe.
+				_ = a.cache.Delete(m.Key)
+			}
 		}
-		migrated += len(outgoing[tgt])
 	}
-	return migrated, nil
+	stats.Duration = time.Since(start)
+	return stats, nil
 }
 
 // PendingOffers reports how many phase-1 offers are buffered (tests).
@@ -587,6 +630,7 @@ func (r *Registry) Nodes() []string {
 }
 
 var (
-	_ Peer      = (*Agent)(nil)
-	_ Transport = (*Registry)(nil)
+	_ Peer       = (*Agent)(nil)
+	_ StreamPeer = (*Agent)(nil)
+	_ Transport  = (*Registry)(nil)
 )

@@ -177,8 +177,8 @@ func TestThreePhaseMigration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sent1 != count1 || sent2 != count2 {
-		t.Fatalf("sent %d/%d, want %d/%d", sent1, sent2, count1, count2)
+	if sent1.Pairs != count1 || sent2.Pairs != count2 {
+		t.Fatalf("sent %d/%d, want %d/%d", sent1.Pairs, sent2.Pairs, count1, count2)
 	}
 
 	// Every retiring key is now resident on its hash target.
@@ -380,7 +380,7 @@ func TestHashSplitScaleOut(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		migrated += n
+		migrated += n.Pairs
 	}
 	// Consistent hashing: ≈ 1/4 of the keys move, every key resident on
 	// its new owner, and movers were deleted from the old owners.
@@ -420,8 +420,8 @@ func TestHashSplitNoNewMembers(t *testing.T) {
 	a := newNode(t, reg, "n1", 1, clk)
 	populate(t, a, 10)
 	n, err := a.HashSplit(context.Background(), nil, []string{"n1"})
-	if err != nil || n != 0 {
-		t.Fatalf("HashSplit(nil) = %d, %v; want 0, nil", n, err)
+	if err != nil || n.Pairs != 0 {
+		t.Fatalf("HashSplit(nil) = %d, %v; want 0, nil", n.Pairs, err)
 	}
 }
 
@@ -482,11 +482,11 @@ func TestHashSplitCapsAtTargetShare(t *testing.T) {
 	// About half the keys remap to the new node — under the one-page
 	// limit, so everything remapped must arrive, and nothing is dropped
 	// at import (new node can absorb one page of this class).
-	if moved == 0 || moved > perPage {
-		t.Fatalf("moved %d, want within (0, %d]", moved, perPage)
+	if moved.Pairs == 0 || moved.Pairs > perPage {
+		t.Fatalf("moved %d, want within (0, %d]", moved.Pairs, perPage)
 	}
-	if n1.Cache().Len() != moved {
-		t.Fatalf("target holds %d, sender reported %d — import dropped pairs", n1.Cache().Len(), moved)
+	if n1.Cache().Len() != moved.Pairs {
+		t.Fatalf("target holds %d, sender reported %d — import dropped pairs", n1.Cache().Len(), moved.Pairs)
 	}
 }
 
@@ -510,12 +510,104 @@ func TestHashSplitPrefixIsHottest(t *testing.T) {
 		t.Fatal(err)
 	}
 	limit := perPage / 2
-	if moved > limit {
-		t.Fatalf("moved %d, cap is %d", moved, limit)
+	if moved.Pairs > limit {
+		t.Fatalf("moved %d, cap is %d", moved.Pairs, limit)
 	}
 	// All shipped items are resident on the target with their recency intact.
-	if n1.Cache().Len() != moved {
-		t.Fatalf("target holds %d, want %d", n1.Cache().Len(), moved)
+	if n1.Cache().Len() != moved.Pairs {
+		t.Fatalf("target holds %d, want %d", n1.Cache().Len(), moved.Pairs)
+	}
+}
+
+// TestHashSplitCapTruncates forces the III-D4 keep-top cap to actually
+// bind: the sender is populated ONLY with keys that remap to the new node,
+// so the remapped share (everything) exceeds the sender's per-target limit
+// of the new node's memory, and the cap must truncate the plan to exactly
+// the limit — keeping the hottest prefix and leaving the cold tail local.
+func TestHashSplitCapTruncates(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTestClock()
+	// Two existing nodes in the full membership halve the per-sender limit:
+	// limit = targetPages × chunksPerPage / existing.
+	full := []string{"e1", "e2", "new1"}
+	ring, err := hashring.New(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := newNode(t, reg, "e1", 2, clk)
+	newNode(t, reg, "e2", 2, clk)
+	n1 := newNode(t, reg, "new1", 2, clk)
+
+	// ~1 KiB values land in a large slab class, so a page holds few chunks
+	// and the cap is reachable with a modest key count. Probe the class
+	// first to size the insertion: more than the limit (so the cap binds),
+	// well under the sender's capacity (so nothing evicts).
+	val := make([]byte, 1000)
+	if err := e1.Cache().Set("cap-probe", val); err != nil {
+		t.Fatal(err)
+	}
+	classID := e1.Cache().PopulatedClasses()[0]
+	chunk := e1.Cache().ChunkSizes()[classID]
+	e1.Cache().Delete("cap-probe")
+	targetPages := int(e1.Cache().Capacity() / cache.PageSize)
+	limit := targetPages * (cache.PageSize / chunk) / 2 // existing = 2
+	count := limit + limit/2                            // 0.75 × capacity: no eviction
+
+	inserted := make([]string, 0, count)
+	for i := 0; len(inserted) < count; i++ {
+		key := fmt.Sprintf("cap-key-%06d", i)
+		owner, err := ring.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != "new1" {
+			continue // only keys the split will remap
+		}
+		if err := e1.Cache().Set(key, val); err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, key) // insertion order = cold → hot
+	}
+	remapped := e1.Cache().ClassLen(classID)
+	if remapped != count {
+		t.Fatalf("premise broken: %d resident, inserted %d (eviction?)", remapped, count)
+	}
+	if remapped <= limit {
+		t.Fatalf("premise broken: %d remapped keys do not exceed the limit %d", remapped, limit)
+	}
+
+	moved, err := e1.HashSplit(context.Background(), []string{"new1"}, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Pairs != limit {
+		t.Fatalf("moved %d pairs, want the cap to truncate to exactly %d", moved.Pairs, limit)
+	}
+	if n1.Cache().Len() != limit {
+		t.Fatalf("target holds %d, want %d", n1.Cache().Len(), limit)
+	}
+	// The shipped prefix must be the hottest `limit` of the remapped set;
+	// survivors of the cut stay resident on the sender.
+	resident := make(map[string]bool, remapped)
+	for _, key := range inserted {
+		resident[key] = e1.Cache().Contains(key)
+	}
+	hottest := inserted[len(inserted)-limit:]
+	for _, key := range hottest {
+		if !n1.Cache().Contains(key) {
+			t.Fatalf("hot key %q missing on the target after the capped split", key)
+		}
+		if resident[key] {
+			t.Fatalf("hot key %q still resident on the sender after shipping", key)
+		}
+	}
+	for _, key := range inserted[:len(inserted)-limit] {
+		if n1.Cache().Contains(key) {
+			t.Fatalf("cold key %q crossed the cap", key)
+		}
+		if !resident[key] {
+			t.Fatalf("cold key %q vanished from the sender without being shipped", key)
+		}
 	}
 }
 
@@ -593,8 +685,8 @@ func TestSendDataBatchesPreserveMRUOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sent != 100 {
-		t.Fatalf("sent %d, want 100", sent)
+	if sent.Pairs != 100 {
+		t.Fatalf("sent %d, want 100", sent.Pairs)
 	}
 	if ct.imports < 100/7 {
 		t.Fatalf("imports = %d, want batched pushes", ct.imports)
@@ -633,10 +725,10 @@ func TestHashSplitBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if moved == 0 || n1.Cache().Len() != moved {
-		t.Fatalf("moved %d, target holds %d", moved, n1.Cache().Len())
+	if moved.Pairs == 0 || n1.Cache().Len() != moved.Pairs {
+		t.Fatalf("moved %d, target holds %d", moved.Pairs, n1.Cache().Len())
 	}
-	if ct.imports < moved/11 {
-		t.Fatalf("imports = %d for %d moved items, want batching", ct.imports, moved)
+	if ct.imports < moved.Pairs/11 {
+		t.Fatalf("imports = %d for %d moved items, want batching", ct.imports, moved.Pairs)
 	}
 }

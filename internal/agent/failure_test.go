@@ -132,8 +132,8 @@ func TestSendDataSurfacesImportFailure(t *testing.T) {
 	}
 	// Retry works (idempotent import).
 	sent, err := retiring.SendData(context.Background(), "r1", takes["retiring"], []string{"r1"})
-	if err != nil || sent != 50 {
-		t.Fatalf("retry = %d, %v", sent, err)
+	if err != nil || sent.Pairs != 50 {
+		t.Fatalf("retry = %d, %v", sent.Pairs, err)
 	}
 	if r1.Cache().Len() != 100 { // 50 local-capacity spare + 50 imported
 		// r1 was empty, so it now holds exactly the 50 imports.
@@ -165,10 +165,10 @@ func TestHashSplitSurfacesFailureAndStaysConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if moved == 0 || n1.Cache().Len() != moved {
-		t.Fatalf("retry moved %d, target holds %d", moved, n1.Cache().Len())
+	if moved.Pairs == 0 || n1.Cache().Len() != moved.Pairs {
+		t.Fatalf("retry moved %d, target holds %d", moved.Pairs, n1.Cache().Len())
 	}
-	if e1.Cache().Len() != before-moved {
-		t.Fatalf("source holds %d, want %d", e1.Cache().Len(), before-moved)
+	if e1.Cache().Len() != before-moved.Pairs {
+		t.Fatalf("source holds %d, want %d", e1.Cache().Len(), before-moved.Pairs)
 	}
 }

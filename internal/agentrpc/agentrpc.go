@@ -44,6 +44,10 @@ const (
 	OpImportData    Op = "import_data"
 )
 
+// OpImportOpen names the binary stream-open exchange; it never appears in
+// a JSON frame but gives the fault-injection layer a handle on it.
+const OpImportOpen Op = "import_open"
+
 // ErrRemote wraps an error string returned by the remote agent.
 var ErrRemote = errors.New("agentrpc: remote error")
 
@@ -76,7 +80,7 @@ type response struct {
 
 	Score *agent.ScoreReport `json:"score,omitempty"`
 	Takes agent.Takes        `json:"takes,omitempty"`
-	Sent  int                `json:"sent,omitempty"`
+	Stats *agent.SendStats   `json:"stats,omitempty"`
 }
 
 // Server exposes one node's Agent over TCP.
@@ -153,6 +157,13 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serveConn multiplexes both wire protocols on one connection: binary
+// frames start with the magic byte 0xEB (which can never begin a JSON
+// value), everything else is a newline-delimited JSON request. Import
+// batches are handed to a per-connection applier goroutine so
+// BatchImport overlaps the network read of the next frame; any non-batch
+// traffic first drains the applier (barrier) to keep request/response
+// ordering intact.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -162,17 +173,169 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 
-	dec := json.NewDecoder(bufio.NewReaderSize(conn, 1<<20))
-	enc := json.NewEncoder(conn)
+	br := bufio.NewReaderSize(conn, 1<<20)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var wmu sync.Mutex
+	imp := importApplier{agent: s.agent, bw: bw, wmu: &wmu}
+	defer imp.stopApplier()
 	for {
+		first, err := br.Peek(1)
+		if err != nil {
+			return
+		}
+		if first[0] == frameMagic {
+			typ, payload, err := readFrame(br)
+			if err != nil {
+				s.log.Printf("agentrpc: bad frame: %v", err)
+				return
+			}
+			if !s.serveFrame(&imp, bw, &wmu, typ, payload) {
+				return
+			}
+			continue
+		}
+		imp.barrier()
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return
+		}
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		if err := json.Unmarshal(line, &req); err != nil {
+			s.log.Printf("agentrpc: bad request: %v", err)
 			return
 		}
 		resp := s.dispatch(&req)
-		if err := enc.Encode(resp); err != nil {
+		data, err := json.Marshal(resp)
+		if err != nil {
 			return
 		}
+		wmu.Lock()
+		_, werr := bw.Write(data)
+		if werr == nil {
+			werr = bw.WriteByte('\n')
+		}
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		wmu.Unlock()
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// serveFrame handles one binary frame; false tears the connection down.
+func (s *Server) serveFrame(imp *importApplier, bw *bufio.Writer, wmu *sync.Mutex, typ byte, payload []byte) bool {
+	switch typ {
+	case ftHello:
+		putBuf(payload)
+		imp.barrier()
+		return writeFrameLocked(wmu, bw, ftHelloAck, nil) == nil
+	case ftImportOpen:
+		imp.barrier()
+		from, epoch, fp, _, derr := decodeImportOpen(payload)
+		putBuf(payload)
+		ack := getBuf()
+		if derr != nil {
+			ack = appendOpenAck(ack, 0, derr.Error())
+		} else {
+			ack = appendOpenAck(ack, s.agent.ImportOpen(from, epoch, fp), "")
+		}
+		err := writeFrameLocked(wmu, bw, ftOpenAck, ack)
+		putBuf(ack)
+		return err == nil && derr == nil
+	case ftImportBatch:
+		from, epoch, seq, pairs, derr := decodeImportBatch(payload)
+		if derr != nil {
+			putBuf(payload)
+			s.log.Printf("agentrpc: bad import batch: %v", derr)
+			return false
+		}
+		imp.enqueue(importJob{payload: payload, from: from, epoch: epoch, seq: seq, pairs: pairs})
+		return true
+	default:
+		putBuf(payload)
+		s.log.Printf("agentrpc: unknown frame type %d", typ)
+		return false
+	}
+}
+
+func writeFrameLocked(wmu *sync.Mutex, bw *bufio.Writer, typ byte, payload []byte) error {
+	wmu.Lock()
+	defer wmu.Unlock()
+	return writeFrame(bw, typ, payload)
+}
+
+// importJob is one decoded batch frame awaiting application; payload is
+// the pooled frame buffer the pairs' values alias.
+type importJob struct {
+	payload []byte
+	from    string
+	epoch   uint64
+	seq     uint64
+	pairs   []cache.KV
+	barrier chan struct{} // when non-nil: a sync point, no batch
+}
+
+// importApplier applies batch frames and writes their acks on a
+// per-connection goroutine, started lazily on the first batch, so the
+// reader can pull the next frame off the wire while BatchImport runs. The
+// small queue keeps at most a couple of decoded frames alive — the
+// receiver-side analogue of the sender's bounded window.
+type importApplier struct {
+	agent *agent.Agent
+	bw    *bufio.Writer
+	wmu   *sync.Mutex
+	jobs  chan importJob
+	wg    sync.WaitGroup
+}
+
+func (ia *importApplier) enqueue(j importJob) {
+	if ia.jobs == nil {
+		ia.jobs = make(chan importJob, 2)
+		ia.wg.Add(1)
+		go ia.run()
+	}
+	ia.jobs <- j
+}
+
+// barrier waits until every queued batch has been applied and acked, so
+// a following response cannot overtake an ack or race the writer.
+func (ia *importApplier) barrier() {
+	if ia.jobs == nil {
+		return
+	}
+	ch := make(chan struct{})
+	ia.jobs <- importJob{barrier: ch}
+	<-ch
+}
+
+func (ia *importApplier) stopApplier() {
+	if ia.jobs != nil {
+		close(ia.jobs)
+		ia.wg.Wait()
+	}
+}
+
+func (ia *importApplier) run() {
+	defer ia.wg.Done()
+	for j := range ia.jobs {
+		if j.barrier != nil {
+			close(j.barrier)
+			continue
+		}
+		hw, n, err := ia.agent.ImportFrame(j.from, j.epoch, j.seq, j.pairs)
+		ack := getBuf()
+		if err != nil {
+			ack = appendBatchAck(ack, j.seq, hw, n, err.Error())
+		} else {
+			ack = appendBatchAck(ack, j.seq, hw, n, "")
+		}
+		// A failed ack write means the connection is dying; the reader
+		// will notice on its next read, so just keep draining.
+		_ = writeFrameLocked(ia.wmu, ia.bw, ftBatchAck, ack)
+		putBuf(ack)
+		putBuf(j.payload)
 	}
 }
 
@@ -202,17 +365,17 @@ func (s *Server) dispatch(req *request) *response {
 		}
 		return &response{OK: true, Takes: takes}
 	case OpSendData:
-		sent, err := s.agent.SendData(ctx, req.Target, req.Takes, req.Retained)
+		stats, err := s.agent.SendData(ctx, req.Target, req.Takes, req.Retained)
 		if err != nil {
 			return errResponse(err)
 		}
-		return &response{OK: true, Sent: sent}
+		return &response{OK: true, Stats: &stats}
 	case OpHashSplit:
-		sent, err := s.agent.HashSplit(ctx, req.NewMembers, req.Full)
+		stats, err := s.agent.HashSplit(ctx, req.NewMembers, req.Full)
 		if err != nil {
 			return errResponse(err)
 		}
-		return &response{OK: true, Sent: sent}
+		return &response{OK: true, Stats: &stats}
 	case OpOfferMetadata:
 		if err := s.agent.OfferMetadata(ctx, req.From, req.Metas); err != nil {
 			return errResponse(err)
@@ -232,18 +395,25 @@ func errResponse(err error) *response {
 	return &response{Error: err.Error()}
 }
 
-// Client talks to one remote Agent. It implements core.MasterAgent and
-// agent.Peer over a single persistent connection with serialized calls,
-// redialling transparently after failures.
+// Client talks to one remote Agent. It implements core.MasterAgent,
+// agent.Peer and agent.StreamPeer over a single persistent connection
+// with serialized calls, redialling transparently after failures. On the
+// first dial it negotiates the binary stream protocol with a hello
+// frame; a server that rejects it (an old JSON-only build drops the
+// connection) pins the client to JSON, and streaming opens report
+// agent.ErrStreamUnsupported so senders fall back to per-batch
+// ImportData.
 type Client struct {
 	node        string
 	addr        string
 	dialTimeout time.Duration
 
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	mu       sync.Mutex
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	binary   bool // this connection negotiated binary framing
+	jsonOnly bool // sticky: never attempt binary negotiation again
 }
 
 // NewClient creates a client for the agent of node (its name) at addr.
@@ -254,14 +424,70 @@ func NewClient(node, addr string) *Client {
 // Node returns the remote node's name.
 func (c *Client) Node() string { return c.node }
 
+// ForceJSON pins the client to the JSON wire protocol: streaming opens
+// report agent.ErrStreamUnsupported, so data pushes take the legacy
+// stop-and-wait path. For benchmarks and mixed-version deployments.
+func (c *Client) ForceJSON() {
+	c.mu.Lock()
+	c.jsonOnly = true
+	c.mu.Unlock()
+}
+
 // Close drops the connection.
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.dropLocked()
+}
+
+// ensureConnLocked dials if no connection is up. Fresh connections speak
+// JSON until negotiateLocked upgrades them.
+func (c *Client) ensureConnLocked(ctx context.Context) error {
 	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
+		return nil
 	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("agentrpc: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 1<<20)
+	c.bw = bufio.NewWriterSize(conn, 64<<10)
+	c.binary = false
+	return nil
+}
+
+// negotiateLocked upgrades the current connection to binary framing with a
+// hello round trip. It runs lazily, on the first OpenImport rather than at
+// dial time, so pure-JSON control traffic against any server never pays
+// for (or trips over) negotiation. A server that fails to ack — an old
+// JSON-only build chokes on the magic byte and drops the connection — pins
+// the client to JSON permanently; senders then fall back to the legacy
+// per-batch path. Bounded by the dial timeout (or the caller's earlier
+// deadline) so a silent peer cannot wedge us.
+func (c *Client) negotiateLocked(ctx context.Context) {
+	if c.binary || c.jsonOnly {
+		return
+	}
+	deadline := time.Now().Add(c.dialTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = c.conn.SetDeadline(deadline)
+	negotiated := false
+	if err := writeFrame(c.bw, ftHello, []byte(c.node)); err == nil {
+		if typ, payload, err := readFrame(c.br); err == nil {
+			putBuf(payload)
+			negotiated = typ == ftHelloAck
+		}
+	}
+	if !negotiated {
+		c.dropLocked()
+		c.jsonOnly = true
+		return
+	}
+	_ = c.conn.SetDeadline(time.Time{})
+	c.binary = true
 }
 
 // call performs one serialized RPC round trip. The context's deadline is
@@ -276,14 +502,8 @@ func (c *Client) call(ctx context.Context, req *request) (*response, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
-		if err != nil {
-			return nil, fmt.Errorf("agentrpc: dial %s: %w", c.addr, err)
-		}
-		c.conn = conn
-		c.dec = json.NewDecoder(bufio.NewReaderSize(conn, 1<<20))
-		c.enc = json.NewEncoder(conn)
+	if err := c.ensureConnLocked(ctx); err != nil {
+		return nil, err
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		if remaining := time.Until(deadline); remaining > 0 {
@@ -294,7 +514,7 @@ func (c *Client) call(ctx context.Context, req *request) (*response, error) {
 		_ = c.conn.SetDeadline(time.Time{})
 	}
 	// Unblock the round trip on cancellation by closing the socket: the
-	// pending Encode/Decode fails and the connection is redialled later.
+	// pending write/read fails and the connection is redialled later.
 	conn := c.conn
 	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	defer func() {
@@ -302,19 +522,32 @@ func (c *Client) call(ctx context.Context, req *request) (*response, error) {
 			c.dropLocked()
 		}
 	}()
-	if err := c.enc.Encode(req); err != nil {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("agentrpc: encode: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err = c.bw.Write(data); err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
 		c.dropLocked()
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
 		return nil, fmt.Errorf("agentrpc: send to %s: %w", c.addr, err)
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
 		c.dropLocked()
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
+		return nil, fmt.Errorf("agentrpc: recv from %s: %w", c.addr, err)
+	}
+	var resp response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		c.dropLocked()
 		return nil, fmt.Errorf("agentrpc: recv from %s: %w", c.addr, err)
 	}
 	if !resp.OK {
@@ -327,6 +560,8 @@ func (c *Client) dropLocked() {
 	if c.conn != nil {
 		_ = c.conn.Close()
 		c.conn = nil
+		c.br, c.bw = nil, nil
+		c.binary = false
 	}
 }
 
@@ -364,21 +599,27 @@ func containsNoMetadata(err error) bool {
 }
 
 // SendData implements core.MasterAgent.
-func (c *Client) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
+func (c *Client) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (agent.SendStats, error) {
 	resp, err := c.call(ctx, &request{Op: OpSendData, Target: target, Takes: takes, Retained: retained})
 	if err != nil {
-		return 0, err
+		return agent.SendStats{}, err
 	}
-	return resp.Sent, nil
+	if resp.Stats == nil {
+		return agent.SendStats{}, nil
+	}
+	return *resp.Stats, nil
 }
 
 // HashSplit implements core.MasterAgent.
-func (c *Client) HashSplit(ctx context.Context, newMembers, fullMembership []string) (int, error) {
+func (c *Client) HashSplit(ctx context.Context, newMembers, fullMembership []string) (agent.SendStats, error) {
 	resp, err := c.call(ctx, &request{Op: OpHashSplit, NewMembers: newMembers, Full: fullMembership})
 	if err != nil {
-		return 0, err
+		return agent.SendStats{}, err
 	}
-	return resp.Sent, nil
+	if resp.Stats == nil {
+		return agent.SendStats{}, nil
+	}
+	return *resp.Stats, nil
 }
 
 // OfferMetadata implements agent.Peer.
@@ -393,7 +634,199 @@ func (c *Client) ImportData(ctx context.Context, from string, pairs []cache.KV) 
 	return err
 }
 
-var _ agent.Peer = (*Client)(nil)
+// OpenImport implements agent.StreamPeer: it opens a windowed binary
+// import stream on the persistent connection. The client mutex is held
+// for the whole session (sessions and control calls are serialized, as
+// before), released by Close or Abort.
+func (c *Client) OpenImport(ctx context.Context, from string, epoch, fingerprint uint64, window int) (agent.ImportSession, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if window < 1 {
+		window = 1
+	}
+	c.mu.Lock()
+	opened := false
+	defer func() {
+		if !opened {
+			c.mu.Unlock()
+		}
+	}()
+	if c.jsonOnly {
+		return nil, agent.ErrStreamUnsupported
+	}
+	if err := c.ensureConnLocked(ctx); err != nil {
+		return nil, err
+	}
+	c.negotiateLocked(ctx)
+	if !c.binary {
+		return nil, agent.ErrStreamUnsupported
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(deadline)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	conn := c.conn
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	fail := func(err error) error {
+		stop()
+		c.dropLocked() // the stream state is unknown: start clean next time
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return err
+	}
+	buf := getBuf()
+	buf = appendImportOpen(buf, from, epoch, fingerprint, window)
+	err := writeFrame(c.bw, ftImportOpen, buf)
+	wire := int64(len(buf) + frameHeaderLen)
+	putBuf(buf)
+	if err != nil {
+		return nil, fail(fmt.Errorf("agentrpc: open import to %s: %w", c.addr, err))
+	}
+	typ, payload, err := readFrame(c.br)
+	if err != nil {
+		return nil, fail(fmt.Errorf("agentrpc: open import to %s: %w", c.addr, err))
+	}
+	if typ != ftOpenAck {
+		putBuf(payload)
+		return nil, fail(fmt.Errorf("agentrpc: open import to %s: unexpected frame type %d", c.addr, typ))
+	}
+	hw, remoteErr, derr := decodeOpenAck(payload)
+	putBuf(payload)
+	if derr != nil {
+		return nil, fail(fmt.Errorf("agentrpc: open import to %s: %w", c.addr, derr))
+	}
+	if remoteErr != "" {
+		return nil, fail(fmt.Errorf("%w: %s", ErrRemote, remoteErr))
+	}
+	opened = true
+	return &importSession{c: c, stop: stop, from: from, epoch: epoch, window: window, hw: hw, wire: wire}, nil
+}
+
+// importSession is one open binary stream. It is single-goroutine (the
+// sender's push loop) and holds the client mutex for its lifetime: Send
+// pipelines frames until the window fills, then absorbs backpressure by
+// reading one ack inline; Close drains the remaining acks. TCP plus the
+// server's in-order applier guarantee acks arrive in sequence order.
+type importSession struct {
+	c      *Client
+	stop   func() bool
+	from   string
+	epoch  uint64
+	window int
+
+	outstanding int
+	hw          uint64
+	imported    int
+	wire        int64
+	done        bool
+}
+
+func (s *importSession) HighWater() uint64 { return s.hw }
+
+func (s *importSession) Send(ctx context.Context, seq uint64, pairs []cache.KV) error {
+	if s.done {
+		return errors.New("agentrpc: import session is closed")
+	}
+	if err := ctx.Err(); err != nil {
+		s.fail()
+		return err
+	}
+	for s.outstanding >= s.window {
+		if err := s.readAck(); err != nil {
+			s.fail()
+			return err
+		}
+	}
+	buf := getBuf()
+	buf = appendImportBatch(buf, s.from, s.epoch, seq, pairs)
+	err := writeFrame(s.c.bw, ftImportBatch, buf)
+	s.wire += int64(len(buf) + frameHeaderLen)
+	putBuf(buf)
+	if err != nil {
+		s.fail()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("agentrpc: send batch to %s: %w", s.c.addr, err)
+	}
+	s.outstanding++
+	return nil
+}
+
+func (s *importSession) readAck() error {
+	typ, payload, err := readFrame(s.c.br)
+	if err != nil {
+		return fmt.Errorf("agentrpc: recv ack from %s: %w", s.c.addr, err)
+	}
+	if typ != ftBatchAck {
+		putBuf(payload)
+		return fmt.Errorf("agentrpc: unexpected frame type %d awaiting ack", typ)
+	}
+	_, hw, imported, remoteErr, derr := decodeBatchAck(payload)
+	putBuf(payload)
+	if derr != nil {
+		return fmt.Errorf("agentrpc: recv ack from %s: %w", s.c.addr, derr)
+	}
+	s.outstanding--
+	if remoteErr != "" {
+		return fmt.Errorf("%w: %s", ErrRemote, remoteErr)
+	}
+	s.hw = hw
+	s.imported += imported
+	return nil
+}
+
+func (s *importSession) Close(ctx context.Context) (agent.ImportSummary, error) {
+	if s.done {
+		return agent.ImportSummary{}, errors.New("agentrpc: import session is closed")
+	}
+	for s.outstanding > 0 {
+		if err := s.readAck(); err != nil {
+			s.fail()
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return agent.ImportSummary{}, ctxErr
+			}
+			return agent.ImportSummary{}, err
+		}
+	}
+	s.finish(false)
+	return agent.ImportSummary{HighWater: s.hw, Imported: s.imported, WireBytes: s.wire}, nil
+}
+
+func (s *importSession) Abort() {
+	if !s.done {
+		// The stream may hold unacknowledged frames; the connection is no
+		// longer in a known state, so drop it.
+		s.fail()
+	}
+}
+
+// fail tears the session down dropping the connection (it may be
+// desynchronized); finish releases it cleanly.
+func (s *importSession) fail() { s.finishSession(true) }
+
+func (s *importSession) finish(drop bool) { s.finishSession(drop) }
+
+func (s *importSession) finishSession(drop bool) {
+	s.done = true
+	if !s.stop() {
+		drop = true // ctx fired: the socket was closed under us
+	}
+	if drop {
+		s.c.dropLocked()
+	} else if s.c.conn != nil {
+		_ = s.c.conn.SetDeadline(time.Time{})
+	}
+	s.c.mu.Unlock()
+}
+
+var (
+	_ agent.Peer       = (*Client)(nil)
+	_ agent.StreamPeer = (*Client)(nil)
+)
 
 // AddressBook maps node names to their agent RPC addresses. It implements
 // agent.Transport (peer dialling for Agents) and serves as the Master's

@@ -122,7 +122,7 @@ func TestThreePhaseMigrationOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		total += sent
+		total += sent.Pairs
 	}
 	if total != 400 {
 		t.Fatalf("migrated %d items over TCP, want 400", total)
@@ -175,11 +175,11 @@ func TestHashSplitOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if moved == 0 {
+	if moved.Pairs == 0 {
 		t.Fatal("nothing moved")
 	}
-	if n1.agent.Cache().Len() != moved {
-		t.Fatalf("new node holds %d, want %d", n1.agent.Cache().Len(), moved)
+	if n1.agent.Cache().Len() != moved.Pairs {
+		t.Fatalf("new node holds %d, want %d", n1.agent.Cache().Len(), moved.Pairs)
 	}
 }
 

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"fmt"
+	"time"
+)
+
+// Streaming migration producer (phase 3 data plane). The original
+// FetchTop materializes every selected pair — values included — before
+// the first byte leaves the node, so a retiring node's memory spike is
+// O(hot set). The streaming producer splits selection from fetching:
+//
+//   - TopMeta picks the top-count items of a class by metadata only
+//     (keys + timestamps, no values), exactly the FetchTop merge without
+//     the value copies;
+//   - AppendPairs materializes the values for one bounded batch of metas,
+//     taking each touched shard's lock once and reusing the caller's
+//     value buffers, so the live value footprint is O(batch);
+//   - FetchTopStream composes the two: it walks a class's selection
+//     coldest-first in batches bounded by both pair count and bytes and
+//     hands each batch to a callback that may retain nothing.
+//
+// Batch boundaries are computed from the metadata alone (key + value
+// sizes known at selection time), so a retried stream over the same
+// selection re-produces identical batches — the property the resumable
+// windowed sender relies on to skip already-acknowledged sequences.
+
+// topMeta snapshots up to count matching metas of one shard in MRU order;
+// callers sort and merge the runs.
+func (sh *shard) topMeta(classID, count int, now time.Time, filter func(key string) bool) []ItemMeta {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sl := sh.slabs[classID]
+	if sl == nil || sl.list.size == 0 {
+		return nil
+	}
+	out := make([]ItemMeta, 0, min(count, sl.list.size))
+	sl.list.each(func(it *Item) bool {
+		if it.expired(now) {
+			return true // dead items are not migration candidates
+		}
+		if filter == nil || filter(it.Key) {
+			out = append(out, ItemMeta{
+				Key:        it.Key,
+				LastAccess: it.LastAccess,
+				ValueSize:  len(it.Value),
+				ClassID:    classID,
+			})
+			if len(out) == count {
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// TopMeta returns the metadata of the globally hottest count items of the
+// class whose keys pass filter (nil = all), in MRU order — FetchTop's
+// selection without materializing a single value. A shard never
+// contributes more than count entries, so the transient selection cost is
+// O(shards × count) metas, each ~40 bytes plus the key.
+func (c *Cache) TopMeta(classID, count int, filter func(key string) bool) ([]ItemMeta, error) {
+	if classID < 0 || classID >= len(c.classes) {
+		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
+	}
+	if count <= 0 {
+		return nil, nil
+	}
+	now := c.now()
+	runs := make([][]ItemMeta, 0, len(c.shards))
+	for _, sh := range c.shards {
+		run := sh.topMeta(classID, count, now, filter)
+		if len(run) == 0 {
+			continue
+		}
+		sortRun(run)
+		runs = append(runs, run)
+	}
+	merged := mergeRuns(runs)
+	if len(merged) > count {
+		merged = merged[:count]
+	}
+	return merged, nil
+}
+
+// AppendPairs materializes the current values for metas, appending one KV
+// per still-resident key to dst and returning the extended slice. Entries
+// whose key has been deleted, evicted, or expired since selection are
+// skipped. Spare capacity in dst is reused — including the value buffers
+// of previous occupants — so a sender looping over batches with
+// `buf = c.AppendPairs(buf[:0], batch)` allocates values only until the
+// largest batch has been seen, then runs allocation-free.
+//
+// The fetch fan-out mirrors BatchImport's write fan-out: metas are grouped
+// by their key's shard and each shard's group is copied out under one lock
+// acquisition.
+func (c *Cache) AppendPairs(dst []KV, metas []ItemMeta) []KV {
+	if len(metas) == 0 {
+		return dst
+	}
+	start := len(dst)
+	// Extend dst by len(metas) placeholders, reusing spare capacity (and
+	// the value buffers parked there) before growing.
+	for range metas {
+		if len(dst) < cap(dst) {
+			dst = dst[:len(dst)+1]
+		} else {
+			dst = append(dst, KV{})
+		}
+	}
+	out := dst[start:]
+	groups := make([][]int, len(c.shards))
+	for i, m := range metas {
+		si := c.shardIndexFor(m.Key)
+		groups[si] = append(groups[si], i)
+	}
+	now := c.now()
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := c.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			it, ok := sh.table[metas[i].Key]
+			if !ok || it.expired(now) {
+				out[i].Key = "" // vanished since selection
+				continue
+			}
+			out[i].Key = metas[i].Key
+			out[i].Value = append(out[i].Value[:0], it.Value...)
+			out[i].Flags = it.Flags
+			out[i].LastAccess = it.LastAccess
+		}
+		sh.mu.Unlock()
+	}
+	// Compact away vanished entries by swapping, so the skipped slots'
+	// value buffers stay parked in the spare capacity for reuse.
+	w := start
+	for r := start; r < len(dst); r++ {
+		if dst[r].Key == "" {
+			continue
+		}
+		if w != r {
+			dst[w], dst[r] = dst[r], dst[w]
+		}
+		w++
+	}
+	return dst[:w]
+}
+
+// StreamBatch is one bounded batch yielded by FetchTopStream.
+type StreamBatch struct {
+	// Seq numbers batches from 1 in emission order.
+	Seq uint64
+	// Pairs hold the batch coldest-first; the slice and its value buffers
+	// are reused across batches and must not be retained by the callback.
+	Pairs []KV
+	// Bytes is the payload size of the batch: sum of key + value lengths
+	// as selected (vanished entries still counted, keeping boundaries
+	// stable across retries).
+	Bytes int
+}
+
+// FetchTopStream selects the hottest count items of the class (like
+// FetchTop) and streams them to emit coldest-first in batches bounded by
+// maxPairs pairs and maxBytes payload bytes (<=0 means unbounded; a
+// single oversized pair still forms its own batch). Values are fetched
+// per batch, so the caller's peak extra memory is one batch, not the
+// whole selection. It returns the total number of pairs emitted.
+func (c *Cache) FetchTopStream(classID, count int, filter func(key string) bool, maxPairs, maxBytes int, emit func(StreamBatch) error) (int, error) {
+	metas, err := c.TopMeta(classID, count, filter)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	var (
+		buf   []KV
+		batch []ItemMeta
+		bytes int
+		seq   uint64
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		seq++
+		buf = c.AppendPairs(buf[:0], batch)
+		err := emit(StreamBatch{Seq: seq, Pairs: buf, Bytes: bytes})
+		total += len(buf)
+		batch, bytes = batch[:0], 0
+		return err
+	}
+	for i := len(metas) - 1; i >= 0; i-- { // coldest-first
+		m := metas[i]
+		sz := len(m.Key) + m.ValueSize
+		if len(batch) > 0 &&
+			((maxPairs > 0 && len(batch) >= maxPairs) ||
+				(maxBytes > 0 && bytes+sz > maxBytes)) {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+		batch = append(batch, m)
+		bytes += sz
+	}
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}

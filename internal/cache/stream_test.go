@@ -1,0 +1,200 @@
+package cache
+
+// Tests for the streaming migration producer: TopMeta must reproduce
+// FetchTop's selection without touching values, AppendPairs must
+// materialize batches with buffer reuse and skip vanished keys, and
+// FetchTopStream must respect both batch bounds while preserving the
+// coldest-first emission order the resumable sender depends on.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// populateStream inserts n keys with strictly increasing recency, so
+// key i is hotter than key j whenever i > j.
+func populateStream(t *testing.T, c *Cache, n, valLen int) {
+	t.Helper()
+	val := make([]byte, valLen)
+	for i := 0; i < n; i++ {
+		if err := c.Set(fmt.Sprintf("stream-key-%05d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTopMetaMatchesFetchTopSelection(t *testing.T) {
+	c, _ := newTestCache(t, 2)
+	populateStream(t, c, 500, 10)
+	classID := c.PopulatedClasses()[0]
+
+	for _, count := range []int{1, 7, 250, 500, 1000} {
+		metas, err := c.TopMeta(classID, count, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kvs, err := c.FetchTop(classID, count, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(metas) != len(kvs) {
+			t.Fatalf("count %d: TopMeta %d entries, FetchTop %d", count, len(metas), len(kvs))
+		}
+		for i := range metas {
+			if metas[i].Key != kvs[i].Key {
+				t.Fatalf("count %d: selection diverges at %d: %q vs %q", count, i, metas[i].Key, kvs[i].Key)
+			}
+			if !metas[i].LastAccess.Equal(kvs[i].LastAccess) {
+				t.Fatalf("count %d: timestamp diverges for %q", count, metas[i].Key)
+			}
+			if metas[i].ValueSize != len(kvs[i].Value) {
+				t.Fatalf("count %d: ValueSize %d, value is %d bytes", count, metas[i].ValueSize, len(kvs[i].Value))
+			}
+		}
+	}
+}
+
+func TestTopMetaHonorsFilter(t *testing.T) {
+	c, _ := newTestCache(t, 2)
+	populateStream(t, c, 100, 10)
+	classID := c.PopulatedClasses()[0]
+	even := func(key string) bool {
+		var n int
+		fmt.Sscanf(key, "stream-key-%d", &n)
+		return n%2 == 0
+	}
+	metas, err := c.TopMeta(classID, 100, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 50 {
+		t.Fatalf("filtered selection %d, want 50", len(metas))
+	}
+	for _, m := range metas {
+		if !even(m.Key) {
+			t.Fatalf("filter leaked %q", m.Key)
+		}
+	}
+}
+
+func TestAppendPairsSkipsVanishedKeys(t *testing.T) {
+	c, _ := newTestCache(t, 2)
+	populateStream(t, c, 50, 10)
+	classID := c.PopulatedClasses()[0]
+	metas, err := c.TopMeta(classID, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete every fifth selected key between selection and fetch.
+	deleted := make(map[string]bool)
+	for i := 0; i < len(metas); i += 5 {
+		c.Delete(metas[i].Key)
+		deleted[metas[i].Key] = true
+	}
+	pairs := c.AppendPairs(nil, metas)
+	if len(pairs) != len(metas)-len(deleted) {
+		t.Fatalf("got %d pairs, want %d", len(pairs), len(metas)-len(deleted))
+	}
+	for _, p := range pairs {
+		if p.Key == "" {
+			t.Fatal("vanished placeholder leaked into the result")
+		}
+		if deleted[p.Key] {
+			t.Fatalf("deleted key %q fetched", p.Key)
+		}
+		if len(p.Value) != 10 {
+			t.Fatalf("key %q value %d bytes, want 10", p.Key, len(p.Value))
+		}
+	}
+}
+
+// TestAppendPairsReusesBuffers: looping `buf = AppendPairs(buf[:0], batch)`
+// must stop allocating once the largest batch has been seen — the property
+// that keeps the streaming sender's steady state allocation-free.
+func TestAppendPairsReusesBuffers(t *testing.T) {
+	c, _ := newTestCache(t, 2)
+	populateStream(t, c, 64, 32)
+	classID := c.PopulatedClasses()[0]
+	metas, err := c.TopMeta(classID, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := c.AppendPairs(nil, metas) // warm: allocates pairs and values
+	allocs := testing.AllocsPerRun(20, func() {
+		buf = c.AppendPairs(buf[:0], metas)
+	})
+	// The per-shard index grouping still allocates a few small slices;
+	// what must NOT allocate is the pairs themselves or their values.
+	if allocs > 20 {
+		t.Fatalf("steady-state AppendPairs allocates %.0f objects/op", allocs)
+	}
+	if len(buf) != 64 {
+		t.Fatalf("reused fetch returned %d pairs, want 64", len(buf))
+	}
+}
+
+func TestFetchTopStreamBatchBounds(t *testing.T) {
+	c, _ := newTestCache(t, 2)
+	populateStream(t, c, 300, 20)
+	classID := c.PopulatedClasses()[0]
+
+	const maxPairs, maxBytes = 32, 1 << 10
+	var (
+		batches     int
+		total       int
+		lastSeq     uint64
+		prevHottest string
+	)
+	n, err := c.FetchTopStream(classID, 300, nil, maxPairs, maxBytes, func(b StreamBatch) error {
+		batches++
+		if b.Seq != lastSeq+1 {
+			t.Fatalf("batch seq %d after %d", b.Seq, lastSeq)
+		}
+		lastSeq = b.Seq
+		if len(b.Pairs) > maxPairs {
+			t.Fatalf("batch %d has %d pairs, cap %d", b.Seq, len(b.Pairs), maxPairs)
+		}
+		if b.Bytes > maxBytes {
+			t.Fatalf("batch %d is %d bytes, cap %d", b.Seq, b.Bytes, maxBytes)
+		}
+		// Coldest-first within the batch…
+		for i := 1; i < len(b.Pairs); i++ {
+			if b.Pairs[i].LastAccess.Before(b.Pairs[i-1].LastAccess) {
+				t.Fatalf("batch %d out of coldest-first order at %d", b.Seq, i)
+			}
+		}
+		// …and across batches: this batch's coldest is no colder than the
+		// previous batch's hottest.
+		if prevHottest != "" && b.Pairs[0].Key <= prevHottest {
+			// Keys are zero-padded and inserted cold→hot, so lexicographic
+			// order tracks recency.
+			t.Fatalf("batch %d starts at %q, not hotter than previous hottest %q", b.Seq, b.Pairs[0].Key, prevHottest)
+		}
+		prevHottest = b.Pairs[len(b.Pairs)-1].Key
+		total += len(b.Pairs)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 || total != 300 {
+		t.Fatalf("streamed %d (callback saw %d), want 300", n, total)
+	}
+	if batches < 300/maxPairs {
+		t.Fatalf("only %d batches, bounds not applied", batches)
+	}
+}
+
+func TestFetchTopStreamEmptyClassAndErrors(t *testing.T) {
+	c, _ := newTestCache(t, 1)
+	n, err := c.FetchTopStream(0, 10, nil, 4, 0, func(StreamBatch) error {
+		t.Fatal("callback fired for an empty class")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("empty stream = %d, %v", n, err)
+	}
+	if _, err := c.FetchTopStream(-1, 10, nil, 4, 0, nil); err == nil {
+		t.Fatal("want error for out-of-range class")
+	}
+}

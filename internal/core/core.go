@@ -49,10 +49,11 @@ type MasterAgent interface {
 	SendMetadata(ctx context.Context, retained []string) error
 	// ComputeTakes runs migration phase 2 on a retained node.
 	ComputeTakes(ctx context.Context) (agent.Takes, error)
-	// SendData runs migration phase 3 on a retiring node.
-	SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error)
+	// SendData runs migration phase 3 on a retiring node, reporting what
+	// the push moved (pairs, bytes, resume skips, duration).
+	SendData(ctx context.Context, target string, takes map[int]int, retained []string) (agent.SendStats, error)
 	// HashSplit runs the scale-out split on an existing node.
-	HashSplit(ctx context.Context, newMembers, fullMembership []string) (int, error)
+	HashSplit(ctx context.Context, newMembers, fullMembership []string) (agent.SendStats, error)
 }
 
 var _ MasterAgent = (*agent.Agent)(nil)
@@ -127,6 +128,23 @@ type NodeOpTiming struct {
 	Err string
 }
 
+// NodeDataStat is one sender's (or sender→target pair's) data-plane
+// accounting for the report: migration throughput is BytesMoved (or
+// Pairs) over Duration.
+type NodeDataStat struct {
+	// Node is the sending node; Target the receiver ("" for hash split,
+	// which fans out to every new node).
+	Node   string
+	Target string
+	// Pairs, Resumed, BytesMoved, WireBytes and Duration mirror
+	// agent.SendStats for the operation.
+	Pairs      int
+	Resumed    int
+	BytesMoved int64
+	WireBytes  int64
+	Duration   time.Duration
+}
+
 // ScaleReport summarizes one scaling action. On a mid-phase failure the
 // report is returned alongside the error with the phases that did complete,
 // so callers can see what was already migrated; Aborted names the phase
@@ -137,8 +155,12 @@ type ScaleReport struct {
 	// Retiring or Added lists the affected nodes.
 	Retiring []string
 	Added    []string
-	// ItemsMigrated counts KV pairs moved.
+	// ItemsMigrated counts KV pairs moved (resumed pairs included: they
+	// were moved by an earlier attempt of this same action).
 	ItemsMigrated int
+	// Data holds the per-sender data-plane stats, in deterministic
+	// (node, target) order.
+	Data []NodeDataStat
 	// Members is the membership after the action.
 	Members []string
 	// Timings holds the per-phase breakdown in execution order.
@@ -528,7 +550,7 @@ func (m *Master) ScaleInNodes(ctx context.Context, retiring []string) (*ScaleRep
 		}
 	}
 	pairs := make([]phaseOp, len(specs))
-	sent := make([]int, len(specs))
+	sent := make([]agent.SendStats, len(specs))
 	for i, sp := range specs {
 		i, sp := i, sp
 		pairs[i] = phaseOp{node: sp.node, target: sp.target, run: func(opCtx context.Context) error {
@@ -536,14 +558,21 @@ func (m *Master) ScaleInNodes(ctx context.Context, retiring []string) (*ScaleRep
 			if err != nil {
 				return err
 			}
-			moved, err := ag.SendData(opCtx, sp.target, sp.takes, retained)
-			sent[i] = moved
+			stats, err := ag.SendData(opCtx, sp.target, sp.takes, retained)
+			sent[i] = stats
 			return err
 		}}
 	}
 	err := m.runPhase(ctx, "data", report, pairs)
-	for _, n := range sent {
-		report.ItemsMigrated += n
+	for i, sp := range specs {
+		st := sent[i]
+		report.ItemsMigrated += st.Pairs
+		report.Data = append(report.Data, NodeDataStat{
+			Node: sp.node, Target: sp.target,
+			Pairs: st.Pairs, Resumed: st.Resumed,
+			BytesMoved: st.BytesMoved, WireBytes: st.WireBytes,
+			Duration: st.Duration,
+		})
 	}
 	if err != nil {
 		return report, err
@@ -594,7 +623,7 @@ func (m *Master) ScaleOut(ctx context.Context, newNodes []string) (*ScaleReport,
 
 	// Hash split, concurrent across existing members.
 	ops := make([]phaseOp, len(members))
-	sent := make([]int, len(members))
+	sent := make([]agent.SendStats, len(members))
 	for i, node := range members {
 		i, node := i, node
 		ops[i] = phaseOp{node: node, run: func(opCtx context.Context) error {
@@ -602,14 +631,21 @@ func (m *Master) ScaleOut(ctx context.Context, newNodes []string) (*ScaleReport,
 			if err != nil {
 				return err
 			}
-			moved, err := ag.HashSplit(opCtx, newNodes, full)
-			sent[i] = moved
+			stats, err := ag.HashSplit(opCtx, newNodes, full)
+			sent[i] = stats
 			return err
 		}}
 	}
 	err := m.runPhase(ctx, "hashsplit", report, ops)
-	for _, n := range sent {
-		report.ItemsMigrated += n
+	for i, node := range members {
+		st := sent[i]
+		report.ItemsMigrated += st.Pairs
+		report.Data = append(report.Data, NodeDataStat{
+			Node:  node,
+			Pairs: st.Pairs, Resumed: st.Resumed,
+			BytesMoved: st.BytesMoved, WireBytes: st.WireBytes,
+			Duration: st.Duration,
+		})
 	}
 	if err != nil {
 		return report, err

@@ -54,16 +54,16 @@ func (a *faultyAgent) ComputeTakes(ctx context.Context) (agent.Takes, error) {
 	return a.inner.ComputeTakes(ctx)
 }
 
-func (a *faultyAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
+func (a *faultyAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (agent.SendStats, error) {
 	if a.failPhase == "data" {
-		return 0, taskgroup.Permanent(errInjected)
+		return agent.SendStats{}, taskgroup.Permanent(errInjected)
 	}
 	return a.inner.SendData(ctx, target, takes, retained)
 }
 
-func (a *faultyAgent) HashSplit(ctx context.Context, newMembers, full []string) (int, error) {
+func (a *faultyAgent) HashSplit(ctx context.Context, newMembers, full []string) (agent.SendStats, error) {
 	if a.failPhase == "split" {
-		return 0, taskgroup.Permanent(errInjected)
+		return agent.SendStats{}, taskgroup.Permanent(errInjected)
 	}
 	return a.inner.HashSplit(ctx, newMembers, full)
 }

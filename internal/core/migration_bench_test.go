@@ -72,16 +72,16 @@ func (a *delayAgent) ComputeTakes(ctx context.Context) (agent.Takes, error) {
 	return a.inner.ComputeTakes(ctx)
 }
 
-func (a *delayAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
+func (a *delayAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (agent.SendStats, error) {
 	if err := a.pause(ctx); err != nil {
-		return 0, err
+		return agent.SendStats{}, err
 	}
 	return a.inner.SendData(ctx, target, takes, retained)
 }
 
-func (a *delayAgent) HashSplit(ctx context.Context, newMembers, full []string) (int, error) {
+func (a *delayAgent) HashSplit(ctx context.Context, newMembers, full []string) (agent.SendStats, error) {
 	if err := a.pause(ctx); err != nil {
-		return 0, err
+		return agent.SendStats{}, err
 	}
 	return a.inner.HashSplit(ctx, newMembers, full)
 }

@@ -32,8 +32,8 @@ type hookDirectory struct {
 
 type hooks struct {
 	sendMetadata func(ctx context.Context, inner func(context.Context) error) error
-	sendData     func(ctx context.Context, target string, inner func(context.Context) (int, error)) (int, error)
-	hashSplit    func(ctx context.Context, inner func(context.Context) (int, error)) (int, error)
+	sendData     func(ctx context.Context, target string, inner func(context.Context) (agent.SendStats, error)) (agent.SendStats, error)
+	hashSplit    func(ctx context.Context, inner func(context.Context) (agent.SendStats, error)) (agent.SendStats, error)
 }
 
 func (d *hookDirectory) Agent(node string) (MasterAgent, error) {
@@ -65,16 +65,18 @@ func (a *hookAgent) ComputeTakes(ctx context.Context) (agent.Takes, error) {
 	return a.inner.ComputeTakes(ctx)
 }
 
-func (a *hookAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
-	call := func(ctx context.Context) (int, error) { return a.inner.SendData(ctx, target, takes, retained) }
+func (a *hookAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (agent.SendStats, error) {
+	call := func(ctx context.Context) (agent.SendStats, error) {
+		return a.inner.SendData(ctx, target, takes, retained)
+	}
 	if a.h != nil && a.h.sendData != nil {
 		return a.h.sendData(ctx, target, call)
 	}
 	return call(ctx)
 }
 
-func (a *hookAgent) HashSplit(ctx context.Context, newMembers, full []string) (int, error) {
-	call := func(ctx context.Context) (int, error) { return a.inner.HashSplit(ctx, newMembers, full) }
+func (a *hookAgent) HashSplit(ctx context.Context, newMembers, full []string) (agent.SendStats, error) {
+	call := func(ctx context.Context) (agent.SendStats, error) { return a.inner.HashSplit(ctx, newMembers, full) }
 	if a.h != nil && a.h.hashSplit != nil {
 		return a.h.hashSplit(ctx, call)
 	}
@@ -128,21 +130,21 @@ func TestMidPhase3FailureCancelsInflightAndKeepsMembership(t *testing.T) {
 	dir := &hookDirectory{
 		inner: RegistryDirectory{Registry: c.reg},
 		hooks: map[string]*hooks{
-			"node-00": {sendData: func(ctx context.Context, _ string, _ func(context.Context) (int, error)) (int, error) {
+			"node-00": {sendData: func(ctx context.Context, _ string, _ func(context.Context) (agent.SendStats, error)) (agent.SendStats, error) {
 				select {
 				case <-inflight:
 				case <-time.After(5 * time.Second):
 				}
-				return 0, taskgroup.Permanent(boom)
+				return agent.SendStats{}, taskgroup.Permanent(boom)
 			}},
-			"node-01": {sendData: func(ctx context.Context, _ string, _ func(context.Context) (int, error)) (int, error) {
+			"node-01": {sendData: func(ctx context.Context, _ string, _ func(context.Context) (agent.SendStats, error)) (agent.SendStats, error) {
 				once.Do(func() { close(inflight) })
 				select {
 				case <-ctx.Done():
 					cancellations.Add(1)
-					return 0, ctx.Err()
+					return agent.SendStats{}, ctx.Err()
 				case <-time.After(5 * time.Second):
-					return 0, errors.New("in-flight transfer never saw cancellation")
+					return agent.SendStats{}, errors.New("in-flight transfer never saw cancellation")
 				}
 			}},
 		},
@@ -293,8 +295,8 @@ func TestScaleOutPartialReportOnSplitFailure(t *testing.T) {
 	dir := &hookDirectory{
 		inner: RegistryDirectory{Registry: c.reg},
 		hooks: map[string]*hooks{
-			"node-01": {hashSplit: func(context.Context, func(context.Context) (int, error)) (int, error) {
-				return 0, taskgroup.Permanent(boom)
+			"node-01": {hashSplit: func(context.Context, func(context.Context) (agent.SendStats, error)) (agent.SendStats, error) {
+				return agent.SendStats{}, taskgroup.Permanent(boom)
 			}},
 		},
 	}

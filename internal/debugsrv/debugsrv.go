@@ -1,0 +1,60 @@
+// Package debugsrv serves the operational debug endpoints — net/http/pprof
+// profiles and expvar counters — on a dedicated listener so the production
+// memcached and agent RPC ports never expose them. Both binaries gate it
+// behind a -debug-addr flag; the default is off.
+package debugsrv
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Publish registers f under name in the process-wide expvar registry,
+// rendering as JSON at /debug/vars. Unlike expvar.Publish it is
+// idempotent: re-registering a live name (tests, restarts of an embedded
+// server) keeps the existing variable instead of panicking.
+func Publish(name string, f func() any) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(f))
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug HTTP server on addr. The handler set is built on
+// a private mux: importing net/http/pprof only touches
+// http.DefaultServeMux, which we deliberately do not serve.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugsrv: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,60 @@
+package debugsrv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestServeVarsAndPprof(t *testing.T) {
+	calls := 0
+	Publish("debugsrv_test_counter", func() any { calls++; return map[string]int{"calls": calls} })
+	Publish("debugsrv_test_counter", func() any { return "shadowed" }) // must be a no-op
+
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, "http://"+s.Addr()+"/debug/vars"), &vars); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := vars["debugsrv_test_counter"]
+	if !ok {
+		t.Fatalf("published var missing from /debug/vars: %s", vars)
+	}
+	var counter map[string]int
+	if err := json.Unmarshal(raw, &counter); err != nil {
+		t.Fatalf("second Publish shadowed the first: %s (%v)", raw, err)
+	}
+	if counter["calls"] == 0 {
+		t.Fatalf("var func not invoked: %s", raw)
+	}
+
+	if body := get(t, "http://"+s.Addr()+"/debug/pprof/"); len(body) == 0 {
+		t.Fatal("pprof index is empty")
+	}
+	if body := get(t, "http://"+s.Addr()+"/debug/pprof/goroutine?debug=1"); len(body) == 0 {
+		t.Fatal("goroutine profile is empty")
+	}
+}

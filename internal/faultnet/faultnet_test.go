@@ -128,10 +128,10 @@ func TestSetEnabledFreezesInjection(t *testing.T) {
 func TestApplySemantics(t *testing.T) {
 	ctx := context.Background()
 	for _, tc := range []struct {
-		name      string
-		rule      Rule
+		name       string
+		rule       Rule
 		deliveries int
-		wantErr   bool
+		wantErr    bool
 	}{
 		{"drop", Rule{Drop: 1}, 0, true},
 		{"drop_reply", Rule{DropReply: 1}, 1, true},

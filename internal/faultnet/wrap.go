@@ -25,6 +25,7 @@ const (
 	OpHashSplit     = "hash_split"
 	OpOfferMetadata = "offer_metadata"
 	OpImportData    = "import_data"
+	OpImportOpen    = "import_open"
 )
 
 // apply runs one RPC-shaped operation under the schedule's decision for
@@ -98,6 +99,69 @@ func (p *faultyPeer) ImportData(ctx context.Context, from string, pairs []cache.
 	})
 }
 
+// OpenImport implements agent.StreamPeer: the open handshake runs under
+// the OpImportOpen schedule entry and each batch Send under OpImportData,
+// so schedules targeting the data phase hit the streaming plane too. A
+// faulted Send poisons the session — a lost or duplicated frame leaves a
+// real framed stream desynchronized, so the sender must reopen and resume
+// from the receiver's acked high-water mark, which is exactly the path
+// the chaos harness needs to exercise.
+func (p *faultyPeer) OpenImport(ctx context.Context, from string, epoch, fingerprint uint64, window int) (agent.ImportSession, error) {
+	sp, ok := p.inner.(agent.StreamPeer)
+	if !ok {
+		return nil, agent.ErrStreamUnsupported
+	}
+	var sess agent.ImportSession
+	err := p.net.apply(ctx, p.from, p.to, OpImportOpen, func() error {
+		var ierr error
+		sess, ierr = sp.OpenImport(ctx, from, epoch, fingerprint, window)
+		return ierr
+	})
+	if err != nil {
+		if sess != nil {
+			sess.Abort()
+		}
+		return nil, err
+	}
+	return &faultySession{p: p, inner: sess}, nil
+}
+
+// faultySession injects per-batch faults into an open import stream.
+type faultySession struct {
+	p      *faultyPeer
+	inner  agent.ImportSession
+	broken bool
+}
+
+func (s *faultySession) HighWater() uint64 { return s.inner.HighWater() }
+
+func (s *faultySession) Send(ctx context.Context, seq uint64, pairs []cache.KV) error {
+	if s.broken {
+		return fmt.Errorf("%w: stream %s->%s broken by injected fault", ErrInjected, s.p.from, s.p.to)
+	}
+	err := s.p.net.apply(ctx, s.p.from, s.p.to, OpImportData, func() error {
+		// A Dup delivers the same seq twice; the receiver's high-water
+		// check makes the replay a no-op, like TCP retransmission.
+		return s.inner.Send(ctx, seq, pairs)
+	})
+	if err != nil {
+		s.broken = true
+	}
+	return err
+}
+
+func (s *faultySession) Close(ctx context.Context) (agent.ImportSummary, error) {
+	if s.broken {
+		s.inner.Abort()
+		return agent.ImportSummary{}, fmt.Errorf("%w: stream %s->%s broken by injected fault", ErrInjected, s.p.from, s.p.to)
+	}
+	return s.inner.Close(ctx)
+}
+
+func (s *faultySession) Abort() { s.inner.Abort() }
+
+var _ agent.StreamPeer = (*faultyPeer)(nil)
+
 // Transport wraps an agent.Transport so every peer resolved through it
 // injects the schedule's faults for the (from → peer) link. Each agent
 // gets its own wrapper naming itself as the sender.
@@ -170,8 +234,8 @@ func (a *faultyAgent) ComputeTakes(ctx context.Context) (agent.Takes, error) {
 }
 
 // SendData implements core.MasterAgent.
-func (a *faultyAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (int, error) {
-	sent := 0
+func (a *faultyAgent) SendData(ctx context.Context, target string, takes map[int]int, retained []string) (agent.SendStats, error) {
+	var sent agent.SendStats
 	err := a.net.apply(ctx, a.from, a.to, OpSendData, func() error {
 		var ierr error
 		sent, ierr = a.inner.SendData(ctx, target, takes, retained)
@@ -184,8 +248,8 @@ func (a *faultyAgent) SendData(ctx context.Context, target string, takes map[int
 }
 
 // HashSplit implements core.MasterAgent.
-func (a *faultyAgent) HashSplit(ctx context.Context, newMembers, fullMembership []string) (int, error) {
-	sent := 0
+func (a *faultyAgent) HashSplit(ctx context.Context, newMembers, fullMembership []string) (agent.SendStats, error) {
+	var sent agent.SendStats
 	err := a.net.apply(ctx, a.from, a.to, OpHashSplit, func() error {
 		var ierr error
 		sent, ierr = a.inner.HashSplit(ctx, newMembers, fullMembership)

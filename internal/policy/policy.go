@@ -149,11 +149,11 @@ func NaiveScaleIn(ctx context.Context, reg *agent.Registry, retiring, retained [
 			for _, tc := range perTarget[tgt] {
 				takes[tc.classID] = tc.count
 			}
-			sent, err := src.SendData(ctx, tgt, takes, retained)
+			stats, err := src.SendData(ctx, tgt, takes, retained)
 			if err != nil {
 				return migrated, fmt.Errorf("naive %s→%s: %w", node, tgt, err)
 			}
-			migrated += sent
+			migrated += stats.Pairs
 		}
 	}
 	return migrated, nil
