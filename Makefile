@@ -2,7 +2,7 @@ GO ?= go
 SEEDS ?= 10
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-hot bench-migrate allocs chaos fuzz check
+.PHONY: build test race vet bench bench-hot bench-migrate bench-skew allocs chaos fuzz check
 
 ## build: compile every package
 build:
@@ -18,7 +18,8 @@ test:
 race:
 	$(GO) test -race ./internal/cache/... ./internal/server/... \
 		./internal/taskgroup/... ./internal/core/... ./internal/agent/... \
-		./internal/cluster/... ./internal/faultnet/... ./internal/agentrpc/...
+		./internal/cluster/... ./internal/faultnet/... ./internal/agentrpc/... \
+		./internal/hotkey/... ./internal/client/...
 
 ## vet: run go vet across the module
 vet:
@@ -34,6 +35,13 @@ bench: bench-migrate
 ## regression bar is ≥3× pairs/s for the binary plane at 5ms
 bench-migrate:
 	$(GO) test -run '^$$' -bench MigrateDataPlane -benchtime 1s ./internal/agentrpc/
+
+## bench-skew: the hot-key replication load-spread experiment — a 4-node
+## in-process cluster under adversarial Zipf θ=1.2 and flash-crowd reads;
+## the regression bar is a ≥2× reduction in max-node/mean-node op ratio
+## with replication on (see EXPERIMENTS.md)
+bench-skew:
+	$(GO) run ./cmd/elmem-bench -experiment skew
 
 ## bench-hot: hot-path benchmarks — in-process parse/handle/write cost
 ## (allocs/op must read 0) and loopback pipelining at depth 1/8/64

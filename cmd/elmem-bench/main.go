@@ -12,6 +12,7 @@
 //	elmem-bench -experiment fusecache   # IV-B: complexity comparison
 //	elmem-bench -experiment cost        # II-B: cost/energy analysis
 //	elmem-bench -experiment headroom    # II-C: elasticity headroom
+//	elmem-bench -experiment skew        # hot-key replication load spread
 //	elmem-bench -experiment all         # everything
 //
 // -fast shrinks the simulations ~4x for a quick pass.
@@ -24,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -59,6 +61,7 @@ func run(w io.Writer) error {
 		"cost":      runCost,
 		"headroom":  runHeadroom,
 		"autoscale": runAutoScale,
+		"skew":      runSkew,
 	}
 	if *experiment == "all" {
 		order := []string{
@@ -211,6 +214,34 @@ func runHeadroom(w io.Writer, _ bool) error {
 	}
 	experiments.RenderHeadroom(w, rows)
 	return nil
+}
+
+// runSkew measures hot-key replication's load spread on a live in-process
+// cluster: adversarial Zipf θ=1.2 (hottest ranks all homed on one node)
+// and a flash crowd, each with replication off then on.
+func runSkew(w io.Writer, fast bool) error {
+	opts := cluster.SkewOptions{
+		Nodes:     4,
+		Theta:     1.2,
+		Keys:      2048,
+		HotSpan:   16,
+		WarmupOps: 16000,
+		Ops:       30000,
+		Seed:      1,
+	}
+	if fast {
+		opts.Keys = 1024
+		opts.WarmupOps = 6000
+		opts.Ops = 9000
+	}
+	if err := cluster.RenderSkew(w, opts); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	flash := opts
+	flash.FlashCrowd = true
+	flash.Seed = 2
+	return cluster.RenderSkew(w, flash)
 }
 
 func runAutoScale(w io.Writer, fast bool) error {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/agentrpc"
 	"repro/internal/cache"
 	"repro/internal/debugsrv"
+	"repro/internal/hotkey"
 	"repro/internal/server"
 )
 
@@ -47,6 +48,13 @@ func run() error {
 		crawl     = flag.Duration("crawl", time.Minute, "expired-item crawler interval (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (off when empty)")
 		verbose   = flag.Bool("v", false, "log requests and agent activity")
+
+		hotMembers   = flag.String("hotkey-members", "", "comma-separated cache addresses of the whole tier (incl. this node); enables hot-key replicated serving")
+		hotReplicas  = flag.Int("hotkey-replicas", 2, "hot-key serving-set size R including the home node")
+		hotTopK      = flag.Int("hotkey-topk", 16, "max keys this node keeps promoted")
+		hotThreshold = flag.Float64("hotkey-threshold", 0.05, "sampled-share threshold that promotes a key")
+		hotSample    = flag.Int("hotkey-sample", 32, "sample one in N operations into the hot-key sketch")
+		hotTick      = flag.Duration("hotkey-tick", 2*time.Second, "promotion/demotion evaluation interval")
 	)
 	flag.Parse()
 
@@ -91,6 +99,36 @@ func run() error {
 	}
 	defer func() { _ = srv.Close() }()
 
+	// Hot-key replicated serving: detection feeds from the serving hot
+	// path, promotions push copies to replica nodes over the hkput wire
+	// command, and clients discover the table through `hotkeys`. Node
+	// names must be the dialable cache addresses for the push plane.
+	var rep *hotkey.Replicator
+	if *hotMembers != "" {
+		pusher := hotkey.NewNetPusher(0, 0)
+		defer pusher.Close()
+		rep = hotkey.New(nodeName, c, pusher, hotkey.Config{
+			TopK:           *hotTopK,
+			ShareThreshold: *hotThreshold,
+			Replicas:       *hotReplicas,
+			SampleRate:     *hotSample,
+			TickInterval:   *hotTick,
+		})
+		var members []string
+		for _, m := range strings.Split(*hotMembers, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		rep.MembershipChanged(members)
+		srv.SetHotKeys(rep)
+		ag.SetOwnedFilter(rep.OwnedFilter())
+		rep.Start()
+		defer rep.Stop()
+		logger.Printf("hot-key replication on: %d members, R=%d, top-%d, threshold %.3f (stats: hotkey_*)",
+			len(members), *hotReplicas, *hotTopK, *hotThreshold)
+	}
+
 	rpc, err := agentrpc.Serve(*agentAddr, ag, logger)
 	if err != nil {
 		return err
@@ -102,6 +140,9 @@ func run() error {
 		debugsrv.Publish("elmem_cache", func() any {
 			return map[string]any{"items": c.Len(), "memoryMB": *memoryMB}
 		})
+		if rep != nil {
+			debugsrv.Publish("elmem_hotkey", func() any { return rep.Snapshot() })
+		}
 		dbg, err := debugsrv.Serve(*debugAddr)
 		if err != nil {
 			return err

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -77,6 +78,11 @@ type Agent struct {
 	maxInflight int
 
 	counters counters // cumulative data-plane counters (see stream.go)
+
+	// ownedFilter, when set (func(string) bool), excludes keys this node
+	// holds but does not own — hot-key replica copies — from every
+	// migration selection, so a replicated item only ships from its home.
+	ownedFilter atomic.Value
 
 	mu     sync.Mutex
 	offers map[string]map[int][]cache.ItemMeta // sender → class → MRU metadata
@@ -196,6 +202,27 @@ func New(node string, c *cache.Cache, transport Transport, opts ...Option) (*Age
 	}, nil
 }
 
+// SetOwnedFilter installs (or, with nil behavior kept by passing a filter
+// that always reports true, effectively clears) the ownership predicate
+// applied to every migration selection.
+func (a *Agent) SetOwnedFilter(f func(string) bool) {
+	if f == nil {
+		f = func(string) bool { return true }
+	}
+	a.ownedFilter.Store(f)
+}
+
+// owned reports whether key belongs to this node's migratable set.
+func (a *Agent) owned(key string) bool {
+	f, _ := a.ownedFilter.Load().(func(string) bool)
+	return f == nil || f(key)
+}
+
+// andOwned composes the owned predicate with another key filter.
+func (a *Agent) andOwned(f func(string) bool) func(string) bool {
+	return func(key string) bool { return f(key) && a.owned(key) }
+}
+
 // Node returns the agent's node name.
 func (a *Agent) Node() string { return a.node }
 
@@ -237,10 +264,10 @@ func (a *Agent) SendMetadata(ctx context.Context, retained []string) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("send metadata: %w", err)
 		}
-		metas := a.cache.DumpAll(func(key string) bool {
+		metas := a.cache.DumpAll(a.andOwned(func(key string) bool {
 			owner, err := ring.Get(key)
 			return err == nil && owner == target
-		})
+		}))
 		if len(metas) == 0 {
 			continue
 		}
@@ -341,7 +368,7 @@ func (a *Agent) ComputeTakes(ctx context.Context) (_ Takes, retErr error) {
 		for _, s := range senders {
 			lists = append(lists, metasToList(offers[s][classID]))
 		}
-		ownMetas, err := a.cache.DumpClass(classID, nil)
+		ownMetas, err := a.cache.DumpClass(classID, a.andOwned(func(string) bool { return true }))
 		if err != nil {
 			return nil, fmt.Errorf("compute takes class %d: %w", classID, err)
 		}
@@ -413,10 +440,10 @@ func (a *Agent) SendData(ctx context.Context, target string, takes map[int]int, 
 	if err != nil {
 		return SendStats{}, fmt.Errorf("send data: %w", err)
 	}
-	filter := func(key string) bool {
+	filter := a.andOwned(func(key string) bool {
 		owner, err := ring.Get(key)
 		return err == nil && owner == target
-	}
+	})
 	classes := make([]int, 0, len(takes))
 	for classID := range takes {
 		classes = append(classes, classID)
@@ -497,14 +524,14 @@ func (a *Agent) HashSplit(ctx context.Context, newMembers []string, fullMembersh
 			limit = 1
 		}
 		sentPer := make(map[string]int, len(newMembers))
-		metas, err := a.cache.TopMeta(classID, a.cache.ClassLen(classID), func(key string) bool {
+		metas, err := a.cache.TopMeta(classID, a.cache.ClassLen(classID), a.andOwned(func(key string) bool {
 			owner, err := ring.Get(key)
 			if err != nil {
 				return false
 			}
 			_, isNew := newSet[owner]
 			return isNew
-		})
+		}))
 		if err != nil {
 			return SendStats{}, fmt.Errorf("hash split class %d: %w", classID, err)
 		}

@@ -233,6 +233,21 @@ func (c *Cache) Peek(key string) ([]byte, bool) {
 	return append(make([]byte, 0, len(it.Value)), it.Value...), true
 }
 
+// PeekFull is Peek returning the item's flags and absolute expiry along
+// with the value copy, still without refreshing recency or counting a
+// hit/miss. The hot-key replicator uses it to push a promoted value to its
+// replicas with the original store metadata intact.
+func (c *Cache) PeekFull(key string) (value []byte, flags uint32, expiresAt time.Time, ok bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, found := sh.table[key]
+	if !found || it.expired(c.now()) {
+		return nil, 0, time.Time{}, false
+	}
+	return append(make([]byte, 0, len(it.Value)), it.Value...), it.Flags, it.ExpiresAt, true
+}
+
 // Contains reports key residence without touching recency.
 func (c *Cache) Contains(key string) bool {
 	sh := c.shardFor(key)

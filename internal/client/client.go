@@ -12,6 +12,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hashring"
@@ -37,6 +38,17 @@ type Cluster struct {
 	ring   *hashring.Ring
 	pools  map[string]*pool
 	closed bool
+
+	// Hot-key routing state (see hotkeys.go). hotCount gates the read path
+	// so clusters with no promotions pay one atomic load per read.
+	hotMu       sync.RWMutex
+	hotByHome   map[string][]memproto.HotKeyTableEntry
+	hotByKey    map[string][]string
+	hotVersions map[string]uint64
+	hotCount    atomic.Int64
+	hotRR       atomic.Uint64
+	hotStop     chan struct{}
+	hotWG       sync.WaitGroup
 }
 
 // Option configures a Cluster.
@@ -49,6 +61,7 @@ type options struct {
 	opTimeout   time.Duration
 	maxIdle     int
 	replicas    int
+	hotPoll     time.Duration
 }
 
 type dialTimeoutOption time.Duration
@@ -80,6 +93,15 @@ func (o replicasOption) apply(opts *options) { opts.replicas = int(o) }
 // match the Agents' setting.
 func WithRingReplicas(n int) Option { return replicasOption(n) }
 
+type hotPollOption time.Duration
+
+func (o hotPollOption) apply(opts *options) { opts.hotPoll = time.Duration(o) }
+
+// WithHotKeyPolling refreshes the hot-key routing table from every member
+// in the background at the given interval. Without it, the table only
+// updates on explicit RefreshHotKeys calls.
+func WithHotKeyPolling(interval time.Duration) Option { return hotPollOption(interval) }
+
 // New creates a cluster client over the given member addresses.
 func New(members []string, opts ...Option) (*Cluster, error) {
 	o := options{
@@ -102,6 +124,14 @@ func New(members []string, opts ...Option) (*Cluster, error) {
 		replicas:    o.replicas,
 		ring:        ring,
 		pools:       make(map[string]*pool),
+		hotByHome:   make(map[string][]memproto.HotKeyTableEntry),
+		hotByKey:    make(map[string][]string),
+		hotVersions: make(map[string]uint64),
+	}
+	if o.hotPoll > 0 {
+		c.hotStop = make(chan struct{})
+		c.hotWG.Add(1)
+		go c.pollHotKeys(o.hotPoll)
 	}
 	return c, nil
 }
@@ -140,6 +170,9 @@ func (c *Cluster) MembershipChanged(members []string) {
 	for _, p := range stale {
 		p.close()
 	}
+	// Promotions referencing departed nodes must stop routing to them
+	// immediately; the next poll repopulates entries that survived.
+	c.rebuildHotTable()
 }
 
 // Owner reports which member owns the key under the current ring.
@@ -187,46 +220,91 @@ func (c *Cluster) MultiGetContext(ctx context.Context, keys []string) (map[strin
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	byOwner := make(map[string][]string)
+	hotRouting := c.hotCount.Load() > 0
+	byNode := make(map[string][]string)
+	var routed map[string]string // key → node it was read from (hot routing only)
+	if hotRouting {
+		routed = make(map[string]string, len(keys))
+	}
 	for _, key := range keys {
-		owner, err := c.Owner(key)
+		node, err := c.routeRead(key)
 		if err != nil {
 			return nil, err
 		}
-		byOwner[owner] = append(byOwner[owner], key)
+		byNode[node] = append(byNode[node], key)
+		if hotRouting {
+			routed[key] = node
+		}
 	}
 
+	out := make(map[string][]byte, len(keys))
+	if err := c.fanOut(ctx, byNode, out); err != nil {
+		return nil, err
+	}
+
+	if hotRouting {
+		// A replica that has not received its copy yet (promotion push in
+		// flight, or the copy was evicted) misses where the home would hit:
+		// re-fetch such keys from their ring owner before reporting a miss.
+		var retry map[string][]string
+		for _, key := range keys {
+			if _, ok := out[key]; ok {
+				continue
+			}
+			owner, err := c.Owner(key)
+			if err != nil {
+				return nil, err
+			}
+			if routed[key] == owner {
+				continue // missed at the home: a true miss
+			}
+			if retry == nil {
+				retry = make(map[string][]string)
+			}
+			retry[owner] = append(retry[owner], key)
+		}
+		if retry != nil {
+			if err := c.fanOut(ctx, retry, out); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// fanOut issues one concurrent multi-get per node and merges the hits
+// into out.
+func (c *Cluster) fanOut(ctx context.Context, byNode map[string][]string, out map[string][]byte) error {
 	type result struct {
 		hits []hit
 		err  error
 	}
-	owners := make([]string, 0, len(byOwner))
-	for o := range byOwner {
-		owners = append(owners, o)
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
 	}
-	sort.Strings(owners)
-	results := make([]result, len(owners))
+	sort.Strings(nodes)
+	results := make([]result, len(nodes))
 	var wg sync.WaitGroup
-	for i, owner := range owners {
+	for i, node := range nodes {
 		wg.Add(1)
-		go func(i int, owner string) {
+		go func(i int, node string) {
 			defer wg.Done()
-			hits, err := c.getFromNode(ctx, owner, byOwner[owner])
+			hits, err := c.getFromNode(ctx, node, byNode[node])
 			results[i] = result{hits: hits, err: err}
-		}(i, owner)
+		}(i, node)
 	}
 	wg.Wait()
 
-	out := make(map[string][]byte, len(keys))
 	for i, r := range results {
 		if r.err != nil {
-			return nil, fmt.Errorf("multi-get from %s: %w", owners[i], r.err)
+			return fmt.Errorf("multi-get from %s: %w", nodes[i], r.err)
 		}
 		for _, h := range r.hits {
 			out[h.key] = h.value
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Set stores the value on the key's owner node.
@@ -310,7 +388,7 @@ func (c *Cluster) StatsAll() (map[string]map[string]string, error) {
 	return out, nil
 }
 
-// Close releases every pooled connection.
+// Close releases every pooled connection and stops the hot-key poller.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -323,7 +401,13 @@ func (c *Cluster) Close() {
 		pools = append(pools, p)
 	}
 	c.pools = make(map[string]*pool)
+	stop := c.hotStop
+	c.hotStop = nil
 	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		c.hotWG.Wait()
+	}
 	for _, p := range pools {
 		p.close()
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/hotkey"
 	"repro/internal/server"
 )
 
@@ -38,6 +39,9 @@ type Config struct {
 	Host string
 	// Logger receives node diagnostics (default: discarded).
 	Logger *log.Logger
+	// HotKeys, when non-nil, enables hot-key detection and replicated
+	// serving on every node with the given configuration.
+	HotKeys *hotkey.Config
 }
 
 func (c *Config) withDefaults() Config {
@@ -64,6 +68,8 @@ type node struct {
 	agent  *agent.Agent
 	server *server.Server
 	rpc    *agentrpc.Server
+	hot    *hotkey.Replicator
+	pusher *hotkey.NetPusher
 }
 
 // Cluster is a running local ElMem deployment.
@@ -106,6 +112,18 @@ func StartLocal(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.master = master
+	if c.cfg.HotKeys != nil {
+		c.mu.Lock()
+		nodes := make([]*node, 0, len(c.nodes))
+		for _, n := range c.nodes {
+			nodes = append(nodes, n)
+		}
+		c.mu.Unlock()
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+		for _, n := range nodes {
+			master.Subscribe(n.hot)
+		}
+	}
 
 	cl, err := client.New(members)
 	if err != nil {
@@ -140,6 +158,18 @@ func (c *Cluster) startNode() (*node, error) {
 	}
 	c.book.Register(name, rpc.Addr())
 	n := &node{name: name, cache: cc, agent: ag, server: srv, rpc: rpc}
+	if c.cfg.HotKeys != nil {
+		n.pusher = hotkey.NewNetPusher(0, 0)
+		n.hot = hotkey.New(name, cc, n.pusher, *c.cfg.HotKeys)
+		n.hot.Start()
+		srv.SetHotKeys(n.hot)
+		ag.SetOwnedFilter(n.hot.OwnedFilter())
+		if c.master != nil {
+			// Scale-out path: the initial StartLocal loop runs before the
+			// Master exists and subscribes there instead.
+			c.master.Subscribe(n.hot)
+		}
+	}
 	c.mu.Lock()
 	c.nodes[name] = n
 	c.mu.Unlock()
@@ -158,12 +188,46 @@ func (c *Cluster) stopNode(name string) error {
 		return nil
 	}
 	c.book.Deregister(name)
+	if n.hot != nil {
+		n.hot.Stop()
+	}
+	if n.pusher != nil {
+		n.pusher.Close()
+	}
 	err := n.server.Close()
 	if rpcErr := n.rpc.Close(); err == nil {
 		err = rpcErr
 	}
 	c.cfg.Logger.Printf("cluster: node %s retired", name)
 	return err
+}
+
+// TickHotKeys runs one promotion/demotion evaluation on every node, in
+// name order so tests get deterministic push sequences. It is a no-op
+// when hot-key serving is disabled.
+func (c *Cluster) TickHotKeys() {
+	c.mu.Lock()
+	nodes := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.hot != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+	for _, n := range nodes {
+		n.hot.Tick()
+	}
+}
+
+// HotKeys returns a member's replicator (nil when disabled).
+func (c *Cluster) HotKeys(name string) *hotkey.Replicator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.nodes[name]; ok {
+		return n.hot
+	}
+	return nil
 }
 
 // Client returns the consistent-hashing client, already subscribed to
@@ -261,6 +325,12 @@ func (c *Cluster) Close() error {
 	}
 	var firstErr error
 	for _, n := range nodes {
+		if n.hot != nil {
+			n.hot.Stop()
+		}
+		if n.pusher != nil {
+			n.pusher.Close()
+		}
 		if err := n.server.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -83,6 +83,9 @@ type Result struct {
 	ItemsMigrated int
 	Retries       int
 	Injected      int
+	// HotStaged counts the hot-key promotions staged before the action —
+	// replicated state the migration ran against.
+	HotStaged int
 	// EventLog is the canonical faultnet fingerprint (empty for gold runs).
 	EventLog string
 	// StateHash digests (membership, every resident item) after the run.
@@ -116,6 +119,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	reg := agent.NewRegistry()
 	caches := make(map[string]*cache.Cache, cfg.Nodes+1)
+	agents := make(map[string]*agent.Agent, cfg.Nodes+1)
 	addNode := func(name string) error {
 		c, err := cache.New(cacheBytes, cache.WithClock(clock))
 		if err != nil {
@@ -127,6 +131,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		reg.Register(ag)
 		caches[name] = c
+		agents[name] = ag
 		return nil
 	}
 	for _, name := range names {
@@ -182,18 +187,32 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// Stage hot-key replication before the pre-snapshot: promoted keys
+	// with live replica copies exercise the owned-filter (replica-held
+	// items must never be double-shipped) and the state-only membership
+	// flip while the action runs. Staging draws nothing from rng, so gold
+	// and faulty runs stage identically.
+	newName := fmt.Sprintf("n%02d", cfg.Nodes)
+	hot, err := stageHotKeys(names, caches, agents, scaleOut, victim, newName, cfg.Nodes*cfg.Items)
+	if err != nil {
+		return nil, err
+	}
+
 	added := ""
 	if scaleOut {
-		added = fmt.Sprintf("n%02d", cfg.Nodes)
+		added = newName
 		if err := addNode(added); err != nil {
 			return nil, err
 		}
+		hot.addNode(added, caches[added], agents[added], names)
 	}
 
 	// Snapshot the pre-state and compute the oracle expectation from it.
 	// Valid because phases 1–2 move only metadata: the data every agent
-	// consults during FuseCache is exactly this state.
-	pre := snapshotAll(caches)
+	// consults during FuseCache is exactly this state. Snapshots see each
+	// node through its owned-filter, exactly as its agent does — replica
+	// copies are invisible to the migration and to the oracle alike.
+	pre := snapshotAll(caches, hot)
 	var exp *expectation
 	if scaleOut {
 		exp, err = expectScaleOut(pre, names, added)
@@ -214,6 +233,12 @@ func Run(cfg Config) (*Result, error) {
 	)
 	if err != nil {
 		return nil, err
+	}
+	// The flip must reach the replicators: Subscribe delivers the current
+	// membership immediately (a no-op recompute) and the commit-time flip
+	// later. Sorted order keeps delivery deterministic.
+	for _, name := range hot.nodeNames() {
+		m.Subscribe(hot.reps[name])
 	}
 
 	netw.SetEnabled(cfg.Faults)
@@ -247,6 +272,7 @@ func Run(cfg Config) (*Result, error) {
 		res.Retries = report.Retries
 	}
 
+	res.HotStaged = hot.staged()
 	rc := &runCtx{
 		direction: res.Direction,
 		victim:    victim,
@@ -258,6 +284,7 @@ func Run(cfg Config) (*Result, error) {
 		report:    report,
 		master:    m,
 		runErr:    runErr,
+		hot:       hot,
 	}
 	res.Violations = runChecks(rc)
 	res.StateHash = stateHash(caches, m.Members())

@@ -56,7 +56,12 @@ type nodeState struct {
 	chunks  []int
 }
 
-func snapshot(c *cache.Cache) *nodeState {
+// snapshot captures one node's state as seen through owned (nil = every
+// resident item). The harness passes each node's hot-key owned-filter so
+// replica-held copies — which the migration deliberately skips — stay
+// invisible to the oracle and the checks, exactly as they are to the
+// node's agent.
+func snapshot(c *cache.Cache, owned func(string) bool) *nodeState {
 	st := &nodeState{
 		byClass: make(map[int][]cache.ItemMeta),
 		keys:    make(map[string]itemInfo),
@@ -68,7 +73,7 @@ func snapshot(c *cache.Cache) *nodeState {
 		st.absorb[classID] = c.ClassAbsorbCapacity(classID)
 	}
 	for _, classID := range c.PopulatedClasses() {
-		metas, err := c.DumpClass(classID, nil)
+		metas, err := c.DumpClass(classID, owned)
 		if err != nil {
 			continue
 		}
@@ -84,10 +89,10 @@ func snapshot(c *cache.Cache) *nodeState {
 	return st
 }
 
-func snapshotAll(caches map[string]*cache.Cache) map[string]*nodeState {
+func snapshotAll(caches map[string]*cache.Cache, hot *hotStage) map[string]*nodeState {
 	out := make(map[string]*nodeState, len(caches))
 	for name, c := range caches {
-		out[name] = snapshot(c)
+		out[name] = snapshot(c, hot.owned(name))
 	}
 	return out
 }
@@ -257,11 +262,12 @@ type runCtx struct {
 	report    *core.ScaleReport
 	master    *core.Master
 	runErr    error
+	hot       *hotStage
 }
 
 // runChecks runs every applicable invariant and returns the violations.
 func runChecks(rc *runCtx) []string {
-	rc.post = snapshotAll(rc.caches)
+	rc.post = snapshotAll(rc.caches, rc.hot)
 	v := checkReport(rc)
 	if rc.runErr == nil {
 		v = append(v, checkSelectedSurvive(rc)...)
@@ -270,6 +276,7 @@ func runChecks(rc *runCtx) []string {
 	} else {
 		v = append(v, checkAbortSafety(rc)...)
 	}
+	v = append(v, checkHotKeys(rc)...)
 	return v
 }
 
@@ -497,7 +504,7 @@ func stateHash(caches map[string]*cache.Cache, members []string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "members|%v\n", members)
 	for _, node := range sortedCopy(members) {
-		st := snapshot(caches[node])
+		st := snapshot(caches[node], nil)
 		keys := make([]string, 0, len(st.keys))
 		for k := range st.keys {
 			keys = append(keys, k)

@@ -14,6 +14,8 @@ type SeedReport struct {
 	Injected  int
 	Migrated  int
 	Retries   int
+	// HotStaged counts the hot-key promotions live during the action.
+	HotStaged int
 	// Violations merges the in-run invariant breaches with the cross-run
 	// determinism and I3 findings. Empty means the seed is clean.
 	Violations []string
@@ -47,6 +49,7 @@ func CheckSeed(seed int64, nodes, items int) (*SeedReport, error) {
 		Injected:   r1.Injected,
 		Migrated:   r1.ItemsMigrated,
 		Retries:    r1.Retries,
+		HotStaged:  r1.HotStaged,
 		Violations: append([]string(nil), r1.Violations...),
 	}
 	if r1.EventLog != r2.EventLog {
@@ -99,8 +102,8 @@ func Sweep(base int64, count, nodes, items int, logf func(format string, args ..
 			clean = false
 			status = fmt.Sprintf("VIOLATED(%d)", len(rep.Violations))
 		}
-		logf("seed %-4d dir=%-3s injected=%-4d migrated=%-4d retries=%-3d %s",
-			seed, rep.Direction, rep.Injected, rep.Migrated, rep.Retries, status)
+		logf("seed %-4d dir=%-3s injected=%-4d migrated=%-4d retries=%-3d hot=%-2d %s",
+			seed, rep.Direction, rep.Injected, rep.Migrated, rep.Retries, rep.HotStaged, status)
 		for _, viol := range rep.Violations {
 			logf("  seed %d: %s", seed, viol)
 		}

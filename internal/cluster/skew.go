@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/hotkey"
+	"repro/internal/workload"
+)
+
+// SkewOptions parameterizes RunSkew, the hot-key load-spread experiment: a
+// live in-process cluster serving a Zipf-extreme (and optionally
+// flash-crowd) read workload whose hottest ranks are adversarially
+// remapped onto a single victim node, with hot-key replication on or off.
+type SkewOptions struct {
+	// Nodes is the tier size (default 4).
+	Nodes int
+	// Theta is the Zipf skew parameter (default 1.2 — Zipf-extreme).
+	Theta float64
+	// Keys is the keyspace size (default 2048).
+	Keys uint64
+	// HotSpan is how many top ranks are remapped onto the victim node, the
+	// adversarial worst case for consistent hashing (default 16).
+	HotSpan uint64
+	// WarmupOps drives detection before measurement starts (default Ops/2).
+	WarmupOps int
+	// Ops is the measured read count (default 20000).
+	Ops int
+	// ValueSize is the stored value size in bytes (default 64).
+	ValueSize int
+	// Seed seeds the workload generator (default 1).
+	Seed int64
+	// FlashCrowd, when true, layers a flash crowd on the Zipf draw: a
+	// CrowdFraction share of all reads hit the single hottest key.
+	FlashCrowd bool
+	// CrowdFraction is the flash-crowd share of reads (default 0.5).
+	CrowdFraction float64
+	// Replication, when non-nil, enables hot-key replication with this
+	// configuration. Nil measures the unreplicated baseline.
+	Replication *hotkey.Config
+}
+
+func (o SkewOptions) withDefaults() SkewOptions {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Theta == 0 {
+		o.Theta = 1.2
+	}
+	if o.Keys == 0 {
+		o.Keys = 2048
+	}
+	if o.HotSpan == 0 {
+		o.HotSpan = 16
+	}
+	if o.Ops <= 0 {
+		o.Ops = 20000
+	}
+	if o.WarmupOps <= 0 {
+		o.WarmupOps = o.Ops / 2
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.CrowdFraction == 0 {
+		o.CrowdFraction = 0.5
+	}
+	return o
+}
+
+// SkewReport is one RunSkew measurement.
+type SkewReport struct {
+	// Scenario is "zipf" or "flash-crowd".
+	Scenario string
+	// Replication records whether hot-key replication was enabled.
+	Replication bool
+	// NodeOps is the measured read count served per node (hits + misses
+	// observed by each node's cache during the measurement window).
+	NodeOps map[string]uint64
+	// MaxOverMean is the load-spread headline: the hottest node's op count
+	// over the per-node mean. 1.0 is a perfectly even tier; Nodes is the
+	// worst case (everything on one node).
+	MaxOverMean float64
+	// P99 is the client-observed p99 read latency.
+	P99 time.Duration
+	// Promoted is the total number of promoted keys across the tier at the
+	// end of the run; ReplicaReads counts sampled reads served from
+	// replica-held copies.
+	Promoted     int
+	ReplicaReads int64
+}
+
+// RunSkew boots a cluster, preloads the keyspace, drives the skewed read
+// workload through the adaptive client, and reports the per-node load
+// spread. The hottest HotSpan ranks are renamed so that consistent hashing
+// homes all of them on one victim node — without replication the victim
+// serves the whole hot set; with replication the promoted keys spread
+// across their replica sets.
+func RunSkew(opts SkewOptions) (*SkewReport, error) {
+	opts = opts.withDefaults()
+	c, err := StartLocal(Config{Nodes: opts.Nodes, HotKeys: opts.Replication})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	cl := c.Client()
+
+	members := c.Members()
+	sort.Strings(members)
+	victim := members[0]
+
+	// Name table: top ranks get names that hash to the victim, the rest
+	// keep their canonical names (landing wherever the ring puts them).
+	names := make([]string, opts.Keys)
+	for rank := uint64(0); rank < opts.Keys; rank++ {
+		if rank < opts.HotSpan {
+			names[rank], err = nameOwnedBy(cl, victim, rank)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			names[rank] = workload.KeyName(rank)
+		}
+	}
+
+	value := make([]byte, opts.ValueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	for _, name := range names {
+		if err := cl.Set(name, value); err != nil {
+			return nil, fmt.Errorf("preload %s: %w", name, err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var draw func() uint64
+	scenario := "zipf"
+	if opts.FlashCrowd {
+		scenario = "flash-crowd"
+		fc, err := workload.NewFlashCrowd(rng, opts.Theta, opts.Keys, 0, opts.CrowdFraction, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		draw = fc.Next
+	} else {
+		z, err := workload.NewZipf(rng, opts.Theta, opts.Keys)
+		if err != nil {
+			return nil, err
+		}
+		draw = z.Next
+	}
+
+	ctx := context.Background()
+	// Warmup: feed the detectors, tick promotion, refresh client routing.
+	// The same loop runs with replication off so both arms measure against
+	// identically warmed caches.
+	tickEvery := opts.WarmupOps/4 + 1
+	for i := 0; i < opts.WarmupOps; i++ {
+		if _, _, err := cl.Get(names[draw()]); err != nil {
+			return nil, fmt.Errorf("warmup get: %w", err)
+		}
+		if (i+1)%tickEvery == 0 {
+			c.TickHotKeys()
+			if err := cl.RefreshHotKeys(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.TickHotKeys()
+	if err := cl.RefreshHotKeys(ctx); err != nil {
+		return nil, err
+	}
+
+	base, err := nodeReadCounts(cl)
+	if err != nil {
+		return nil, err
+	}
+	lat := make([]time.Duration, opts.Ops)
+	for i := 0; i < opts.Ops; i++ {
+		start := time.Now()
+		if _, _, err := cl.Get(names[draw()]); err != nil {
+			return nil, fmt.Errorf("measured get: %w", err)
+		}
+		lat[i] = time.Since(start)
+	}
+	after, err := nodeReadCounts(cl)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &SkewReport{
+		Scenario:    scenario,
+		Replication: opts.Replication != nil,
+		NodeOps:     make(map[string]uint64, len(members)),
+	}
+	var total, max uint64
+	for _, m := range members {
+		d := after[m] - base[m]
+		rep.NodeOps[m] = d
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(total) / float64(len(members))
+	if mean > 0 {
+		rep.MaxOverMean = float64(max) / mean
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.P99 = lat[len(lat)*99/100]
+
+	for _, m := range members {
+		if hot := c.HotKeys(m); hot != nil {
+			cs := hot.Snapshot()
+			rep.Promoted += cs.Promoted
+			rep.ReplicaReads += cs.ReplicaReads
+		}
+	}
+	return rep, nil
+}
+
+// nameOwnedBy probes candidate names until one hashes to the wanted owner.
+func nameOwnedBy(cl ownerLookup, owner string, rank uint64) (string, error) {
+	for i := 0; ; i++ {
+		name := "skewhot-" + strconv.FormatUint(rank, 10) + "-" + strconv.Itoa(i)
+		got, err := cl.Owner(name)
+		if err != nil {
+			return "", err
+		}
+		if got == owner {
+			return name, nil
+		}
+		if i > 10000 {
+			return "", fmt.Errorf("no candidate name for rank %d owned by %s", rank, owner)
+		}
+	}
+}
+
+type ownerLookup interface {
+	Owner(key string) (string, error)
+}
+
+type statsAller interface {
+	StatsAll() (map[string]map[string]string, error)
+	Members() []string
+}
+
+// nodeReadCounts snapshots each node's served read count (cache hits plus
+// misses) from its wire stats.
+func nodeReadCounts(cl statsAller) (map[string]uint64, error) {
+	stats, err := cl.StatsAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(stats))
+	for node, st := range stats {
+		hits, _ := strconv.ParseUint(st["get_hits"], 10, 64)
+		misses, _ := strconv.ParseUint(st["get_misses"], 10, 64)
+		out[node] = hits + misses
+	}
+	return out, nil
+}
+
+// SkewReplicationConfig is the hot-key configuration the skew experiment
+// (and `make bench-skew`) uses for its replication-on arm: aggressive
+// sampling and a low promotion threshold so a short run detects the hot
+// set, and a full-tier replica fan-out to maximize spread.
+func SkewReplicationConfig(nodes int) *hotkey.Config {
+	return &hotkey.Config{
+		Capacity:       256,
+		SampleRate:     4,
+		TopK:           32,
+		ShareThreshold: 0.01,
+		Replicas:       nodes,
+		MinSamples:     64,
+		CooldownTicks:  3,
+	}
+}
+
+// RenderSkew runs the paired off/on measurement for one scenario and
+// writes the comparison table.
+func RenderSkew(w io.Writer, opts SkewOptions) error {
+	opts.Replication = nil
+	off, err := RunSkew(opts)
+	if err != nil {
+		return err
+	}
+	on := opts
+	on.Replication = SkewReplicationConfig(off.nodes())
+	onRep, err := RunSkew(on)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "scenario=%s nodes=%d theta=%.2f keys=%d hot-span=%d ops=%d\n",
+		off.Scenario, len(off.NodeOps), opts.Theta, opts.Keys, opts.HotSpan, opts.Ops)
+	fmt.Fprintf(w, "%-14s %14s %14s\n", "", "replication=off", "replication=on")
+	fmt.Fprintf(w, "%-14s %14.2f %14.2f\n", "max/mean", off.MaxOverMean, onRep.MaxOverMean)
+	fmt.Fprintf(w, "%-14s %14s %14s\n", "p99", off.P99.Round(time.Microsecond), onRep.P99.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-14s %14d %14d\n", "promoted", off.Promoted, onRep.Promoted)
+	fmt.Fprintf(w, "%-14s %14d %14d\n", "replica-reads", off.ReplicaReads, onRep.ReplicaReads)
+	if onRep.MaxOverMean > 0 {
+		fmt.Fprintf(w, "%-14s %29.2fx\n", "spread-gain", off.MaxOverMean/onRep.MaxOverMean)
+	}
+	return nil
+}
+
+func (r *SkewReport) nodes() int { return len(r.NodeOps) }

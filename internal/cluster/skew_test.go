@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestSkewSpread is the acceptance gate for hot-key replication: under an
+// adversarial Zipf-extreme workload whose hottest ranks all home on one
+// node, enabling replication must cut the max-node/mean-node served-op
+// ratio at least 2x versus the unreplicated baseline.
+func TestSkewSpread(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives tens of thousands of loopback requests")
+	}
+	opts := SkewOptions{
+		Nodes:     4,
+		Theta:     1.2,
+		Keys:      1024,
+		HotSpan:   16,
+		WarmupOps: 8000,
+		Ops:       12000,
+		Seed:      1,
+	}
+
+	off, err := RunSkew(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := opts
+	on.Replication = SkewReplicationConfig(opts.Nodes)
+	onRep, err := RunSkew(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("replication off: max/mean=%.2f p99=%v node-ops=%v", off.MaxOverMean, off.P99, off.NodeOps)
+	t.Logf("replication on:  max/mean=%.2f p99=%v node-ops=%v promoted=%d replica-reads=%d",
+		onRep.MaxOverMean, onRep.P99, onRep.NodeOps, onRep.Promoted, onRep.ReplicaReads)
+
+	if off.MaxOverMean < 1.5 {
+		t.Fatalf("baseline not skewed enough to test: max/mean = %.2f, want >= 1.5", off.MaxOverMean)
+	}
+	if onRep.Promoted == 0 {
+		t.Fatal("replication run promoted nothing — detection failed")
+	}
+	if gain := off.MaxOverMean / onRep.MaxOverMean; gain < 2.0 {
+		t.Fatalf("spread gain = %.2fx (off %.2f, on %.2f), want >= 2x",
+			gain, off.MaxOverMean, onRep.MaxOverMean)
+	}
+}
+
+// TestSkewFlashCrowd runs the flash-crowd scenario: half of all reads hit
+// one key. Replication must still spread the load (the crowd key is
+// promoted and served by every node in its replica set).
+func TestSkewFlashCrowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives tens of thousands of loopback requests")
+	}
+	opts := SkewOptions{
+		Nodes:      4,
+		Theta:      1.2,
+		Keys:       1024,
+		HotSpan:    16,
+		WarmupOps:  6000,
+		Ops:        9000,
+		Seed:       2,
+		FlashCrowd: true,
+	}
+
+	off, err := RunSkew(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := opts
+	on.Replication = SkewReplicationConfig(opts.Nodes)
+	onRep, err := RunSkew(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("flash crowd off: max/mean=%.2f node-ops=%v", off.MaxOverMean, off.NodeOps)
+	t.Logf("flash crowd on:  max/mean=%.2f node-ops=%v promoted=%d", onRep.MaxOverMean, onRep.NodeOps, onRep.Promoted)
+
+	if off.MaxOverMean < 1.5 {
+		t.Fatalf("baseline not skewed enough to test: max/mean = %.2f, want >= 1.5", off.MaxOverMean)
+	}
+	if gain := off.MaxOverMean / onRep.MaxOverMean; gain < 2.0 {
+		t.Fatalf("spread gain = %.2fx (off %.2f, on %.2f), want >= 2x",
+			gain, off.MaxOverMean, onRep.MaxOverMean)
+	}
+}

@@ -1,0 +1,325 @@
+package hotkey
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/hashring"
+)
+
+// trio is a three-node in-process fixture: caches, replicators, and a
+// LocalPusher connecting them.
+type trio struct {
+	names  []string
+	caches map[string]*cache.Cache
+	reps   map[string]*Replicator
+}
+
+func newTrio(t *testing.T, cfg Config) *trio {
+	t.Helper()
+	names := []string{"a", "b", "c"}
+	pusher := NewLocalPusher()
+	tr := &trio{
+		names:  names,
+		caches: make(map[string]*cache.Cache),
+		reps:   make(map[string]*Replicator),
+	}
+	for _, name := range names {
+		cc, err := cache.New(8 * cache.PageSize)
+		if err != nil {
+			t.Fatalf("cache.New: %v", err)
+		}
+		rep := New(name, cc, pusher, cfg)
+		pusher.Register(name, LocalNode{Store: cc, Rep: rep})
+		tr.caches[name] = cc
+		tr.reps[name] = rep
+	}
+	for _, rep := range tr.reps {
+		rep.MembershipChanged(names)
+	}
+	return tr
+}
+
+// keyOwnedBy finds a key homed on the wanted node under the trio's ring.
+func (tr *trio) keyOwnedBy(t *testing.T, want string) string {
+	t.Helper()
+	ring, err := hashring.New(tr.names)
+	if err != nil {
+		t.Fatalf("hashring.New: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := "key-" + string(rune('a'+i%26)) + "-" + time.Unix(int64(i), 0).UTC().Format("150405")
+		if owner, err := ring.Get(key); err == nil && owner == want {
+			return key
+		}
+	}
+	t.Fatalf("no key owned by %s found", want)
+	return ""
+}
+
+func (tr *trio) replicaOf(t *testing.T, key string) string {
+	t.Helper()
+	ring, err := hashring.New(tr.names)
+	if err != nil {
+		t.Fatalf("hashring.New: %v", err)
+	}
+	nodes, err := ring.GetN(key, 2)
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("GetN(%q, 2) = %v, %v", key, nodes, err)
+	}
+	return nodes[1]
+}
+
+func testConfig() Config {
+	return Config{
+		Capacity:       64,
+		SampleRate:     1,
+		TopK:           4,
+		ShareThreshold: 0.2,
+		Replicas:       2,
+		MinSamples:     10,
+		CooldownTicks:  2,
+	}
+}
+
+func TestTickPromotesAndPushes(t *testing.T) {
+	tr := newTrio(t, testConfig())
+	key := tr.keyOwnedBy(t, "a")
+	replica := tr.replicaOf(t, key)
+	repA := tr.reps["a"]
+
+	if err := tr.caches["a"].SetBytes([]byte(key), []byte("v1"), 7, time.Time{}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		repA.RecordGet([]byte(key))
+	}
+	repA.Tick()
+
+	if got := repA.Promoted(); len(got) != 1 || got[0] != key {
+		t.Fatalf("promoted = %v, want [%s]", got, key)
+	}
+	v, flags, _, ok := tr.caches[replica].PeekFull(key)
+	if !ok || string(v) != "v1" || flags != 7 {
+		t.Fatalf("replica copy on %s = %q/%d/%v, want v1/7/true", replica, v, flags, ok)
+	}
+	if !tr.reps[replica].HeldAsReplica(key) {
+		t.Fatalf("replica %s did not mark %q held", replica, key)
+	}
+	if tr.reps[replica].IsOwned(key) {
+		t.Fatalf("replica-held %q must be non-owned for migration", key)
+	}
+	version, entries := repA.Table()
+	if version == 0 || len(entries) != 1 || entries[0].Key != key {
+		t.Fatalf("table = v%d %+v", version, entries)
+	}
+	if entries[0].Nodes[0] != "a" || entries[0].Nodes[1] != replica {
+		t.Fatalf("serving set = %v, want [a %s]", entries[0].Nodes, replica)
+	}
+	if cs := repA.Snapshot(); cs.Promotions != 1 || cs.ReplicaPushes == 0 {
+		t.Fatalf("counters = %+v", cs)
+	}
+}
+
+func TestWriteDeleteFanOut(t *testing.T) {
+	tr := newTrio(t, testConfig())
+	key := tr.keyOwnedBy(t, "a")
+	replica := tr.replicaOf(t, key)
+	repA := tr.reps["a"]
+
+	if err := repA.Promote(key); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	repA.OnWrite([]byte(key), []byte("v2"), 3, time.Time{})
+	if v, _, _, ok := tr.caches[replica].PeekFull(key); !ok || string(v) != "v2" {
+		t.Fatalf("replica copy after write = %q/%v, want v2", v, ok)
+	}
+
+	repA.OnDelete([]byte(key))
+	if _, _, _, ok := tr.caches[replica].PeekFull(key); ok {
+		t.Fatalf("replica copy survived delete fan-out")
+	}
+	if tr.reps[replica].HeldAsReplica(key) {
+		t.Fatalf("replica mark survived delete fan-out")
+	}
+}
+
+func TestStaleDeleteDoesNotDropOwnedCopy(t *testing.T) {
+	tr := newTrio(t, testConfig())
+	key := tr.keyOwnedBy(t, "a")
+	replica := tr.replicaOf(t, key)
+
+	// The replica holds the key but its mark is gone — as after a
+	// migration made this node the owner. A stale hkdel must be a no-op.
+	if err := tr.caches[replica].SetBytes([]byte(key), []byte("owned"), 0, time.Time{}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if tr.reps[replica].DropReplica([]byte(key)) {
+		t.Fatalf("DropReplica reported a mark that was never set")
+	}
+	pusher := NewLocalPusher()
+	pusher.Register(replica, LocalNode{Store: tr.caches[replica], Rep: tr.reps[replica]})
+	if err := pusher.Push(replica, PushOp{Op: OpDel, Key: key}); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if _, _, _, ok := tr.caches[replica].PeekFull(key); !ok {
+		t.Fatalf("stale delete destroyed an owned copy")
+	}
+}
+
+func TestCooldownDemotion(t *testing.T) {
+	cfg := testConfig()
+	tr := newTrio(t, cfg)
+	key := tr.keyOwnedBy(t, "a")
+	replica := tr.replicaOf(t, key)
+	repA := tr.reps["a"]
+
+	if err := tr.caches["a"].SetBytes([]byte(key), []byte("v"), 0, time.Time{}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		repA.RecordGet([]byte(key))
+	}
+	repA.Tick()
+	if len(repA.Promoted()) != 1 {
+		t.Fatalf("not promoted")
+	}
+	// Traffic stops: the decayed window cools over a few ticks, then
+	// CooldownTicks cold evaluations demote the key and invalidate the
+	// replica copy.
+	demotedAfter := -1
+	for i := 1; i <= 10; i++ {
+		repA.Tick()
+		if len(repA.Promoted()) == 0 {
+			demotedAfter = i
+			break
+		}
+	}
+	if demotedAfter < 0 {
+		t.Fatalf("still promoted after 10 idle ticks")
+	}
+	if demotedAfter < cfg.CooldownTicks {
+		t.Fatalf("demoted after %d ticks, before the %d-tick cooldown", demotedAfter, cfg.CooldownTicks)
+	}
+	if _, _, _, ok := tr.caches[replica].PeekFull(key); ok {
+		t.Fatalf("replica copy survived demotion")
+	}
+	if cs := repA.Snapshot(); cs.Demotions != 1 {
+		t.Fatalf("demotions = %d, want 1", cs.Demotions)
+	}
+}
+
+func TestMembershipFlipIsStateOnly(t *testing.T) {
+	tr := newTrio(t, testConfig())
+	key := tr.keyOwnedBy(t, "a")
+	repA := tr.reps["a"]
+
+	if err := tr.caches["a"].SetBytes([]byte(key), []byte("v"), 0, time.Time{}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if err := repA.Promote(key); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	before := repA.Snapshot()
+
+	// A flip that removes this node's ownership must drop the promotion
+	// without pushing anything (pushes during a flip would race the
+	// migration data plane).
+	repA.MembershipChanged([]string{"b", "c"})
+	after := repA.Snapshot()
+	if after.ReplicaPushes != before.ReplicaPushes {
+		t.Fatalf("flip pushed data: %d → %d", before.ReplicaPushes, after.ReplicaPushes)
+	}
+	if after.FlipDrops != 1 || after.Promoted != 0 {
+		t.Fatalf("flip state = %+v, want promotion dropped", after)
+	}
+	if after.TableVersion == before.TableVersion {
+		t.Fatalf("flip did not bump the table version")
+	}
+}
+
+func TestFlipRecomputesReplicasAndResyncsOnTick(t *testing.T) {
+	tr := newTrio(t, testConfig())
+	key := tr.keyOwnedBy(t, "a")
+	oldReplica := tr.replicaOf(t, key)
+	repA := tr.reps["a"]
+
+	if err := tr.caches["a"].SetBytes([]byte(key), []byte("v"), 0, time.Time{}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if err := repA.Promote(key); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+
+	// Remove the old replica from the membership: the promotion survives
+	// (this node still homes the key), the serving set is recomputed, and
+	// the value reaches the new replica on the next Tick, not during the
+	// flip itself.
+	var survivors []string
+	for _, n := range tr.names {
+		if n != oldReplica {
+			survivors = append(survivors, n)
+		}
+	}
+	repA.MembershipChanged(survivors)
+	if got := repA.Promoted(); len(got) != 1 || got[0] != key {
+		t.Fatalf("promotion dropped by flip: %v", got)
+	}
+	newReplica := survivors[0]
+	if newReplica == "a" {
+		newReplica = survivors[1]
+	}
+	if _, _, _, ok := tr.caches[newReplica].PeekFull(key); ok {
+		t.Fatalf("flip pushed the value before Tick")
+	}
+	repA.Tick()
+	if _, _, _, ok := tr.caches[newReplica].PeekFull(key); !ok {
+		t.Fatalf("post-flip Tick did not resync the new replica %s", newReplica)
+	}
+}
+
+func TestFlipUnmarksNowOwnedReplicas(t *testing.T) {
+	tr := newTrio(t, testConfig())
+	key := tr.keyOwnedBy(t, "a")
+	replica := tr.replicaOf(t, key)
+	repR := tr.reps[replica]
+
+	repR.MarkReplica([]byte(key))
+	if repR.IsOwned(key) {
+		t.Fatalf("marked key reported owned")
+	}
+	// Membership without the old home: if the key now hashes to the
+	// replica, the mark must clear so migration ships the copy.
+	var survivors []string
+	for _, n := range tr.names {
+		if n != "a" {
+			survivors = append(survivors, n)
+		}
+	}
+	ring, err := hashring.New(survivors)
+	if err != nil {
+		t.Fatalf("hashring.New: %v", err)
+	}
+	owner, err := ring.Get(key)
+	if err != nil {
+		t.Fatalf("ring.Get: %v", err)
+	}
+	repR.MembershipChanged(survivors)
+	if owner == replica && !repR.IsOwned(key) {
+		t.Fatalf("flip left the now-owned key marked as replica")
+	}
+	if owner != replica && repR.IsOwned(key) {
+		t.Fatalf("flip cleared a mark for a key still homed elsewhere")
+	}
+}
+
+func TestMarkReplicaSkipsOwnedKeys(t *testing.T) {
+	tr := newTrio(t, testConfig())
+	key := tr.keyOwnedBy(t, "a")
+	repA := tr.reps["a"]
+	repA.MarkReplica([]byte(key))
+	if !repA.IsOwned(key) {
+		t.Fatalf("home node marked its own key as replica-held")
+	}
+}

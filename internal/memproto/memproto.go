@@ -39,6 +39,10 @@ const (
 	CmdFlushAll
 	CmdVersion
 	CmdQuit
+	CmdHotKeys // hot-key table poll
+	CmdHKPut   // home→replica value push (storage-shaped)
+	CmdHKDel   // home→replica invalidation
+	CmdHKTouch // home→replica TTL refresh
 )
 
 // Protocol limits mirroring memcached's.
@@ -176,9 +180,18 @@ func (p *Parser) Next() (*Request, error) {
 	case "decr":
 		return p.parseArith(args, CmdDecr)
 	case "delete":
-		return p.parseDelete(args)
+		return p.parseDelete(args, CmdDelete)
 	case "touch":
-		return p.parseTouch(args)
+		return p.parseTouch(args, CmdTouch)
+	case "hotkeys":
+		req.Command = CmdHotKeys
+		return req, nil
+	case "hkput":
+		return p.parseStore(args, CmdHKPut)
+	case "hkdel":
+		return p.parseDelete(args, CmdHKDel)
+	case "hktouch":
+		return p.parseTouch(args, CmdHKTouch)
 	case "stats":
 		req.Command = CmdStats
 		return req, nil
@@ -422,7 +435,7 @@ func (p *Parser) parseArith(args [][]byte, cmd Command) (*Request, error) {
 	return req, nil
 }
 
-func (p *Parser) parseDelete(args [][]byte) (*Request, error) {
+func (p *Parser) parseDelete(args [][]byte, cmd Command) (*Request, error) {
 	if len(args) < 1 || len(args) > 2 {
 		return nil, fmt.Errorf("%w: delete requires 1 key", ErrProtocol)
 	}
@@ -430,13 +443,13 @@ func (p *Parser) parseDelete(args [][]byte) (*Request, error) {
 		return nil, err
 	}
 	req := &p.req
-	req.Command = CmdDelete
+	req.Command = cmd
 	req.Keys = append(req.Keys, args[0])
 	req.NoReply = hasNoReply(args[1:])
 	return req, nil
 }
 
-func (p *Parser) parseTouch(args [][]byte) (*Request, error) {
+func (p *Parser) parseTouch(args [][]byte, cmd Command) (*Request, error) {
 	if len(args) < 2 || len(args) > 3 {
 		return nil, fmt.Errorf("%w: touch requires key and exptime", ErrProtocol)
 	}
@@ -448,7 +461,7 @@ func (p *Parser) parseTouch(args [][]byte) (*Request, error) {
 		return nil, fmt.Errorf("%w: bad exptime", ErrProtocol)
 	}
 	req := &p.req
-	req.Command = CmdTouch
+	req.Command = cmd
 	req.Keys = append(req.Keys, args[0])
 	req.Exptime = exptime
 	req.NoReply = hasNoReply(args[2:])

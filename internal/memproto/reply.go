@@ -188,6 +188,86 @@ func (rr *ReplyReader) ReadStats() (map[string]string, error) {
 	}
 }
 
+// HotKeyTableEntry is one row of a hotkeys response: a promoted key and
+// its serving set, home node first.
+type HotKeyTableEntry struct {
+	Key   string
+	Nodes []string
+}
+
+// ReadHotKeys consumes a hotkeys response: a "HOTKEYS <version>" header,
+// zero or more "HK <key> <node>..." rows, and END.
+func (rr *ReplyReader) ReadHotKeys() (uint64, []HotKeyTableEntry, error) {
+	line, err := rr.readLine()
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := errorFromLine(line); err != nil {
+		return 0, nil, err
+	}
+	rest, ok := strings.CutPrefix(line, "HOTKEYS ")
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: bad HOTKEYS header %q", ErrProtocol, line)
+	}
+	version, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: bad HOTKEYS version %q", ErrProtocol, line)
+	}
+	var entries []HotKeyTableEntry
+	for {
+		line, err := rr.readLine()
+		if err != nil {
+			return 0, nil, err
+		}
+		if line == "END" {
+			return version, entries, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[0] != "HK" {
+			return 0, nil, fmt.Errorf("%w: bad HK line %q", ErrProtocol, line)
+		}
+		entries = append(entries, HotKeyTableEntry{Key: fields[1], Nodes: fields[2:]})
+	}
+}
+
+// FormatHKPut renders a replica value push.
+func FormatHKPut(key string, flags uint32, exptime int64, value []byte, noreply bool) []byte {
+	var b bytes.Buffer
+	b.Grow(len(key) + len(value) + 48)
+	b.WriteString("hkput ")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(uint64(flags), 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(exptime, 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(len(value)))
+	if noreply {
+		b.WriteString(" noreply")
+	}
+	b.WriteString("\r\n")
+	b.Write(value)
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// FormatHKDel renders a replica invalidation.
+func FormatHKDel(key string, noreply bool) []byte {
+	if noreply {
+		return []byte("hkdel " + key + " noreply\r\n")
+	}
+	return []byte("hkdel " + key + "\r\n")
+}
+
+// FormatHKTouch renders a replica TTL refresh.
+func FormatHKTouch(key string, exptime int64, noreply bool) []byte {
+	line := "hktouch " + key + " " + strconv.FormatInt(exptime, 10)
+	if noreply {
+		line += " noreply"
+	}
+	return []byte(line + "\r\n")
+}
+
 // FormatSet renders a set request header + payload.
 func FormatSet(key string, flags uint32, exptime int64, value []byte, noreply bool) []byte {
 	var b bytes.Buffer

@@ -143,6 +143,28 @@ func (rw *ReplyWriter) StatUint(name string, v uint64) error {
 	return err
 }
 
+// HotKeysHeader starts a hotkeys response with the table version. HK
+// entries follow, terminated by End.
+func (rw *ReplyWriter) HotKeysHeader(version uint64) error {
+	_, _ = rw.w.WriteString("HOTKEYS ")
+	rw.writeUint(version)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
+// HotKeyEntry writes one hot-key table row: the key and its serving set,
+// home node first.
+func (rw *ReplyWriter) HotKeyEntry(key string, nodes []string) error {
+	_, _ = rw.w.WriteString("HK ")
+	_, _ = rw.w.WriteString(key)
+	for _, n := range nodes {
+		_ = rw.w.WriteByte(' ')
+		_, _ = rw.w.WriteString(n)
+	}
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
 // ClientError reports a client-caused failure.
 func (rw *ReplyWriter) ClientError(msg string) error {
 	_, _ = rw.w.WriteString("CLIENT_ERROR ")

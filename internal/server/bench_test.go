@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/hotkey"
 )
 
 // BenchmarkServerThroughput measures end-to-end gets over loopback TCP:
@@ -208,6 +209,23 @@ func BenchmarkHotPath(b *testing.B) {
 			h.serve(b, []byte("set hot 11 0 5\r\nhello\r\n"))
 			payload := []byte(tc.payload)
 			h.serve(b, payload)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.serve(b, payload)
+			}
+		})
+		// The same payload with hot-key detection enabled: the delta
+		// against the plain run is the sketch sampling cost, which must
+		// stay under 10 ns/op and 0 allocs/op.
+		b.Run(tc.name+"-sketch", func(b *testing.B) {
+			h := newHotPathHarness(b)
+			h.s.SetHotKeys(hotkey.New("bench-node", h.s.cache, nil, hotkey.Config{}))
+			h.serve(b, []byte("set hot 11 0 5\r\nhello\r\n"))
+			payload := []byte(tc.payload)
+			for i := 0; i < 64; i++ {
+				h.serve(b, payload)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

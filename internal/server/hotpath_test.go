@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/hotkey"
 )
 
 // TestPipelinedMixedCommands writes dozens of mixed commands — noreply
@@ -247,6 +248,47 @@ func TestHotPathAllocs(t *testing.T) {
 	} {
 		if n := testing.AllocsPerRun(200, func() { h.serve(t, tc.payload) }); n > tc.max {
 			t.Errorf("%s: %.1f allocs/op, want <= %.0f", tc.name, n, tc.max)
+		}
+	}
+}
+
+// TestHotPathAllocsWithSketch re-runs the alloc gate with hot-key
+// detection enabled: the sampled SpaceSaving sketch must not add a single
+// allocation to get/gets/set/multi-get. Monitored keys are map-index
+// lookups (the []byte→string conversion is compiler-elided); only
+// first-time admission of a key materializes a string, which the warmup
+// absorbs.
+func TestHotPathAllocsWithSketch(t *testing.T) {
+	h := newHotPathHarness(t)
+	h.s.SetHotKeys(hotkey.New("bench-node", h.s.cache, nil, hotkey.Config{
+		Capacity:   64,
+		SampleRate: 8, // sample aggressively so the gate trips within AllocsPerRun's window
+	}))
+	setReq := []byte("set hot 11 0 5\r\nhello\r\n")
+	getReq := []byte("get hot\r\n")
+	getsReq := []byte("gets hot\r\n")
+	multiReq := []byte("get hot hot hot miss\r\n")
+
+	// Warmup runs past one full sampling period so both keys are admitted
+	// into the sketch before counting begins.
+	for i := 0; i < 16; i++ {
+		h.serve(t, setReq)
+		h.serve(t, getReq)
+		h.serve(t, getsReq)
+		h.serve(t, multiReq)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		payload []byte
+	}{
+		{"set", setReq},
+		{"get", getReq},
+		{"gets", getsReq},
+		{"multi-get", multiReq},
+	} {
+		if n := testing.AllocsPerRun(200, func() { h.serve(t, tc.payload) }); n > 0 {
+			t.Errorf("%s with sketch: %.1f allocs/op, want 0", tc.name, n)
 		}
 	}
 }

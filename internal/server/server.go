@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/hotkey"
 	"repro/internal/memproto"
 )
 
@@ -27,6 +28,12 @@ type Server struct {
 	cache *cache.Cache
 	ln    net.Listener
 	log   *log.Logger
+
+	// hot is the node's hot-key replicator, nil when detection is off. An
+	// atomic pointer because the cluster installs it after Listen (the
+	// node's name is its bound address) while connections may already be
+	// serving.
+	hot atomic.Pointer[hotkey.Replicator]
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -50,6 +57,7 @@ type Option interface {
 type options struct {
 	logger        *log.Logger
 	crawlInterval time.Duration
+	hot           *hotkey.Replicator
 }
 
 type loggerOption struct{ l *log.Logger }
@@ -66,6 +74,20 @@ func (o crawlerOption) apply(opts *options) { opts.crawlInterval = time.Duration
 // WithExpiryCrawler runs the cache's expired-item crawler (memcached's
 // LRU crawler) every interval until the server closes.
 func WithExpiryCrawler(interval time.Duration) Option { return crawlerOption(interval) }
+
+type hotKeysOption struct{ rep *hotkey.Replicator }
+
+func (o hotKeysOption) apply(opts *options) { opts.hot = o.rep }
+
+// WithHotKeys enables hot-key detection and replicated serving through rep.
+func WithHotKeys(rep *hotkey.Replicator) Option { return hotKeysOption{rep: rep} }
+
+// SetHotKeys installs (or replaces) the hot-key replicator on a running
+// server.
+func (s *Server) SetHotKeys(rep *hotkey.Replicator) { s.hot.Store(rep) }
+
+// HotKeys returns the installed replicator, nil when detection is off.
+func (s *Server) HotKeys() *hotkey.Replicator { return s.hot.Load() }
 
 // Listen starts serving the cache on addr ("127.0.0.1:0" picks a free
 // port). The caller must Close the server to stop it and join its
@@ -88,6 +110,9 @@ func Listen(addr string, c *cache.Cache, opts ...Option) (*Server, error) {
 		log:         o.logger,
 		conns:       make(map[net.Conn]struct{}),
 		stopCrawler: make(chan struct{}),
+	}
+	if o.hot != nil {
+		s.hot.Store(o.hot)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -212,6 +237,11 @@ type connState struct {
 	val   []byte            // single-key get value scratch
 	multi []cache.MultiItem // multi-get result scratch
 	arena []byte            // multi-get value arena
+
+	// hotOps gates hot-key sketch sampling with a plain per-connection
+	// counter (observe when hotOps&mask == 0): the sampled-out fast path
+	// costs an increment and a branch, no shared atomics.
+	hotOps uint64
 }
 
 var connStatePool = sync.Pool{
@@ -305,8 +335,14 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 	rw := st.rw
 	switch req.Command {
 	case memproto.CmdGet:
+		hot := s.hot.Load()
 		if len(req.Keys) == 1 {
 			key := req.Keys[0]
+			if hot != nil {
+				if st.hotOps++; st.hotOps&hot.SampleMask() == 0 {
+					hot.ObserveGet(key)
+				}
+			}
 			var flags uint32
 			var hit bool
 			st.val, flags, _, hit = s.cache.GetInto(key, st.val[:0])
@@ -319,6 +355,13 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		}
 		// Multi-key: one batched in-order lookup costs at most one lock
 		// acquisition per cache shard instead of one per key.
+		if hot != nil {
+			for _, key := range req.Keys {
+				if st.hotOps++; st.hotOps&hot.SampleMask() == 0 {
+					hot.ObserveGet(key)
+				}
+			}
+		}
 		st.multi, st.arena = s.cache.GetMultiInto(req.Keys, st.multi, st.arena)
 		for i, m := range st.multi {
 			if !m.Hit {
@@ -331,8 +374,14 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		return rw.End()
 
 	case memproto.CmdGets:
+		hot := s.hot.Load()
 		if len(req.Keys) == 1 {
 			key := req.Keys[0]
+			if hot != nil {
+				if st.hotOps++; st.hotOps&hot.SampleMask() == 0 {
+					hot.ObserveGet(key)
+				}
+			}
 			var flags uint32
 			var casToken uint64
 			var hit bool
@@ -343,6 +392,13 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 				}
 			}
 			return rw.End()
+		}
+		if hot != nil {
+			for _, key := range req.Keys {
+				if st.hotOps++; st.hotOps&hot.SampleMask() == 0 {
+					hot.ObserveGet(key)
+				}
+			}
 		}
 		st.multi, st.arena = s.cache.GetMultiInto(req.Keys, st.multi, st.arena)
 		for i, m := range st.multi {
@@ -356,8 +412,16 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		return rw.End()
 
 	case memproto.CmdSet:
-		err := s.cache.SetBytes(req.Keys[0], req.Value, req.Flags,
-			expiryFromExptime(req.Exptime, time.Now()))
+		expiry := expiryFromExptime(req.Exptime, time.Now())
+		err := s.cache.SetBytes(req.Keys[0], req.Value, req.Flags, expiry)
+		if hot := s.hot.Load(); hot != nil {
+			if st.hotOps++; st.hotOps&hot.SampleMask() == 0 {
+				hot.ObserveWrite(req.Keys[0])
+			}
+			if err == nil {
+				hot.OnWrite(req.Keys[0], req.Value, req.Flags, expiry)
+			}
+		}
 		if req.NoReply {
 			return nil
 		}
@@ -373,6 +437,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 			err = s.cache.AddFlags(string(req.Keys[0]), req.Value, req.Flags, expiry)
 		} else {
 			err = s.cache.ReplaceFlags(string(req.Keys[0]), req.Value, req.Flags, expiry)
+		}
+		if hot := s.hot.Load(); hot != nil && err == nil {
+			hot.OnWrite(req.Keys[0], req.Value, req.Flags, expiry)
 		}
 		if req.NoReply {
 			return nil
@@ -392,6 +459,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		} else {
 			err = s.cache.Prepend(string(req.Keys[0]), req.Value)
 		}
+		if hot := s.hot.Load(); hot != nil && err == nil {
+			hot.OnMutate(req.Keys[0])
+		}
 		if req.NoReply {
 			return nil
 		}
@@ -404,8 +474,17 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		return rw.Stored()
 
 	case memproto.CmdCas:
+		expiry := expiryFromExptime(req.Exptime, time.Now())
 		err := s.cache.CompareAndSwapFlags(string(req.Keys[0]), req.Value, req.Flags,
-			expiryFromExptime(req.Exptime, time.Now()), req.CAS)
+			expiry, req.CAS)
+		if hot := s.hot.Load(); hot != nil {
+			if st.hotOps++; st.hotOps&hot.SampleMask() == 0 {
+				hot.ObserveWrite(req.Keys[0])
+			}
+			if err == nil {
+				hot.OnWrite(req.Keys[0], req.Value, req.Flags, expiry)
+			}
+		}
 		if req.NoReply {
 			return nil
 		}
@@ -430,6 +509,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		} else {
 			v, err = s.cache.Decr(string(req.Keys[0]), req.Delta)
 		}
+		if hot := s.hot.Load(); hot != nil && err == nil {
+			hot.OnMutate(req.Keys[0])
+		}
 		if req.NoReply {
 			return nil
 		}
@@ -446,6 +528,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 
 	case memproto.CmdDelete:
 		err := s.cache.Delete(string(req.Keys[0]))
+		if hot := s.hot.Load(); hot != nil && err == nil {
+			hot.OnDelete(req.Keys[0])
+		}
 		if req.NoReply {
 			return nil
 		}
@@ -458,7 +543,11 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		return rw.Deleted()
 
 	case memproto.CmdTouch:
-		err := s.cache.TouchExpiry(string(req.Keys[0]), expiryFromExptime(req.Exptime, time.Now()))
+		expiry := expiryFromExptime(req.Exptime, time.Now())
+		err := s.cache.TouchExpiry(string(req.Keys[0]), expiry)
+		if hot := s.hot.Load(); hot != nil && err == nil {
+			hot.OnTouch(req.Keys[0], expiry)
+		}
 		if req.NoReply {
 			return nil
 		}
@@ -497,6 +586,26 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 				return err
 			}
 		}
+		if hot := s.hot.Load(); hot != nil {
+			cs := hot.Snapshot()
+			for _, p := range []struct {
+				name  string
+				value uint64
+			}{
+				{"hotkey_promotions", uint64(cs.Promotions)},
+				{"hotkey_demotions", uint64(cs.Demotions)},
+				{"hotkey_replica_pushes", uint64(cs.ReplicaPushes)},
+				{"hotkey_push_errors", uint64(cs.PushErrors)},
+				{"hotkey_replica_reads", uint64(cs.ReplicaReads)},
+				{"hotkey_promoted", uint64(cs.Promoted)},
+				{"hotkey_replica_held", uint64(cs.ReplicaHeld)},
+				{"hotkey_table_version", cs.TableVersion},
+			} {
+				if err := rw.StatUint(p.name, p.value); err != nil {
+					return err
+				}
+			}
+		}
 		for _, sl := range st.Slabs {
 			prefix := "slab" + strconv.Itoa(sl.ClassID) + ":"
 			if err := rw.StatUint(prefix+"chunk_size", uint64(sl.ChunkSize)); err != nil {
@@ -528,6 +637,73 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 			}
 		}
 		return rw.End()
+
+	case memproto.CmdHotKeys:
+		hot := s.hot.Load()
+		if hot == nil {
+			if err := rw.HotKeysHeader(0); err != nil {
+				return err
+			}
+			return rw.End()
+		}
+		version, entries := hot.Table()
+		if err := rw.HotKeysHeader(version); err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := rw.HotKeyEntry(e.Key, e.Nodes); err != nil {
+				return err
+			}
+		}
+		return rw.End()
+
+	case memproto.CmdHKPut:
+		// Replica push from a home node: store the copy and mark it
+		// replica-held so migration treats it as non-owned.
+		err := s.cache.SetBytes(req.Keys[0], req.Value, req.Flags,
+			expiryFromExptime(req.Exptime, time.Now()))
+		if err == nil {
+			if hot := s.hot.Load(); hot != nil {
+				hot.MarkReplica(req.Keys[0])
+			}
+		}
+		if req.NoReply {
+			return nil
+		}
+		if err != nil {
+			return rw.ServerError(err.Error())
+		}
+		return rw.Stored()
+
+	case memproto.CmdHKDel:
+		// Delete the copy only while it is still marked replica-held: a
+		// stale invalidation from a previous home must not destroy an item
+		// this node has since come to own (e.g. after a migration).
+		deleted := false
+		if hot := s.hot.Load(); hot == nil || hot.DropReplica(req.Keys[0]) {
+			deleted = s.cache.Delete(string(req.Keys[0])) == nil
+		}
+		if req.NoReply {
+			return nil
+		}
+		if deleted {
+			return rw.Deleted()
+		}
+		return rw.NotFound()
+
+	case memproto.CmdHKTouch:
+		touched := false
+		if hot := s.hot.Load(); hot == nil || hot.HeldAsReplica(string(req.Keys[0])) {
+			expiry := expiryFromExptime(req.Exptime, time.Now())
+			touched = s.cache.TouchExpiry(string(req.Keys[0]), expiry) == nil
+		}
+		if req.NoReply {
+			return nil
+		}
+		if touched {
+			return rw.Touched()
+		}
+		return rw.NotFound()
 
 	case memproto.CmdFlushAll:
 		s.cache.FlushAll()
