@@ -2,7 +2,7 @@ GO ?= go
 SEEDS ?= 10
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-hot bench-migrate bench-skew allocs chaos fuzz check
+.PHONY: build test race vet bench bench-hot bench-migrate bench-skew bench-serve allocs chaos fuzz check
 
 ## build: compile every package
 build:
@@ -42,6 +42,14 @@ bench-migrate:
 ## with replication on (see EXPERIMENTS.md)
 bench-skew:
 	$(GO) run ./cmd/elmem-bench -experiment skew
+
+## bench-serve: the serve-through scaling experiment — concurrent Zipf
+## read-through traffic (miss → simulated backing store → fill) driven
+## across a live ScaleIn+ScaleOut, plain fills vs lease-protected; the
+## regression bar is a measurably lower db-loads count with leases on and
+## bounded p99 through both handovers (see EXPERIMENTS.md)
+bench-serve:
+	$(GO) run ./cmd/elmem-bench -experiment serve
 
 ## bench-hot: hot-path benchmarks — in-process parse/handle/write cost
 ## (allocs/op must read 0) and loopback pipelining at depth 1/8/64

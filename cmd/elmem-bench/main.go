@@ -13,6 +13,7 @@
 //	elmem-bench -experiment cost        # II-B: cost/energy analysis
 //	elmem-bench -experiment headroom    # II-C: elasticity headroom
 //	elmem-bench -experiment skew        # hot-key replication load spread
+//	elmem-bench -experiment serve       # serve-through scaling: leases vs plain fills
 //	elmem-bench -experiment all         # everything
 //
 // -fast shrinks the simulations ~4x for a quick pass.
@@ -62,6 +63,7 @@ func run(w io.Writer) error {
 		"headroom":  runHeadroom,
 		"autoscale": runAutoScale,
 		"skew":      runSkew,
+		"serve":     runServe,
 	}
 	if *experiment == "all" {
 		order := []string{
@@ -242,6 +244,26 @@ func runSkew(w io.Writer, fast bool) error {
 	flash.FlashCrowd = true
 	flash.Seed = 2
 	return cluster.RenderSkew(w, flash)
+}
+
+// runServe measures the serve-through scaling path: concurrent cold-start
+// Zipf read-through traffic driven across a live ScaleIn and ScaleOut,
+// with the miss-fill path plain then lease-protected. The headline is the
+// backing-store load (db-loads) the lease protocol shaves off, with p99
+// staying bounded through both handovers.
+func runServe(w io.Writer, fast bool) error {
+	opts := cluster.ServeOptions{
+		Nodes:   4,
+		Workers: 8,
+		Ops:     12000,
+		Keys:    2048,
+		Seed:    1,
+	}
+	if fast {
+		opts.Ops = 4000
+		opts.Keys = 1024
+	}
+	return cluster.RenderServe(w, opts)
 }
 
 func runAutoScale(w io.Writer, fast bool) error {

@@ -84,6 +84,12 @@ type Agent struct {
 	// migration selection, so a replicated item only ships from its home.
 	ownedFilter atomic.Value
 
+	// ownership is the latest per-segment ownership table announced by the
+	// master, nil for standalone agents. Import paths consult it to drop
+	// stale stream pairs aimed at a segment this node has already handed
+	// over (or never owned under the current epoch).
+	ownership atomic.Pointer[hashring.Table]
+
 	mu     sync.Mutex
 	offers map[string]map[int][]cache.ItemMeta // sender → class → MRU metadata
 
@@ -476,12 +482,62 @@ func (a *Agent) SendData(ctx context.Context, target string, takes map[int]int, 
 	return stats, nil
 }
 
+// OwnershipChanged installs a newer per-segment ownership table
+// (core.OwnershipListener). Stale announcements are dropped so listener
+// delivery order cannot regress the import gate.
+func (a *Agent) OwnershipChanged(t *hashring.Table) {
+	if t == nil {
+		return
+	}
+	for {
+		cur := a.ownership.Load()
+		if cur != nil && cur.Version() >= t.Version() {
+			return
+		}
+		if a.ownership.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// acceptsImport reports whether this node may import key under the
+// announced ownership table. Without a table (standalone agents, unit
+// tests) everything is accepted.
+func (a *Agent) acceptsImport(key string) bool {
+	t := a.ownership.Load()
+	return t == nil || t.AcceptsImport(a.node, key)
+}
+
+// filterStale splits stale pairs out of an import batch. The input slice
+// is never mutated (the in-process transport shares it with the sender);
+// when everything is acceptable — the common case — it is returned as-is.
+func (a *Agent) filterStale(pairs []cache.KV) []cache.KV {
+	stale := 0
+	for _, kv := range pairs {
+		if !a.acceptsImport(kv.Key) {
+			stale++
+		}
+	}
+	if stale == 0 {
+		return pairs
+	}
+	kept := make([]cache.KV, 0, len(pairs)-stale)
+	for _, kv := range pairs {
+		if a.acceptsImport(kv.Key) {
+			kept = append(kept, kv)
+		}
+	}
+	a.counters.StaleDropped.Add(int64(stale))
+	return kept
+}
+
 // ImportData receives a phase-3 push (Peer implementation): pairs arrive
 // hottest-first per class, so reverse import ends with the hottest at the
 // MRU head. Pairs that cannot obtain a chunk are dropped, as a real
-// memcached set fails under slab exhaustion.
+// memcached set fails under slab exhaustion. Pairs for segments this node
+// no longer accepts under the announced ownership epoch are dropped too.
 func (a *Agent) ImportData(_ context.Context, _ string, pairs []cache.KV) error {
-	_, err := a.cache.BatchImport(pairs, true)
+	_, err := a.cache.BatchImport(a.filterStale(pairs), true)
 	return err
 }
 

@@ -162,7 +162,7 @@ func (a *Agent) ImportFrame(from string, epoch, seq uint64, pairs []cache.KV) (h
 	if seq != st.highWater+1 {
 		return st.highWater, 0, fmt.Errorf("agent: import gap from %q: seq %d after high-water %d", from, seq, st.highWater)
 	}
-	n, err := a.cache.BatchImport(pairs, false)
+	n, err := a.cache.BatchImport(a.filterStale(pairs), false)
 	if err != nil {
 		return st.highWater, n, err
 	}
@@ -290,6 +290,13 @@ func (a *Agent) pushPlan(ctx context.Context, peer Peer, target, kind string, pl
 		return a.pushPlanFallback(ctx, peer, plan)
 	}
 	fp := planFingerprint(kind, target, plan)
+	if t := a.ownership.Load(); t != nil {
+		// Tag the stream with the ownership table version: a plan retried
+		// across a handover boundary fingerprints differently, so the
+		// receiver resets stream state instead of resuming acks earned
+		// under a superseded ownership epoch.
+		fp ^= t.Version() * 0x9e3779b97f4a7c15
+	}
 	epoch := a.epochFor(target, fp)
 	sess, err := sp.OpenImport(ctx, a.node, epoch, fp, a.maxInflight)
 	if err != nil {
@@ -441,6 +448,7 @@ type MigrationCounters struct {
 	BatchesSent    int64 `json:"batchesSent"`
 	PairsImported  int64 `json:"pairsImported"`
 	FramesImported int64 `json:"framesImported"`
+	StaleDropped   int64 `json:"staleDropped"`
 }
 
 type counters struct {
@@ -451,6 +459,7 @@ type counters struct {
 	BatchesSent    atomic.Int64
 	PairsImported  atomic.Int64
 	FramesImported atomic.Int64
+	StaleDropped   atomic.Int64
 }
 
 // Counters snapshots the agent's cumulative migration counters.
@@ -463,6 +472,7 @@ func (a *Agent) Counters() MigrationCounters {
 		BatchesSent:    a.counters.BatchesSent.Load(),
 		PairsImported:  a.counters.PairsImported.Load(),
 		FramesImported: a.counters.FramesImported.Load(),
+		StaleDropped:   a.counters.StaleDropped.Load(),
 	}
 }
 

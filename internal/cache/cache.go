@@ -132,7 +132,8 @@ type clockOption struct{ now func() time.Time }
 func (o clockOption) apply(opts *cacheOptions) { opts.now = o.now }
 
 // WithClock injects the time source used for MRU timestamps. The simulator
-// passes its virtual clock; the default is time.Now.
+// passes its virtual clock; the default is a monotonic clock (see
+// NewMonotonicClock) so recency ordering survives wall-clock steps.
 func WithClock(now func() time.Time) Option { return clockOption{now: now} }
 
 type shardsOption int
@@ -148,7 +149,7 @@ func WithShards(n int) Option { return shardsOption(n) }
 // New creates a Cache with the given memory budget in bytes. The budget is
 // rounded down to whole pages and must cover at least one page.
 func New(memoryBytes int64, opts ...Option) (*Cache, error) {
-	options := cacheOptions{growthFactor: DefaultGrowthFactor, now: time.Now}
+	options := cacheOptions{growthFactor: DefaultGrowthFactor, now: NewMonotonicClock()}
 	for _, o := range opts {
 		o.apply(&options)
 	}

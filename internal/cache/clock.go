@@ -1,0 +1,16 @@
+package cache
+
+import "time"
+
+// NewMonotonicClock returns a time source pinned to the monotonic clock.
+// It anchors a wall-time base once and derives every reading from
+// time.Since, so MRU timestamps keep strict ordering even when the wall
+// clock is stepped (NTP slew, VM suspend, leap smearing). The returned
+// values still carry a plausible wall component for display, but
+// comparisons between them always use the monotonic delta.
+func NewMonotonicClock() func() time.Time {
+	base := time.Now()
+	return func() time.Time {
+		return base.Add(time.Since(base))
+	}
+}

@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMonotonicClockNonDecreasing: successive readings never go backwards
+// and track real elapsed time (within scheduling slop).
+func TestMonotonicClockNonDecreasing(t *testing.T) {
+	clk := NewMonotonicClock()
+	prev := clk()
+	for i := 0; i < 10000; i++ {
+		cur := clk()
+		if cur.Before(prev) {
+			t.Fatalf("clock went backwards: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+	start := clk()
+	time.Sleep(10 * time.Millisecond)
+	if d := clk().Sub(start); d < 10*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 10ms", d)
+	}
+}
+
+// TestCacheDefaultClockMonotonic: a cache built without WithClock stamps
+// entries with non-decreasing timestamps.
+func TestCacheDefaultClockMonotonic(t *testing.T) {
+	c, err := New(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := c.now()
+	for i := 0; i < 1000; i++ {
+		cur := c.now()
+		if cur.Before(prev) {
+			t.Fatalf("cache clock went backwards: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -34,8 +34,14 @@ type Cluster struct {
 	maxIdle     int
 	replicas    int
 
+	// table is the per-segment ownership table the client routes by. A
+	// lock-free atomic pointer: every op loads it once and works against
+	// that immutable snapshot, so a concurrent handover announcement never
+	// tears a half-routed operation. Updated by OwnershipChanged (epoch'd
+	// handover waves from the master) and MembershipChanged (legacy flip).
+	table atomic.Pointer[hashring.Table]
+
 	mu     sync.RWMutex
-	ring   *hashring.Ring
 	pools  map[string]*pool
 	closed bool
 
@@ -113,7 +119,7 @@ func New(members []string, opts ...Option) (*Cluster, error) {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	ring, err := hashring.New(members, hashring.WithReplicas(o.replicas))
+	table, err := hashring.NewTable(members, hashring.WithTableReplicas(o.replicas))
 	if err != nil {
 		return nil, err
 	}
@@ -122,12 +128,12 @@ func New(members []string, opts ...Option) (*Cluster, error) {
 		opTimeout:   o.opTimeout,
 		maxIdle:     o.maxIdle,
 		replicas:    o.replicas,
-		ring:        ring,
 		pools:       make(map[string]*pool),
 		hotByHome:   make(map[string][]memproto.HotKeyTableEntry),
 		hotByKey:    make(map[string][]string),
 		hotVersions: make(map[string]uint64),
 	}
+	c.table.Store(table)
 	if o.hotPoll > 0 {
 		c.hotStop = make(chan struct{})
 		c.hotWG.Add(1)
@@ -136,29 +142,73 @@ func New(members []string, opts ...Option) (*Cluster, error) {
 	return c, nil
 }
 
-// Members returns the current membership.
+// Members returns the member set the client routes over (the union of
+// outgoing and incoming owners while a handover is in flight).
 func (c *Cluster) Members() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.ring.Members()
+	return c.table.Load().Members()
 }
 
-// MembershipChanged swaps the membership (core.MembershipListener).
-// Pools for departed members are closed lazily.
+// MembershipChanged swaps the membership (core.MembershipListener). When
+// the master drove a per-segment handover, the ownership table already
+// settled on exactly these members (Settle is announced first) and this
+// is a no-op; a bare flip from some other source rebuilds a settled
+// table. Pools for departed members are closed lazily.
 func (c *Cluster) MembershipChanged(members []string) {
 	if len(members) == 0 {
 		return // an empty announcement would black-hole all traffic
 	}
-	ring, err := hashring.New(members, hashring.WithReplicas(c.replicas))
-	if err != nil {
+	for {
+		cur := c.table.Load()
+		if cur.Settled() && sameMembers(cur.Members(), members) {
+			break // the handover already routed us here
+		}
+		next, err := cur.RebuildSettled(members)
+		if err != nil {
+			return
+		}
+		if c.table.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	c.prunePools(members)
+	// Promotions referencing departed nodes must stop routing to them
+	// immediately; the next poll repopulates entries that survived.
+	c.rebuildHotTable()
+}
+
+// OwnershipChanged installs a newer per-segment ownership table
+// (core.OwnershipListener). Stale announcements — version at or below the
+// installed table's — are dropped, so listener delivery order can never
+// regress routing.
+func (c *Cluster) OwnershipChanged(t *hashring.Table) {
+	if t == nil {
 		return
 	}
+	for {
+		cur := c.table.Load()
+		if cur != nil && cur.Version() >= t.Version() {
+			return
+		}
+		if c.table.CompareAndSwap(cur, t) {
+			break
+		}
+	}
+	c.prunePools(t.Members())
+	c.rebuildHotTable()
+}
+
+// OwnershipVersion reports the installed table's version (observability).
+func (c *Cluster) OwnershipVersion() uint64 {
+	return c.table.Load().Version()
+}
+
+// prunePools closes pools for nodes outside the current member set.
+func (c *Cluster) prunePools(members []string) {
 	current := make(map[string]struct{}, len(members))
 	for _, m := range members {
 		current[m] = struct{}{}
 	}
 	c.mu.Lock()
-	c.ring = ring
 	var stale []*pool
 	for addr, p := range c.pools {
 		if _, ok := current[addr]; !ok {
@@ -170,19 +220,36 @@ func (c *Cluster) MembershipChanged(members []string) {
 	for _, p := range stale {
 		p.close()
 	}
-	// Promotions referencing departed nodes must stop routing to them
-	// immediately; the next poll repopulates entries that survived.
-	c.rebuildHotTable()
 }
 
-// Owner reports which member owns the key under the current ring.
+// sameMembers reports whether a and b hold the same addresses. a must be
+// sorted (Table.Members is); b may be in any order.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sorted := append([]string(nil), b...)
+	sort.Strings(sorted)
+	for i := range a {
+		if a[i] != sorted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Owner reports which member authoritatively owns the key: the outgoing
+// owner until the key's segment commits, the incoming owner after.
+// Conditional ops (cas/add/replace/counters/touch) route here so their
+// read-modify-write semantics stay anchored to one node per epoch.
 func (c *Cluster) Owner(key string) (string, error) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	if c.closed {
+		c.mu.RUnlock()
 		return "", ErrClosed
 	}
-	owner, err := c.ring.Get(key)
+	c.mu.RUnlock()
+	owner, err := c.table.Load().Owner(key)
 	if errors.Is(err, hashring.ErrEmptyRing) {
 		return "", ErrNoMembers
 	}
@@ -226,8 +293,9 @@ func (c *Cluster) MultiGetContext(ctx context.Context, keys []string) (map[strin
 	if hotRouting {
 		routed = make(map[string]string, len(keys))
 	}
+	var fallbacks map[string]string // key → retiring owner (mid-handover only)
 	for _, key := range keys {
-		node, err := c.routeRead(key)
+		node, fallback, err := c.routeRead(key)
 		if err != nil {
 			return nil, err
 		}
@@ -235,11 +303,38 @@ func (c *Cluster) MultiGetContext(ctx context.Context, keys []string) (map[strin
 		if hotRouting {
 			routed[key] = node
 		}
+		if fallback != "" {
+			if fallbacks == nil {
+				fallbacks = make(map[string]string)
+			}
+			fallbacks[key] = fallback
+		}
 	}
 
 	out := make(map[string][]byte, len(keys))
 	if err := c.fanOut(ctx, byNode, out); err != nil {
 		return nil, err
+	}
+
+	if fallbacks != nil {
+		// Keys on in-flight segments that missed at the incoming owner may
+		// still live only on the retiring owner (their migration frame has
+		// not landed yet): forward the miss before reporting it.
+		var retry map[string][]string
+		for key, fb := range fallbacks {
+			if _, ok := out[key]; ok {
+				continue
+			}
+			if retry == nil {
+				retry = make(map[string][]string)
+			}
+			retry[fb] = append(retry[fb], key)
+		}
+		if retry != nil {
+			if err := c.fanOut(ctx, retry, out); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	if hotRouting {
@@ -312,13 +407,26 @@ func (c *Cluster) Set(key string, value []byte) error {
 	return c.SetContext(context.Background(), key, value)
 }
 
-// SetContext is Set bounded by ctx's deadline.
+// SetContext is Set bounded by ctx's deadline. While the key's segment is
+// mid-handover the write is dual-applied to the incoming and outgoing
+// owners, so reads stay consistent whichever side serves them; both
+// stores must succeed.
 func (c *Cluster) SetContext(ctx context.Context, key string, value []byte) error {
-	owner, err := c.Owner(key)
+	primary, second, err := c.writePlan(key)
 	if err != nil {
 		return err
 	}
-	return c.withConnCtx(ctx, owner, func(conn *poolConn) error {
+	if err := c.setOn(ctx, primary, key, value); err != nil {
+		return err
+	}
+	if second != "" {
+		return c.setOn(ctx, second, key, value)
+	}
+	return nil
+}
+
+func (c *Cluster) setOn(ctx context.Context, node, key string, value []byte) error {
+	return c.withConnCtx(ctx, node, func(conn *poolConn) error {
 		if err := conn.write(memproto.FormatSet(key, 0, 0, value, false)); err != nil {
 			return err
 		}
@@ -333,20 +441,49 @@ func (c *Cluster) SetContext(ctx context.Context, key string, value []byte) erro
 	})
 }
 
+// writePlan resolves the key's write targets under the current table.
+func (c *Cluster) writePlan(key string) (primary, second string, err error) {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return "", "", ErrClosed
+	}
+	c.mu.RUnlock()
+	primary, second, err = c.table.Load().WritePlan(key)
+	if errors.Is(err, hashring.ErrEmptyRing) {
+		return "", "", ErrNoMembers
+	}
+	return primary, second, err
+}
+
 // Delete removes the key from its owner node; deleting a missing key is
 // not an error and returns false.
 func (c *Cluster) Delete(key string) (bool, error) {
 	return c.DeleteContext(context.Background(), key)
 }
 
-// DeleteContext is Delete bounded by ctx's deadline.
+// DeleteContext is Delete bounded by ctx's deadline. Mid-handover the
+// delete is dual-applied like Set, so the copy on the retiring owner
+// cannot resurrect via a fallback read.
 func (c *Cluster) DeleteContext(ctx context.Context, key string) (bool, error) {
-	owner, err := c.Owner(key)
+	primary, second, err := c.writePlan(key)
 	if err != nil {
 		return false, err
 	}
+	deleted, err := c.deleteOn(ctx, primary, key)
+	if err != nil {
+		return deleted, err
+	}
+	if second != "" {
+		d2, err := c.deleteOn(ctx, second, key)
+		return deleted || d2, err
+	}
+	return deleted, nil
+}
+
+func (c *Cluster) deleteOn(ctx context.Context, node, key string) (bool, error) {
 	deleted := false
-	err = c.withConnCtx(ctx, owner, func(conn *poolConn) error {
+	err := c.withConnCtx(ctx, node, func(conn *poolConn) error {
 		if err := conn.write(memproto.FormatDelete(key, false)); err != nil {
 			return err
 		}

@@ -1,0 +1,258 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hashring"
+)
+
+// movingKey finds a key whose owner changes between the settled table and
+// the in-flight handover table (i.e. its segment is mid-handover AND the
+// read-plan primary differs from the retiring owner).
+func movingKey(t *testing.T, table *hashring.Table) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("mv%05d", i)
+		if !table.InFlight(k) {
+			continue
+		}
+		primary, fallback, err := table.ReadPlan(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fallback != "" && primary != fallback {
+			return k
+		}
+	}
+	t.Fatal("no moving key found")
+	return ""
+}
+
+// TestHandoverForwardOnMiss exercises the serve-through read path: a key
+// written before the handover lives only on the retiring owner; after
+// BeginHandover the client reads it through the incoming owner and must
+// forward the miss instead of reporting it.
+func TestHandoverForwardOnMiss(t *testing.T) {
+	cl, _ := testCluster(t, 4)
+
+	settled := cl.table.Load()
+	members := settled.Members()
+	// Scale in: drop the last member.
+	inFlight, moving, err := settled.BeginHandover(members[:len(members)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moving) == 0 {
+		t.Fatal("no segments moving")
+	}
+	key := movingKey(t, inFlight)
+
+	// Written while settled: lands on the (future) retiring owner only.
+	if err := cl.Set(key, []byte("pre-handover")); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.OwnershipChanged(inFlight)
+	v, ok, err := cl.Get(key)
+	if err != nil || !ok || string(v) != "pre-handover" {
+		t.Fatalf("forward-on-miss Get = %q, %v, %v", v, ok, err)
+	}
+
+	// Writes are now dual-applied: after commit+settle (retiring owner
+	// drops out of the plan) the value must still be served.
+	if err := cl.Set(key, []byte("during-handover")); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := inFlight.CommitSegments(moving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled2, err := committed.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.OwnershipChanged(settled2)
+	v, ok, err = cl.Get(key)
+	if err != nil || !ok || string(v) != "during-handover" {
+		t.Fatalf("post-settle Get = %q, %v, %v", v, ok, err)
+	}
+}
+
+// TestStaleOwnershipIgnored: announcements are version-ordered; replaying
+// an older table must not regress routing.
+func TestStaleOwnershipIgnored(t *testing.T) {
+	cl, _ := testCluster(t, 2)
+	v1 := cl.table.Load()
+	members := v1.Members()
+	inFlight, _, err := v1.BeginHandover(members[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.OwnershipChanged(inFlight)
+	cl.OwnershipChanged(v1) // stale: must be dropped
+	if got := cl.OwnershipVersion(); got != inFlight.Version() {
+		t.Fatalf("version = %d, want %d", got, inFlight.Version())
+	}
+	// MembershipChanged with the mid-handover union must not clobber the
+	// in-flight table either... but a *different* set rebuilds (legacy flip).
+	cl.MembershipChanged(members[:1])
+	if cur := cl.table.Load(); !cur.Settled() {
+		t.Fatal("legacy flip did not settle the table")
+	}
+}
+
+// TestLeaseGetSetThroughCluster drives the client lease ops end to end.
+func TestLeaseGetSetThroughCluster(t *testing.T) {
+	cl, _ := testCluster(t, 3)
+
+	_, token, hit, err := cl.LeaseGet("lk")
+	if err != nil || hit || token == 0 {
+		t.Fatalf("LeaseGet miss: hit=%v token=%d err=%v", hit, token, err)
+	}
+	if err := cl.LeaseSet("lk", []byte("filled"), token); err != nil {
+		t.Fatal(err)
+	}
+	v, _, hit, err := cl.LeaseGet("lk")
+	if err != nil || !hit || string(v) != "filled" {
+		t.Fatalf("LeaseGet hit: v=%q hit=%v err=%v", v, hit, err)
+	}
+	// Token replay is rejected.
+	if err := cl.LeaseSet("lk2-token-replay", []byte("x"), token); !errors.Is(err, ErrLeaseRejected) {
+		t.Fatalf("replayed token err = %v, want ErrLeaseRejected", err)
+	}
+}
+
+// TestLeaseForwardWarmsIncomingOwner: during a handover, LeaseGet on a
+// cold incoming owner forwards to the retiring owner and uses its token
+// to warm the incoming side.
+func TestLeaseForwardWarmsIncomingOwner(t *testing.T) {
+	cl, servers := testCluster(t, 4)
+
+	settled := cl.table.Load()
+	members := settled.Members()
+	inFlight, _, err := settled.BeginHandover(members[:len(members)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := movingKey(t, inFlight)
+	if err := cl.Set(key, []byte("warm-me")); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.OwnershipChanged(inFlight)
+	for _, s := range servers {
+		s.OwnershipChanged(inFlight)
+	}
+	v, token, hit, err := cl.LeaseGet(key)
+	if err != nil || !hit || token != 0 || string(v) != "warm-me" {
+		t.Fatalf("forwarded LeaseGet = %q token=%d hit=%v err=%v", v, token, hit, err)
+	}
+
+	// The warm fill parked on the incoming owner (gutter or cache): a
+	// direct read there now hits without forwarding.
+	primary, _, err := inFlight.ReadPlan(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, hit2, _, err := cl.getPlainOn(context.Background(), primary, key)
+	if err != nil || !hit2 || string(v2) != "warm-me" {
+		t.Fatalf("incoming owner after warm fill = %q hit=%v err=%v", v2, hit2, err)
+	}
+}
+
+// TestRoutingRaceUnderChurn is the membership-change race regression: many
+// goroutines hammer Get/Set/MultiGet while tables and memberships churn
+// concurrently. Run under -race (make race) it fails on any torn routing
+// state; in all modes it fails on unexpected errors.
+func TestRoutingRaceUnderChurn(t *testing.T) {
+	cl, _ := testCluster(t, 4)
+	members := cl.Members()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Churner: walk the table through handover lifecycles and legacy
+	// flips as fast as possible.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			cur := cl.table.Load()
+			if !cur.Settled() {
+				cl.MembershipChanged(members)
+				continue
+			}
+			var target []string
+			if len(cur.Members()) == len(members) {
+				target = members[:len(members)-1]
+			} else {
+				target = members
+			}
+			inFlight, moving, err := cur.BeginHandover(target)
+			if err != nil {
+				continue
+			}
+			cl.OwnershipChanged(inFlight)
+			if i%3 == 0 {
+				// Abandon: roll back instead of committing.
+				cl.OwnershipChanged(inFlight.Rollback())
+				continue
+			}
+			committed, err := inFlight.CommitSegments(moving)
+			if err != nil {
+				continue
+			}
+			cl.OwnershipChanged(committed)
+			settled, err := committed.Settle()
+			if err != nil {
+				continue
+			}
+			cl.OwnershipChanged(settled)
+			cl.MembershipChanged(settled.Members())
+		}
+	}()
+
+	// Workers: reads and writes must never see an error other than a
+	// dial failure... and with all nodes alive, not even that.
+	const workers = 8
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				key := fmt.Sprintf("race-%d-%d", w, i%32)
+				if i%4 == 0 {
+					if err := cl.Set(key, []byte("v")); err != nil {
+						errCh <- fmt.Errorf("set: %w", err)
+						return
+					}
+				} else if i%7 == 0 {
+					if _, err := cl.MultiGet([]string{key, "race-shared"}); err != nil {
+						errCh <- fmt.Errorf("multiget: %w", err)
+						return
+					}
+				} else {
+					if _, _, err := cl.Get(key); err != nil {
+						errCh <- fmt.Errorf("get: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -2,8 +2,10 @@ package client
 
 import (
 	"context"
+	"errors"
 	"time"
 
+	"repro/internal/hashring"
 	"repro/internal/memproto"
 )
 
@@ -93,8 +95,10 @@ func (c *Cluster) HotKeyTable() (map[string][]string, map[string]uint64) {
 
 // routeRead picks the node to read key from: a promoted key rotates
 // through its serving set (cheap splitmix shuffle over a shared counter),
-// everything else goes to the ring owner.
-func (c *Cluster) routeRead(key string) (string, error) {
+// everything else follows the ownership table's read plan. fallback is
+// the retiring owner to forward a miss to when the key's segment is
+// mid-handover, empty otherwise.
+func (c *Cluster) routeRead(key string) (node, fallback string, err error) {
 	if c.hotCount.Load() > 0 {
 		c.hotMu.RLock()
 		nodes := c.hotByKey[key]
@@ -104,10 +108,22 @@ func (c *Cluster) routeRead(key string) (string, error) {
 		}
 		c.hotMu.RUnlock()
 		if target != "" {
-			return target, nil
+			return target, "", nil
 		}
 	}
-	return c.Owner(key)
+	return c.readPlan(key)
+}
+
+// readPlan resolves the key's read route under the current table.
+func (c *Cluster) readPlan(key string) (primary, fallback string, err error) {
+	primary, fallback, err = c.table.Load().ReadPlan(key)
+	if errors.Is(err, hashring.ErrEmptyRing) {
+		return "", "", ErrNoMembers
+	}
+	if err != nil {
+		return "", "", err
+	}
+	return primary, fallback, nil
 }
 
 // mix64 is the splitmix64 finalizer: it turns the sequential routing

@@ -1,0 +1,122 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/memproto"
+)
+
+// Lease-protected reads (the serve-through path): a miss on LeaseGet
+// returns a fill token instead of nothing, and only the token holder's
+// LeaseSet lands. During a segment handover the incoming owner starts
+// cold; leases collapse the resulting miss storm to one backing-store
+// load per key, and the server parks mid-handover fills in its gutter
+// pool.
+
+// ErrLeaseRejected reports a LeaseSet whose token was consumed, expired,
+// or invalidated by a concurrent write. The caller should drop its value
+// and re-read.
+var ErrLeaseRejected = errors.New("client: lease rejected")
+
+// LeaseGet fetches key, returning a fill token on a miss. Exactly one of
+// hit/token is meaningful: on a hit token is 0; on a miss a non-zero
+// token grants this caller the right to LeaseSet the value, while token
+// 0 means another client's fill is in flight — back off and retry.
+func (c *Cluster) LeaseGet(key string) (value []byte, token uint64, hit bool, err error) {
+	return c.LeaseGetContext(context.Background(), key)
+}
+
+// LeaseGetContext is LeaseGet bounded by ctx's deadline. A miss at the
+// incoming owner of a mid-handover segment forwards to the retiring
+// owner before granting a token; a forwarded hit warms the incoming
+// owner with a best-effort lease fill.
+func (c *Cluster) LeaseGetContext(ctx context.Context, key string) (value []byte, token uint64, hit bool, err error) {
+	primary, fallback, err := c.readPlan(key)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	value, _, hit, token, err = c.leaseGetOn(ctx, primary, key)
+	if err != nil || hit {
+		return value, 0, hit, err
+	}
+	if fallback == "" || token == 0 {
+		return nil, token, false, nil
+	}
+	// Miss with a granted token, retiring owner available: forward the
+	// read. On a hit, spend our token warming the incoming owner so the
+	// next reader hits locally; the value we return either way.
+	fv, fflags, fhit, _, ferr := c.getPlainOn(ctx, fallback, key)
+	if ferr != nil || !fhit {
+		return nil, token, false, nil // keep the fill right; caller loads the store
+	}
+	_ = c.leaseSetOn(ctx, primary, key, fv, fflags, token)
+	return fv, 0, true, nil
+}
+
+// LeaseSet stores the value under a token granted by LeaseGet. It routes
+// to the read-plan primary — the node that granted the token.
+func (c *Cluster) LeaseSet(key string, value []byte, token uint64) error {
+	return c.LeaseSetContext(context.Background(), key, value, token)
+}
+
+// LeaseSetContext is LeaseSet bounded by ctx's deadline.
+func (c *Cluster) LeaseSetContext(ctx context.Context, key string, value []byte, token uint64) error {
+	primary, _, err := c.readPlan(key)
+	if err != nil {
+		return err
+	}
+	return c.leaseSetOn(ctx, primary, key, value, 0, token)
+}
+
+// leaseGetOn issues one lget on node.
+func (c *Cluster) leaseGetOn(ctx context.Context, node, key string) (value []byte, flags uint32, hit bool, token uint64, err error) {
+	err = c.withConnCtx(ctx, node, func(conn *poolConn) error {
+		if err := conn.write(memproto.FormatLeaseGet(key)); err != nil {
+			return err
+		}
+		var err error
+		value, flags, hit, token, err = conn.reply.ReadLeaseGet()
+		return err
+	})
+	return value, flags, hit, token, err
+}
+
+// getPlainOn issues one plain get on node (used for miss forwarding).
+func (c *Cluster) getPlainOn(ctx context.Context, node, key string) (value []byte, flags uint32, hit bool, token uint64, err error) {
+	err = c.withConnCtx(ctx, node, func(conn *poolConn) error {
+		if err := conn.write(memproto.FormatGet([]string{key})); err != nil {
+			return err
+		}
+		return conn.reply.ReadValuesFunc(func(k string, f uint32, v []byte, _ uint64) error {
+			value = append(make([]byte, 0, len(v)), v...)
+			flags = f
+			hit = true
+			return nil
+		})
+	})
+	return value, flags, hit, 0, err
+}
+
+// leaseSetOn issues one lset on node, mapping NOT_STORED to
+// ErrLeaseRejected.
+func (c *Cluster) leaseSetOn(ctx context.Context, node, key string, value []byte, flags uint32, token uint64) error {
+	return c.withConnCtx(ctx, node, func(conn *poolConn) error {
+		if err := conn.write(memproto.FormatLeaseSet(key, flags, 0, value, token, false)); err != nil {
+			return err
+		}
+		line, err := conn.reply.ReadSimple()
+		if err != nil {
+			return err
+		}
+		switch line {
+		case "STORED":
+			return nil
+		case "NOT_STORED":
+			return fmt.Errorf("lset %q: %w", key, ErrLeaseRejected)
+		default:
+			return fmt.Errorf("client: lset %q: unexpected reply %q", key, line)
+		}
+	})
+}

@@ -112,15 +112,19 @@ func StartLocal(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.master = master
-	if c.cfg.HotKeys != nil {
-		c.mu.Lock()
-		nodes := make([]*node, 0, len(c.nodes))
-		for _, n := range c.nodes {
-			nodes = append(nodes, n)
-		}
-		c.mu.Unlock()
-		sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
-		for _, n := range nodes {
+	c.mu.Lock()
+	nodes := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+	for _, n := range nodes {
+		// Servers gate lease fills into the gutter and agents gate stale
+		// imports off the per-segment ownership table.
+		master.SubscribeOwnership(n.server)
+		master.SubscribeOwnership(n.agent)
+		if c.cfg.HotKeys != nil {
 			master.Subscribe(n.hot)
 		}
 	}
@@ -158,6 +162,12 @@ func (c *Cluster) startNode() (*node, error) {
 	}
 	c.book.Register(name, rpc.Addr())
 	n := &node{name: name, cache: cc, agent: ag, server: srv, rpc: rpc}
+	if c.master != nil {
+		// Scale-out path: the initial StartLocal loop runs before the
+		// Master exists and subscribes there instead.
+		c.master.SubscribeOwnership(n.server)
+		c.master.SubscribeOwnership(n.agent)
+	}
 	if c.cfg.HotKeys != nil {
 		n.pusher = hotkey.NewNetPusher(0, 0)
 		n.hot = hotkey.New(name, cc, n.pusher, *c.cfg.HotKeys)

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -86,6 +87,9 @@ type Result struct {
 	// HotStaged counts the hot-key promotions staged before the action —
 	// replicated state the migration ran against.
 	HotStaged int
+	// LiveWrites counts the live-stage keys written at phase hooks — the
+	// client traffic interleaved with the action.
+	LiveWrites int
 	// EventLog is the canonical faultnet fingerprint (empty for gold runs).
 	EventLog string
 	// StateHash digests (membership, every resident item) after the run.
@@ -223,6 +227,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// The live stage interleaves deterministic client-style traffic with
+	// the migration at the Master's phase hooks (see live.go).
+	live := newLiveStage(caches, base)
 	dir := faultnet.WrapDirectory(netw, "master", core.RegistryDirectory{Registry: reg})
 	m, err := core.NewMaster(dir, names,
 		core.WithClock(clock),
@@ -230,6 +237,7 @@ func Run(cfg Config) (*Result, error) {
 		core.WithRetry(taskgroup.Backoff{
 			Attempts: 6, Delay: 200 * time.Microsecond, MaxDelay: time.Millisecond, Factor: 2,
 		}),
+		core.WithPhaseHook(live.hook),
 	)
 	if err != nil {
 		return nil, err
@@ -240,6 +248,17 @@ func Run(cfg Config) (*Result, error) {
 	for _, name := range hot.nodeNames() {
 		m.Subscribe(hot.reps[name])
 	}
+	// Ownership announcements gate stale imports on the agents and feed the
+	// live stage's routing. Sorted order keeps delivery deterministic.
+	agentNames := make([]string, 0, len(agents))
+	for name := range agents {
+		agentNames = append(agentNames, name)
+	}
+	sort.Strings(agentNames)
+	for _, name := range agentNames {
+		m.SubscribeOwnership(agents[name])
+	}
+	m.SubscribeOwnership(live)
 
 	netw.SetEnabled(cfg.Faults)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -273,6 +292,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res.HotStaged = hot.staged()
+	res.LiveWrites = len(live.order)
 	rc := &runCtx{
 		direction: res.Direction,
 		victim:    victim,
@@ -285,6 +305,7 @@ func Run(cfg Config) (*Result, error) {
 		master:    m,
 		runErr:    runErr,
 		hot:       hot,
+		live:      live,
 	}
 	res.Violations = runChecks(rc)
 	res.StateHash = stateHash(caches, m.Members())

@@ -25,6 +25,27 @@ func TestGoldRunIsFaultFreeAndClean(t *testing.T) {
 		if res.ItemsMigrated == 0 {
 			t.Fatalf("seed %d: gold run migrated nothing", seed)
 		}
+		if res.LiveWrites == 0 {
+			t.Fatalf("seed %d: live stage wrote nothing — traffic interleaving is vacuous", seed)
+		}
+	}
+}
+
+// TestLiveTrafficSurvivesFaultyRuns: the interleaved live stage must write
+// through the handover under faults and still satisfy the L1 consistency
+// check (last written value on the final owner).
+func TestLiveTrafficSurvivesFaultyRuns(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		res, err := Run(Config{Seed: seed, Faults: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+		if res.Completed && res.LiveWrites == 0 {
+			t.Fatalf("seed %d: completed run wrote no live traffic", seed)
+		}
 	}
 }
 

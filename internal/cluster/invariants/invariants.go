@@ -263,6 +263,7 @@ type runCtx struct {
 	master    *core.Master
 	runErr    error
 	hot       *hotStage
+	live      *liveStage
 }
 
 // runChecks runs every applicable invariant and returns the violations.
@@ -273,8 +274,14 @@ func runChecks(rc *runCtx) []string {
 		v = append(v, checkSelectedSurvive(rc)...)
 		v = append(v, checkImportOrder(rc)...)
 		v = append(v, checkRing(rc)...)
+		v = append(v, checkLive(rc)...)
 	} else {
 		v = append(v, checkAbortSafety(rc)...)
+		if rc.live != nil {
+			// Final-owner placement is meaningless after an abort, but the
+			// mid-run read-plan assertions that did fire still count.
+			v = append(v, rc.live.violations...)
+		}
 	}
 	v = append(v, checkHotKeys(rc)...)
 	return v

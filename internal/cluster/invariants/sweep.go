@@ -16,6 +16,8 @@ type SeedReport struct {
 	Retries   int
 	// HotStaged counts the hot-key promotions live during the action.
 	HotStaged int
+	// LiveWrites counts the interleaved live-traffic keys written.
+	LiveWrites int
 	// Violations merges the in-run invariant breaches with the cross-run
 	// determinism and I3 findings. Empty means the seed is clean.
 	Violations []string
@@ -50,6 +52,7 @@ func CheckSeed(seed int64, nodes, items int) (*SeedReport, error) {
 		Migrated:   r1.ItemsMigrated,
 		Retries:    r1.Retries,
 		HotStaged:  r1.HotStaged,
+		LiveWrites: r1.LiveWrites,
 		Violations: append([]string(nil), r1.Violations...),
 	}
 	if r1.EventLog != r2.EventLog {
@@ -102,8 +105,8 @@ func Sweep(base int64, count, nodes, items int, logf func(format string, args ..
 			clean = false
 			status = fmt.Sprintf("VIOLATED(%d)", len(rep.Violations))
 		}
-		logf("seed %-4d dir=%-3s injected=%-4d migrated=%-4d retries=%-3d hot=%-2d %s",
-			seed, rep.Direction, rep.Injected, rep.Migrated, rep.Retries, rep.HotStaged, status)
+		logf("seed %-4d dir=%-3s injected=%-4d migrated=%-4d retries=%-3d hot=%-2d live=%-2d %s",
+			seed, rep.Direction, rep.Injected, rep.Migrated, rep.Retries, rep.HotStaged, rep.LiveWrites, status)
 		for _, viol := range rep.Violations {
 			logf("  seed %d: %s", seed, viol)
 		}

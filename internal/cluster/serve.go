@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// ServeOptions parameterizes RunServeThrough, the serve-through scaling
+// experiment: concurrent read-through traffic (miss → simulated backing
+// store → fill) driven across a live ScaleIn and ScaleOut, with the fill
+// path either lease-protected (LeaseGet/LeaseSet) or plain (Get/Set).
+type ServeOptions struct {
+	// Nodes is the starting tier size (default 4).
+	Nodes int
+	// Workers is the concurrent client goroutine count (default 8).
+	Workers int
+	// Ops is the total measured read count across workers (default 12000).
+	// Workers keep serving past their quota until both scaling actions
+	// finish, so every run interleaves traffic with the handovers.
+	Ops int
+	// Keys is the keyspace size; the cache starts cold so first touches
+	// miss through to the backing store (default 2048).
+	Keys uint64
+	// Theta is the Zipf skew (default 1.2 — hot head, concurrent misses).
+	Theta float64
+	// ValueSize is the fill value size in bytes (default 64).
+	ValueSize int
+	// DBLatency is the simulated backing-store fetch time (default 2ms).
+	DBLatency time.Duration
+	// Seed seeds the per-worker workload generators (default 1).
+	Seed int64
+	// InvalidateTop is how many of the hottest ranks a background
+	// invalidator deletes every InvalidateEvery, re-arming the miss storm
+	// the lease protocol exists to absorb (default 8).
+	InvalidateTop int
+	// InvalidateEvery is the invalidation cadence (default 10ms; negative
+	// disables the invalidator).
+	InvalidateEvery time.Duration
+	// Leases selects the lease-protected fill path.
+	Leases bool
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Ops <= 0 {
+		o.Ops = 12000
+	}
+	if o.Keys == 0 {
+		o.Keys = 2048
+	}
+	if o.Theta == 0 {
+		o.Theta = 1.2
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 64
+	}
+	if o.DBLatency == 0 {
+		o.DBLatency = 2 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.InvalidateTop <= 0 {
+		o.InvalidateTop = 8
+	}
+	if o.InvalidateEvery == 0 {
+		o.InvalidateEvery = 10 * time.Millisecond
+	}
+	return o
+}
+
+// ServeReport is one RunServeThrough measurement.
+type ServeReport struct {
+	// Leases records which fill path ran.
+	Leases bool
+	// Ops is the measured read count; Errors counts reads that failed even
+	// after a retry (transient dial races during the membership flip).
+	Ops    int
+	Errors int
+	// DBLoads is the backing-store fetch count — the number the lease
+	// protocol exists to bound.
+	DBLoads int64
+	// P50/P99 are client-observed read-through latencies (including the
+	// simulated store fetch on misses).
+	P50, P99 time.Duration
+	// ScaleInDur/ScaleOutDur time the two live scaling actions.
+	ScaleInDur, ScaleOutDur time.Duration
+	// Lease/gutter activity aggregated over the final members' wire stats.
+	LeaseGranted, LeaseFilled, GutterFills uint64
+	// OwnershipVersion is the final table version after both handovers.
+	OwnershipVersion uint64
+}
+
+// RunServeThrough boots a cluster cold, drives concurrent Zipf read-through
+// traffic, and scales the tier in then out while the traffic runs. Misses
+// fetch from a simulated backing store (DBLatency sleep + counter) and fill
+// the cache; with Leases the fill is token-gated so a miss storm on a hot
+// key costs one store fetch instead of one per racer.
+func RunServeThrough(opts ServeOptions) (*ServeReport, error) {
+	opts = opts.withDefaults()
+	c, err := StartLocal(Config{Nodes: opts.Nodes})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	cl := c.Client()
+
+	value := make([]byte, opts.ValueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	var dbLoads atomic.Int64
+	dbFetch := func() []byte {
+		time.Sleep(opts.DBLatency)
+		dbLoads.Add(1)
+		return value
+	}
+
+	var (
+		scaleDone atomic.Bool
+		errCount  atomic.Int64
+		latMu     sync.Mutex
+		lat       []time.Duration
+	)
+
+	// One read-through op; returns the op's latency. Transient errors
+	// (membership-flip dial races) get one retry before counting.
+	readThrough := func(key string) time.Duration {
+		start := time.Now()
+		for attempt := 0; ; attempt++ {
+			var err error
+			if opts.Leases {
+				err = leaseReadThrough(cl, key, opts.DBLatency, dbFetch)
+			} else {
+				err = plainReadThrough(cl, key, dbFetch)
+			}
+			if err == nil {
+				break
+			}
+			if attempt >= 1 {
+				errCount.Add(1)
+				break
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Invalidator: deleting the hottest keys on a cadence re-arms the miss
+	// storm over and over — the thundering-herd pattern leases bound.
+	stopInv := make(chan struct{})
+	var invWG sync.WaitGroup
+	if opts.InvalidateEvery > 0 {
+		invWG.Add(1)
+		go func() {
+			defer invWG.Done()
+			tick := time.NewTicker(opts.InvalidateEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopInv:
+					return
+				case <-tick.C:
+					for rank := 0; rank < opts.InvalidateTop; rank++ {
+						_, _ = cl.Delete(workload.KeyName(uint64(rank)))
+					}
+				}
+			}
+		}()
+	}
+
+	opsPer := opts.Ops / opts.Workers
+	maxPer := opsPer * 4
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			z, zerr := workload.NewZipf(rng, opts.Theta, opts.Keys)
+			if zerr != nil {
+				errCount.Add(1)
+				return
+			}
+			mine := make([]time.Duration, 0, opsPer)
+			for i := 0; i < opsPer || (!scaleDone.Load() && i < maxPer); i++ {
+				mine = append(mine, readThrough(workload.KeyName(z.Next())))
+			}
+			latMu.Lock()
+			lat = append(lat, mine...)
+			latMu.Unlock()
+		}(w)
+	}
+
+	// Scale the tier in then out while the workers hammer it.
+	ctx := context.Background()
+	time.Sleep(50 * time.Millisecond) // let traffic ramp before the handover
+	t0 := time.Now()
+	_, inErr := c.ScaleIn(ctx, 1)
+	inDur := time.Since(t0)
+	t1 := time.Now()
+	_, outErr := c.ScaleOut(ctx, 1)
+	outDur := time.Since(t1)
+	scaleDone.Store(true)
+	wg.Wait()
+	close(stopInv)
+	invWG.Wait()
+	if inErr != nil {
+		return nil, fmt.Errorf("scale-in under load: %w", inErr)
+	}
+	if outErr != nil {
+		return nil, fmt.Errorf("scale-out under load: %w", outErr)
+	}
+
+	rep := &ServeReport{
+		Leases:      opts.Leases,
+		Ops:         len(lat),
+		Errors:      int(errCount.Load()),
+		DBLoads:     dbLoads.Load(),
+		ScaleInDur:  inDur,
+		ScaleOutDur: outDur,
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		rep.P50 = lat[len(lat)/2]
+		rep.P99 = lat[len(lat)*99/100]
+	}
+	if stats, err := cl.StatsAll(); err == nil {
+		for _, st := range stats {
+			rep.LeaseGranted += parseU64(st["lease_granted"])
+			rep.LeaseFilled += parseU64(st["lease_filled"])
+			rep.GutterFills += parseU64(st["gutter_fills"])
+			if v := parseU64(st["ownership_version"]); v > rep.OwnershipVersion {
+				rep.OwnershipVersion = v
+			}
+		}
+	}
+	return rep, nil
+}
+
+// leaseReadThrough is the lease-protected fill path: a miss that wins the
+// token fetches and fills; a miss that loses it (token 0: some other racer
+// holds the lease) backs off and re-reads instead of hammering the store.
+func leaseReadThrough(cl serveClient, key string, dbLatency time.Duration, dbFetch func() []byte) error {
+	for attempt := 0; ; attempt++ {
+		_, token, hit, err := cl.LeaseGet(key)
+		if err != nil {
+			return err
+		}
+		if hit {
+			return nil
+		}
+		if token == 0 {
+			if attempt < 8 {
+				time.Sleep(dbLatency / 2)
+				continue
+			}
+			// The fill never landed (holder crashed or its write was
+			// invalidated): load ourselves without a token.
+			v := dbFetch()
+			return cl.Set(key, v)
+		}
+		v := dbFetch()
+		// A rejected fill means someone beat us or a write invalidated the
+		// lease — the value is either there or fresher, so not an error.
+		_ = cl.LeaseSet(key, v, token)
+		return nil
+	}
+}
+
+// plainReadThrough is the unprotected baseline: every miss fetches.
+func plainReadThrough(cl serveClient, key string, dbFetch func() []byte) error {
+	_, ok, err := cl.Get(key)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	v := dbFetch()
+	return cl.Set(key, v)
+}
+
+// serveClient is the client surface the serve-through workers need.
+type serveClient interface {
+	Get(key string) ([]byte, bool, error)
+	Set(key string, value []byte) error
+	LeaseGet(key string) (value []byte, token uint64, hit bool, err error)
+	LeaseSet(key string, value []byte, token uint64) error
+}
+
+func parseU64(s string) uint64 {
+	v, _ := strconv.ParseUint(s, 10, 64)
+	return v
+}
+
+// RenderServe runs the paired leases-off/on measurement and writes the
+// comparison table.
+func RenderServe(w io.Writer, opts ServeOptions) error {
+	opts = opts.withDefaults()
+	opts.Leases = false
+	off, err := RunServeThrough(opts)
+	if err != nil {
+		return err
+	}
+	on := opts
+	on.Leases = true
+	onRep, err := RunServeThrough(on)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "nodes=%d workers=%d keys=%d theta=%.2f db-latency=%s\n",
+		opts.Nodes, opts.Workers, opts.Keys, opts.Theta, opts.DBLatency)
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "", "leases=off", "leases=on")
+	fmt.Fprintf(w, "%-18s %14d %14d\n", "ops", off.Ops, onRep.Ops)
+	fmt.Fprintf(w, "%-18s %14d %14d\n", "db-loads", off.DBLoads, onRep.DBLoads)
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "p50", off.P50.Round(time.Microsecond), onRep.P50.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "p99", off.P99.Round(time.Microsecond), onRep.P99.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-18s %14d %14d\n", "errors", off.Errors, onRep.Errors)
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "scale-in", off.ScaleInDur.Round(time.Millisecond), onRep.ScaleInDur.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "scale-out", off.ScaleOutDur.Round(time.Millisecond), onRep.ScaleOutDur.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-18s %14d %14d\n", "lease-granted", off.LeaseGranted, onRep.LeaseGranted)
+	fmt.Fprintf(w, "%-18s %14d %14d\n", "lease-filled", off.LeaseFilled, onRep.LeaseFilled)
+	fmt.Fprintf(w, "%-18s %14d %14d\n", "gutter-fills", off.GutterFills, onRep.GutterFills)
+	fmt.Fprintf(w, "%-18s %14d %14d\n", "ownership-version", off.OwnershipVersion, onRep.OwnershipVersion)
+	if onRep.DBLoads > 0 {
+		fmt.Fprintf(w, "%-18s %29.2fx\n", "db-load-reduction", float64(off.DBLoads)/float64(onRep.DBLoads))
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/hashring"
 	"repro/internal/taskgroup"
 )
 
@@ -173,6 +174,12 @@ type ScaleReport struct {
 	// Aborted names the phase that terminated the action early, "" when
 	// the action completed.
 	Aborted string
+	// Segments counts the ownership segments that went in-flight for the
+	// handover; HandoverWaves how many commit waves flipped them; and
+	// OwnershipVersion the settled table's version after the action.
+	Segments         int
+	HandoverWaves    int
+	OwnershipVersion uint64
 }
 
 // DefaultWorkerLimit bounds per-phase concurrent agent operations unless
@@ -190,10 +197,14 @@ type Master struct {
 	workers      int
 	retry        taskgroup.Backoff
 	phaseTimeout time.Duration
+	waves        int
+	phaseHook    func(phase string)
 
-	mu        sync.Mutex
-	members   []string
-	listeners []MembershipListener
+	mu           sync.Mutex
+	members      []string
+	listeners    []MembershipListener
+	table        *hashring.Table
+	ownListeners []OwnershipListener
 }
 
 // Option configures a Master.
@@ -207,6 +218,9 @@ type masterOptions struct {
 	workers      int
 	retry        taskgroup.Backoff
 	phaseTimeout time.Duration
+	waves        int
+	ringReplicas int
+	phaseHook    func(phase string)
 }
 
 type clockOption struct{ now func() time.Time }
@@ -262,9 +276,11 @@ func NewMaster(dir Directory, members []string, opts ...Option) (*Master, error)
 		return nil, fmt.Errorf("%w: empty initial membership", ErrBadScale)
 	}
 	o := masterOptions{
-		now:     time.Now,
-		workers: DefaultWorkerLimit,
-		retry:   taskgroup.Backoff{Attempts: 3, Delay: 10 * time.Millisecond},
+		now:          time.Now,
+		workers:      DefaultWorkerLimit,
+		retry:        taskgroup.Backoff{Attempts: 3, Delay: 10 * time.Millisecond},
+		waves:        DefaultHandoverWaves,
+		ringReplicas: hashring.DefaultReplicas,
 	}
 	for _, opt := range opts {
 		opt.apply(&o)
@@ -279,9 +295,16 @@ func NewMaster(dir Directory, members []string, opts ...Option) (*Master, error)
 		workers:      o.workers,
 		retry:        o.retry,
 		phaseTimeout: o.phaseTimeout,
+		waves:        o.waves,
+		phaseHook:    o.phaseHook,
 	}
 	m.members = append(m.members, members...)
 	sort.Strings(m.members)
+	table, err := hashring.NewTable(m.members, hashring.WithTableReplicas(o.ringReplicas))
+	if err != nil {
+		return nil, fmt.Errorf("core: ownership table: %w", err)
+	}
+	m.table = table
 	return m, nil
 }
 
@@ -295,14 +318,24 @@ func (m *Master) Members() []string {
 }
 
 // Subscribe registers a membership listener and immediately delivers the
-// current membership.
+// current membership. A listener that also implements OwnershipListener
+// is additionally subscribed to ownership-table announcements.
 func (m *Master) Subscribe(l MembershipListener) {
 	m.mu.Lock()
 	m.listeners = append(m.listeners, l)
 	members := make([]string, len(m.members))
 	copy(members, m.members)
+	t := m.table
+	var ol OwnershipListener
+	if o, ok := l.(OwnershipListener); ok {
+		m.ownListeners = append(m.ownListeners, o)
+		ol = o
+	}
 	m.mu.Unlock()
 	l.MembershipChanged(members)
+	if ol != nil {
+		ol.OwnershipChanged(t)
+	}
 }
 
 // ScoreNodes queries every member's Agent concurrently and returns scores
@@ -479,6 +512,17 @@ func (m *Master) ScaleInNodes(ctx context.Context, retiring []string) (*ScaleRep
 
 	report := &ScaleReport{Direction: "in", Retiring: retiring}
 
+	// Serve-through handover: announce the in-flight table before any data
+	// moves. From here until settle, clients on the moving segments read
+	// incoming-first with fallback and dual-apply writes; any phase failure
+	// rolls the table back in one announced version bump.
+	moving, err := m.beginHandover(retained)
+	if err != nil {
+		return report, err
+	}
+	report.Segments = len(moving)
+	m.callHook("prepare")
+
 	// Phase 1: metadata transfer, concurrent across retiring nodes.
 	ops := make([]phaseOp, len(retiring))
 	for i, node := range retiring {
@@ -492,8 +536,10 @@ func (m *Master) ScaleInNodes(ctx context.Context, retiring []string) (*ScaleRep
 		}}
 	}
 	if err := m.runPhase(ctx, "metadata", report, ops); err != nil {
+		m.rollbackHandover()
 		return report, err
 	}
+	m.callHook("metadata")
 
 	// Phase 2: FuseCache, concurrent across retained targets. Each target
 	// reports how many head items every sender should ship to it.
@@ -518,8 +564,10 @@ func (m *Master) ScaleInNodes(ctx context.Context, retiring []string) (*ScaleRep
 		}}
 	}
 	if err := m.runPhase(ctx, "fusecache", report, ops); err != nil {
+		m.rollbackHandover()
 		return report, err
 	}
+	m.callHook("fusecache")
 
 	// Aggregate take counts: retiring node → target → class → count.
 	perRetiring := make(map[string]map[string]map[int]int)
@@ -563,7 +611,7 @@ func (m *Master) ScaleInNodes(ctx context.Context, retiring []string) (*ScaleRep
 			return err
 		}}
 	}
-	err := m.runPhase(ctx, "data", report, pairs)
+	err = m.runPhase(ctx, "data", report, pairs)
 	for i, sp := range specs {
 		st := sent[i]
 		report.ItemsMigrated += st.Pairs
@@ -575,10 +623,25 @@ func (m *Master) ScaleInNodes(ctx context.Context, retiring []string) (*ScaleRep
 		})
 	}
 	if err != nil {
+		m.rollbackHandover()
 		return report, err
 	}
+	m.callHook("data")
 
-	// Membership flip, then shut the retiring nodes down.
+	// Commit the moving segments wave by wave, settle the table, then run
+	// the legacy membership flip and shut the retiring nodes down.
+	t5 := m.now()
+	waves, err := m.commitAndSettle(moving)
+	report.HandoverWaves = waves
+	if err != nil {
+		m.rollbackHandover()
+		report.Aborted = "handover"
+		return report, err
+	}
+	report.OwnershipVersion = m.OwnershipTable().Version()
+	report.Timings = append(report.Timings, PhaseTiming{Phase: "handover", Duration: m.now().Sub(t5)})
+	m.callHook("handover")
+
 	t4 := m.now()
 	m.setMembers(retained)
 	report.Members = append([]string(nil), retained...)
@@ -621,6 +684,15 @@ func (m *Master) ScaleOut(ctx context.Context, newNodes []string) (*ScaleReport,
 
 	report := &ScaleReport{Direction: "out", Added: newNodes}
 
+	// Serve-through handover toward the full membership: the newcomers'
+	// segments go in-flight before any data moves.
+	moving, err := m.beginHandover(full)
+	if err != nil {
+		return report, err
+	}
+	report.Segments = len(moving)
+	m.callHook("prepare")
+
 	// Hash split, concurrent across existing members.
 	ops := make([]phaseOp, len(members))
 	sent := make([]agent.SendStats, len(members))
@@ -636,7 +708,7 @@ func (m *Master) ScaleOut(ctx context.Context, newNodes []string) (*ScaleReport,
 			return err
 		}}
 	}
-	err := m.runPhase(ctx, "hashsplit", report, ops)
+	err = m.runPhase(ctx, "hashsplit", report, ops)
 	for i, node := range members {
 		st := sent[i]
 		report.ItemsMigrated += st.Pairs
@@ -648,8 +720,22 @@ func (m *Master) ScaleOut(ctx context.Context, newNodes []string) (*ScaleReport,
 		})
 	}
 	if err != nil {
+		m.rollbackHandover()
 		return report, err
 	}
+	m.callHook("hashsplit")
+
+	t3 := m.now()
+	waves, err := m.commitAndSettle(moving)
+	report.HandoverWaves = waves
+	if err != nil {
+		m.rollbackHandover()
+		report.Aborted = "handover"
+		return report, err
+	}
+	report.OwnershipVersion = m.OwnershipTable().Version()
+	report.Timings = append(report.Timings, PhaseTiming{Phase: "handover", Duration: m.now().Sub(t3)})
+	m.callHook("handover")
 
 	t2 := m.now()
 	m.setMembers(full)

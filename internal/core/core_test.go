@@ -233,7 +233,7 @@ func TestScaleInMigratesAndFlipsMembership(t *testing.T) {
 	}
 
 	// Phase timings recorded in order.
-	wantPhases := []string{"score", "metadata", "fusecache", "data", "membership"}
+	wantPhases := []string{"score", "metadata", "fusecache", "data", "handover", "membership"}
 	if len(report.Timings) != len(wantPhases) {
 		t.Fatalf("timings = %v", report.Timings)
 	}

@@ -147,7 +147,7 @@ func TestOverheadSmall(t *testing.T) {
 	if res.ItemsMigrated == 0 {
 		t.Fatal("nothing migrated")
 	}
-	wantPhases := []string{"score", "metadata", "fusecache", "data", "membership"}
+	wantPhases := []string{"score", "metadata", "fusecache", "data", "handover", "membership"}
 	if len(res.Timings) != len(wantPhases) {
 		t.Fatalf("timings = %v", res.Timings)
 	}

@@ -39,10 +39,12 @@ const (
 	CmdFlushAll
 	CmdVersion
 	CmdQuit
-	CmdHotKeys // hot-key table poll
-	CmdHKPut   // home→replica value push (storage-shaped)
-	CmdHKDel   // home→replica invalidation
-	CmdHKTouch // home→replica TTL refresh
+	CmdHotKeys  // hot-key table poll
+	CmdHKPut    // home→replica value push (storage-shaped)
+	CmdHKDel    // home→replica invalidation
+	CmdHKTouch  // home→replica TTL refresh
+	CmdLeaseGet // lease get: a miss hands out a fill token
+	CmdLeaseSet // lease set: a fill accepted only with a valid token
 )
 
 // Protocol limits mirroring memcached's.
@@ -192,6 +194,13 @@ func (p *Parser) Next() (*Request, error) {
 		return p.parseDelete(args, CmdHKDel)
 	case "hktouch":
 		return p.parseTouch(args, CmdHKTouch)
+	case "lget":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: lget requires exactly one key", ErrProtocol)
+		}
+		return p.parseGet(args, CmdLeaseGet)
+	case "lset":
+		return p.parseStore(args, CmdLeaseSet)
 	case "stats":
 		req.Command = CmdStats
 		return req, nil
@@ -312,13 +321,14 @@ func (p *Parser) parseGet(args [][]byte, cmd Command) (*Request, error) {
 //
 //	set|add|replace|append|prepend <key> <flags> <exptime> <bytes> [noreply]
 //	cas <key> <flags> <exptime> <bytes> <casid> [noreply]
+//	lset <key> <flags> <exptime> <bytes> <token> [noreply]
 //
 // Every line field is validated before the data block is read, so a bad
 // command line with a parseable byte count can skip its body and recover.
 func (p *Parser) parseStore(args [][]byte, cmd Command) (*Request, error) {
 	fixed := 4 // key flags exptime bytes
-	if cmd == CmdCas {
-		fixed = 5 // + casid
+	if cmd == CmdCas || cmd == CmdLeaseSet {
+		fixed = 5 // + casid (cas) or lease token (lset)
 	}
 	if len(args) < fixed || len(args) > fixed+1 {
 		return nil, fmt.Errorf("%w: storage command requires %d or %d arguments", ErrProtocol, fixed, fixed+1)
@@ -361,7 +371,7 @@ func (p *Parser) parseStore(args [][]byte, cmd Command) (*Request, error) {
 		return fail(fmt.Errorf("%w: bad exptime", ErrProtocol))
 	}
 	var casID uint64
-	if cmd == CmdCas {
+	if cmd == CmdCas || cmd == CmdLeaseSet {
 		casID, ok = parseUint64(args[4])
 		if !ok {
 			return fail(fmt.Errorf("%w: bad cas token", ErrProtocol))

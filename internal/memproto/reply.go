@@ -149,6 +149,58 @@ func parseValueLine(line string) (key string, flags uint32, size int, casToken u
 	return key, flags, size, casToken, nil
 }
 
+// ReadLeaseGet consumes an lget response: either one VALUE block followed
+// by END (a hit), or a "LEASE <token>" line followed by END (a miss with
+// a fill token; token 0 means another client already holds the lease —
+// back off and retry). The returned value is a copy.
+func (rr *ReplyReader) ReadLeaseGet() (value []byte, flags uint32, hit bool, token uint64, err error) {
+	line, err := rr.readLine()
+	if err != nil {
+		return nil, 0, false, 0, err
+	}
+	if rest, ok := strings.CutPrefix(line, "LEASE "); ok {
+		token, err = strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return nil, 0, false, 0, fmt.Errorf("%w: bad LEASE token %q", ErrProtocol, line)
+		}
+		end, err := rr.readLine()
+		if err != nil {
+			return nil, 0, false, 0, err
+		}
+		if end != "END" {
+			return nil, 0, false, 0, fmt.Errorf("%w: expected END after LEASE, got %q", ErrProtocol, end)
+		}
+		return nil, 0, false, token, nil
+	}
+	if err := errorFromLine(line); err != nil {
+		return nil, 0, false, 0, err
+	}
+	_, flags, size, _, err := parseValueLine(line)
+	if err != nil {
+		return nil, 0, false, 0, err
+	}
+	need := size + 2
+	if cap(rr.val) < need {
+		rr.val = make([]byte, need)
+	}
+	body := rr.val[:need]
+	if _, err := io.ReadFull(rr.r, body); err != nil {
+		return nil, 0, false, 0, fmt.Errorf("%w: short value: %v", ErrProtocol, err)
+	}
+	if !bytes.Equal(body[size:], []byte("\r\n")) {
+		return nil, 0, false, 0, fmt.Errorf("%w: bad value terminator", ErrProtocol)
+	}
+	value = append(make([]byte, 0, size), body[:size]...)
+	end, err := rr.readLine()
+	if err != nil {
+		return nil, 0, false, 0, err
+	}
+	if end != "END" {
+		return nil, 0, false, 0, fmt.Errorf("%w: expected END after VALUE, got %q", ErrProtocol, end)
+	}
+	return value, flags, true, 0, nil
+}
+
 // ReadSimple consumes a one-line response (STORED, DELETED, NOT_FOUND,
 // OK, TOUCHED, VERSION …) and returns it.
 func (rr *ReplyReader) ReadSimple() (string, error) {
@@ -280,6 +332,35 @@ func FormatSet(key string, flags uint32, exptime int64, value []byte, noreply bo
 	b.WriteString(strconv.FormatInt(exptime, 10))
 	b.WriteByte(' ')
 	b.WriteString(strconv.Itoa(len(value)))
+	if noreply {
+		b.WriteString(" noreply")
+	}
+	b.WriteString("\r\n")
+	b.Write(value)
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// FormatLeaseGet renders an lget request line.
+func FormatLeaseGet(key string) []byte {
+	return []byte("lget " + key + "\r\n")
+}
+
+// FormatLeaseSet renders an lset request header + payload: a fill gated
+// by the lease token handed out by the miss.
+func FormatLeaseSet(key string, flags uint32, exptime int64, value []byte, token uint64, noreply bool) []byte {
+	var b bytes.Buffer
+	b.Grow(len(key) + len(value) + 64)
+	b.WriteString("lset ")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(uint64(flags), 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(exptime, 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(len(value)))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(token, 10))
 	if noreply {
 		b.WriteString(" noreply")
 	}

@@ -75,6 +75,16 @@ func (rw *ReplyWriter) ValueCAS(key []byte, flags uint32, value []byte, casToken
 	return err
 }
 
+// Lease writes the miss arm of an lget response: a fill token the client
+// must present on its lset. Token 0 tells the client another fill is
+// already outstanding. The caller terminates the response with End.
+func (rw *ReplyWriter) Lease(token uint64) error {
+	_, _ = rw.w.WriteString("LEASE ")
+	rw.writeUint(token)
+	_, err := rw.w.WriteString("\r\n")
+	return err
+}
+
 // Number reports an incr/decr result.
 func (rw *ReplyWriter) Number(v uint64) error {
 	rw.writeUint(v)

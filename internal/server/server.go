@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/hashring"
 	"repro/internal/hotkey"
 	"repro/internal/memproto"
 )
@@ -34,6 +35,25 @@ type Server struct {
 	// node's name is its bound address) while connections may already be
 	// serving.
 	hot atomic.Pointer[hotkey.Replicator]
+
+	// ownership is the latest per-segment ownership table announced by the
+	// master, nil until the node joins a cluster. Lease fills consult it to
+	// divert mid-handover segments into the gutter pool.
+	ownership atomic.Pointer[hashring.Table]
+
+	// leases and gutter serve the lget/lset protocol. leaseCount and
+	// gutterCount shadow their sizes so the get/set hot path can gate all
+	// lease work behind one atomic load (zero when the feature is idle).
+	leases      *leaseTable
+	gutter      *gutterPool
+	leaseCount  atomic.Int64
+	gutterCount atomic.Int64
+
+	leaseGranted  atomic.Uint64
+	leaseFilled   atomic.Uint64
+	leaseRejected atomic.Uint64
+	gutterHits    atomic.Uint64
+	gutterFills   atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -89,6 +109,29 @@ func (s *Server) SetHotKeys(rep *hotkey.Replicator) { s.hot.Store(rep) }
 // HotKeys returns the installed replicator, nil when detection is off.
 func (s *Server) HotKeys() *hotkey.Replicator { return s.hot.Load() }
 
+// OwnershipChanged installs a newer per-segment ownership table,
+// implementing core.OwnershipListener. Stale announcements (version at or
+// below the installed one) are ignored so delivery order across listeners
+// cannot regress routing.
+func (s *Server) OwnershipChanged(t *hashring.Table) {
+	if t == nil {
+		return
+	}
+	for {
+		cur := s.ownership.Load()
+		if cur != nil && cur.Version() >= t.Version() {
+			return
+		}
+		if s.ownership.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// OwnershipTable returns the installed ownership table, nil before the
+// first announcement.
+func (s *Server) OwnershipTable() *hashring.Table { return s.ownership.Load() }
+
 // Listen starts serving the cache on addr ("127.0.0.1:0" picks a free
 // port). The caller must Close the server to stop it and join its
 // goroutines.
@@ -111,6 +154,8 @@ func Listen(addr string, c *cache.Cache, opts ...Option) (*Server, error) {
 		conns:       make(map[net.Conn]struct{}),
 		stopCrawler: make(chan struct{}),
 	}
+	s.leases = newLeaseTable(defaultLeaseTTL, defaultLeaseMax, nil, &s.leaseCount)
+	s.gutter = newGutterPool(defaultGutterTTL, defaultGutterItems, defaultGutterBytes, nil, &s.gutterCount)
 	if o.hot != nil {
 		s.hot.Store(o.hot)
 	}
@@ -346,6 +391,13 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 			var flags uint32
 			var hit bool
 			st.val, flags, _, hit = s.cache.GetInto(key, st.val[:0])
+			if !hit && s.gutterCount.Load() != 0 {
+				// Miss on a possibly mid-handover segment: the gutter pool
+				// may hold a lease fill parked during the handover.
+				if st.val, flags, hit = s.gutter.get(key, st.val[:0]); hit {
+					s.gutterHits.Add(1)
+				}
+			}
 			if hit {
 				if err := rw.Value(key, flags, st.val); err != nil {
 					return err
@@ -412,6 +464,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		return rw.End()
 
 	case memproto.CmdSet:
+		if s.leaseCount.Load() != 0 {
+			s.leases.invalidate(req.Keys[0])
+		}
 		expiry := expiryFromExptime(req.Exptime, time.Now())
 		err := s.cache.SetBytes(req.Keys[0], req.Value, req.Flags, expiry)
 		if hot := s.hot.Load(); hot != nil {
@@ -431,6 +486,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		return rw.Stored()
 
 	case memproto.CmdAdd, memproto.CmdReplace:
+		if s.leaseCount.Load() != 0 {
+			s.leases.invalidate(req.Keys[0])
+		}
 		expiry := expiryFromExptime(req.Exptime, time.Now())
 		var err error
 		if req.Command == memproto.CmdAdd {
@@ -453,6 +511,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		return rw.Stored()
 
 	case memproto.CmdAppend, memproto.CmdPrepend:
+		if s.leaseCount.Load() != 0 {
+			s.leases.invalidate(req.Keys[0])
+		}
 		var err error
 		if req.Command == memproto.CmdAppend {
 			err = s.cache.Append(string(req.Keys[0]), req.Value)
@@ -474,6 +535,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		return rw.Stored()
 
 	case memproto.CmdCas:
+		if s.leaseCount.Load() != 0 {
+			s.leases.invalidate(req.Keys[0])
+		}
 		expiry := expiryFromExptime(req.Exptime, time.Now())
 		err := s.cache.CompareAndSwapFlags(string(req.Keys[0]), req.Value, req.Flags,
 			expiry, req.CAS)
@@ -500,6 +564,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		}
 
 	case memproto.CmdIncr, memproto.CmdDecr:
+		if s.leaseCount.Load() != 0 {
+			s.leases.invalidate(req.Keys[0])
+		}
 		var (
 			v   uint64
 			err error
@@ -527,6 +594,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		}
 
 	case memproto.CmdDelete:
+		if s.leaseCount.Load() != 0 {
+			s.leases.invalidate(req.Keys[0])
+		}
 		err := s.cache.Delete(string(req.Keys[0]))
 		if hot := s.hot.Load(); hot != nil && err == nil {
 			hot.OnDelete(req.Keys[0])
@@ -559,6 +629,77 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 		}
 		return rw.Touched()
 
+	case memproto.CmdLeaseGet:
+		// Lease get: a hit behaves like get; a miss hands out a fill token
+		// (or 0 when another client already holds one) so a miss storm
+		// costs the backing store a single load.
+		key := req.Keys[0]
+		if s.leases == nil {
+			return rw.ServerError("leases unavailable")
+		}
+		if hot := s.hot.Load(); hot != nil {
+			if st.hotOps++; st.hotOps&hot.SampleMask() == 0 {
+				hot.ObserveGet(key)
+			}
+		}
+		var flags uint32
+		var hit bool
+		st.val, flags, _, hit = s.cache.GetInto(key, st.val[:0])
+		if !hit && s.gutterCount.Load() != 0 {
+			if st.val, flags, hit = s.gutter.get(key, st.val[:0]); hit {
+				s.gutterHits.Add(1)
+			}
+		}
+		if hit {
+			if err := rw.Value(key, flags, st.val); err != nil {
+				return err
+			}
+			return rw.End()
+		}
+		token := s.leases.grant(key)
+		if token != 0 {
+			s.leaseGranted.Add(1)
+		}
+		if err := rw.Lease(token); err != nil {
+			return err
+		}
+		return rw.End()
+
+	case memproto.CmdLeaseSet:
+		// Lease fill: only the current token holder may store, and fills
+		// for a segment that is mid-handover park in the gutter pool
+		// instead of the main cache (the migration stream delivers the
+		// authoritative copy).
+		key := req.Keys[0]
+		if s.leases == nil || !s.leases.take(key, req.CAS) {
+			s.leaseRejected.Add(1)
+			if req.NoReply {
+				return nil
+			}
+			return rw.NotStored()
+		}
+		s.leaseFilled.Add(1)
+		if t := s.ownership.Load(); t != nil && t.InFlightHash(hashring.KeyHashBytes(key)) {
+			s.gutter.set(key, req.Value, req.Flags)
+			s.gutterFills.Add(1)
+			if req.NoReply {
+				return nil
+			}
+			return rw.Stored()
+		}
+		expiry := expiryFromExptime(req.Exptime, time.Now())
+		err := s.cache.SetBytes(key, req.Value, req.Flags, expiry)
+		if hot := s.hot.Load(); hot != nil && err == nil {
+			hot.OnWrite(key, req.Value, req.Flags, expiry)
+		}
+		if req.NoReply {
+			return nil
+		}
+		if err != nil {
+			return rw.ServerError(err.Error())
+		}
+		return rw.Stored()
+
 	case memproto.CmdStats:
 		st := s.cache.Stats()
 		s.mu.Lock()
@@ -581,6 +722,15 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 			{"bytes", uint64(st.BytesUsed)},
 			{"total_pages", uint64(st.MaxPages)},
 			{"assigned_pages", uint64(st.AssignedPages)},
+			{"lease_granted", s.leaseGranted.Load()},
+			{"lease_filled", s.leaseFilled.Load()},
+			{"lease_rejected", s.leaseRejected.Load()},
+			{"lease_outstanding", uint64(s.leaseCount.Load())},
+			{"gutter_items", uint64(s.gutterCount.Load())},
+			{"gutter_hits", s.gutterHits.Load()},
+			{"gutter_fills", s.gutterFills.Load()},
+			{"gutter_evictions", gutterEvictions(s.gutter)},
+			{"ownership_version", ownershipVersion(s.ownership.Load())},
 		} {
 			if err := rw.StatUint(p.name, p.value); err != nil {
 				return err
