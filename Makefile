@@ -2,7 +2,7 @@ GO ?= go
 SEEDS ?= 10
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-hot bench-migrate bench-skew bench-serve allocs chaos fuzz check
+.PHONY: build test race vet bench bench-hot bench-migrate bench-skew bench-serve bench-gc allocs chaos fuzz check
 
 ## build: compile every package
 build:
@@ -50,6 +50,14 @@ bench-skew:
 ## bounded p99 through both handovers (see EXPERIMENTS.md)
 bench-serve:
 	$(GO) run ./cmd/elmem-bench -experiment serve
+
+## bench-gc: the arena-vs-pointer GC cost experiment — both engines loaded
+## to 2M resident items, then an identical seeded get/set mix with forced
+## collections; the regression bar is a ≥5× reduction in GC CPU fraction
+## (or total pause) for the arena engine at equal residency, results in
+## BENCH_gc.json (see EXPERIMENTS.md)
+bench-gc:
+	$(GO) run ./cmd/elmem-bench -experiment gc
 
 ## bench-hot: hot-path benchmarks — in-process parse/handle/write cost
 ## (allocs/op must read 0) and loopback pipelining at depth 1/8/64

@@ -28,6 +28,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/debugsrv"
 	"repro/internal/hotkey"
+	"repro/internal/metrics"
 	"repro/internal/server"
 )
 
@@ -138,8 +139,15 @@ func run() error {
 	if *debugAddr != "" {
 		debugsrv.Publish("elmem_migration", func() any { return ag.Counters() })
 		debugsrv.Publish("elmem_cache", func() any {
-			return map[string]any{"items": c.Len(), "memoryMB": *memoryMB}
+			st := c.Stats()
+			return map[string]any{
+				"items":      c.Len(),
+				"memoryMB":   *memoryMB,
+				"arenaBytes": st.ArenaBytes,
+				"slabs":      st.Slabs,
+			}
 		})
+		debugsrv.Publish("elmem_gc", func() any { return metrics.ReadGC() })
 		if rep != nil {
 			debugsrv.Publish("elmem_hotkey", func() any { return rep.Snapshot() })
 		}

@@ -1,0 +1,256 @@
+package cache
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+)
+
+// Arena-backed item storage. The paper's 1 MiB slab pages (Section II-A)
+// are real memory here: the page pool owns a fixed table of lazily
+// allocated 1 MiB []byte arenas, each carved into fixed-size chunks by the
+// slab class it is assigned to, and every cached item lives *entirely
+// inside its chunk* — header, key bytes, and value bytes. No per-item Go
+// object exists, so the GC's mark phase scans O(pages + index slots)
+// instead of O(items): at millions of resident items the difference is the
+// whole latency budget (see DESIGN.md, "Arena-backed slabs", and
+// `make bench-gc`).
+//
+// Items are addressed by a packed itemRef (page index, chunk index)
+// instead of a pointer. MRU lists chain refs through prev/next fields in
+// the chunk header; the per-shard key index maps hash64 → itemRef and
+// compares key bytes directly in the arena.
+//
+// Chunk layout (little-endian, offsets in bytes):
+//
+//	 0  next      uint32   — packed link: MRU forward / free-list link
+//	 4  prev      uint32   — packed link: MRU backward link
+//	 8  cas       uint64   — compare-and-swap token
+//	16  access    int64    — MRU timestamp, unix nanos (nanoNone = zero time)
+//	24  expire    int64    — absolute expiry, unix nanos (nanoNone = never)
+//	32  flags     uint32   — client-opaque flags
+//	36  valueLen  uint32
+//	40  keyLen    uint16
+//	42  classID   uint16
+//	44  (4 bytes reserved, pads the header to 8-byte alignment)
+//	48  key bytes, immediately followed by value bytes
+//
+// The MRU links store refs in a packed 32-bit form — (page+1) in the high
+// 18 bits, chunk index in the low 14 — rather than the full 64-bit itemRef.
+// A chunk index never exceeds PageSize/MinChunkSize = 10922 < 2^14, and 18
+// bits of page+1 address a 256 GiB arena (maxArenaPages), far past any
+// single cache node this system targets. The 8 header bytes this saves
+// keep the total at 48 — exactly classic memcached's per-item overhead, so
+// class-fit arithmetic matches the paper's accounting.
+const (
+	hNext   = 0
+	hPrev   = 4
+	hCAS    = 8
+	hAccess = 16
+	hExpire = 24
+	hFlags  = 32
+	hVLen   = 36
+	hKLen   = 40
+	hClass  = 42
+
+	// headerFieldBytes is the sum of the header field widths; the header is
+	// padded to the next 8-byte boundary. A test pins chunkHeaderSize (and
+	// therefore ItemOverhead) to this layout.
+	headerFieldBytes = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 2 + 2
+	chunkHeaderSize  = (headerFieldBytes + 7) &^ 7
+
+	// linkChunkBits splits a packed 32-bit header link: low bits hold the
+	// chunk index, the rest hold page+1.
+	linkChunkBits = 14
+	linkChunkMask = 1<<linkChunkBits - 1
+
+	// maxArenaPages bounds the page table so page+1 fits a packed link.
+	maxArenaPages = 1<<(32-linkChunkBits) - 2
+)
+
+// packLink compresses an itemRef into the 32-bit header-link form. The zero
+// value stays the nil link.
+func packLink(r itemRef) uint32 {
+	return uint32(uint64(r)>>32)<<linkChunkBits | uint32(r)&linkChunkMask
+}
+
+// unpackLink expands a packed header link back to an itemRef.
+func unpackLink(p uint32) itemRef {
+	return itemRef(uint64(p>>linkChunkBits)<<32 | uint64(p&linkChunkMask))
+}
+
+// nanoNone is the stored-time sentinel for the zero time.Time: expiry
+// "never" and the (never observed in practice) zero MRU timestamp. The
+// same sentinel the binary migration codec uses for zero times.
+const nanoNone = math.MinInt64
+
+// toNano converts a time to its stored representation.
+func toNano(t time.Time) int64 {
+	if t.IsZero() {
+		return nanoNone
+	}
+	return t.UnixNano()
+}
+
+// fromNano converts a stored timestamp back to a time.Time.
+func fromNano(n int64) time.Time {
+	if n == nanoNone {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// itemRef addresses one chunk: (page index + 1) in the high 32 bits, chunk
+// index within the page in the low 32. The zero value is the nil ref, so
+// zeroed index slots and list heads start out empty for free.
+type itemRef uint64
+
+const nilRef itemRef = 0
+
+// tombRef marks a deleted slot in the key index. It is never a valid ref:
+// it decodes to page 2^32-2, which would need a ~4 EiB page table.
+const tombRef itemRef = math.MaxUint64
+
+func makeRef(page, chunk uint32) itemRef {
+	return itemRef(uint64(page+1)<<32 | uint64(chunk))
+}
+
+func (r itemRef) page() uint32  { return uint32(r>>32) - 1 }
+func (r itemRef) chunk() uint32 { return uint32(r) }
+
+// pagePool is the shared page allocator: the global 1 MiB page budget plus
+// the arena memory itself. Pages, once acquired by a (shard, class) slab,
+// are never returned — the classic memcached rule — so assignment is a
+// high-water counter into a fixed page table.
+//
+// The pages and chunkSizes tables are sized at construction and their
+// slots are written exactly once, under the pool lock, before the page ID
+// is handed to a shard; after that the owning shard is the only accessor,
+// always under its own shard lock, so chunk resolution never takes the
+// pool lock.
+type pagePool struct {
+	mu       sync.Mutex
+	max      int
+	assigned int
+
+	pages      [][]byte
+	chunkSizes []uint32
+}
+
+func newPagePool(max int) pagePool {
+	// Header links address at most maxArenaPages pages (256 GiB); a budget
+	// beyond that is clamped rather than refused — no realistic node gets
+	// anywhere near it.
+	if max > maxArenaPages {
+		max = maxArenaPages
+	}
+	return pagePool{
+		max:        max,
+		pages:      make([][]byte, max),
+		chunkSizes: make([]uint32, max),
+	}
+}
+
+// tryAcquire claims one page for a slab of the given chunk size, allocating
+// its arena. It returns the page ID.
+func (p *pagePool) tryAcquire(chunkSize int) (uint32, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.assigned >= p.max {
+		return 0, false
+	}
+	id := uint32(p.assigned)
+	p.pages[id] = make([]byte, PageSize)
+	p.chunkSizes[id] = uint32(chunkSize)
+	p.assigned++
+	return id, true
+}
+
+// chunkAt resolves a ref to its chunk bytes (header + key + value + slack).
+func (p *pagePool) chunkAt(ref itemRef) []byte {
+	pg := ref.page()
+	cs := p.chunkSizes[pg]
+	off := ref.chunk() * cs
+	return p.pages[pg][off : off+cs : off+cs]
+}
+
+// assignedCount reports pages handed out so far.
+func (p *pagePool) assignedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.assigned
+}
+
+// free reports pages still unassigned.
+func (p *pagePool) free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.max - p.assigned
+}
+
+// Chunk header accessors. All access is explicit little-endian byte
+// encoding — no unsafe, no alignment assumptions.
+
+func chNext(ch []byte) itemRef       { return unpackLink(binary.LittleEndian.Uint32(ch[hNext:])) }
+func setChNext(ch []byte, r itemRef) { binary.LittleEndian.PutUint32(ch[hNext:], packLink(r)) }
+
+func chPrev(ch []byte) itemRef       { return unpackLink(binary.LittleEndian.Uint32(ch[hPrev:])) }
+func setChPrev(ch []byte, r itemRef) { binary.LittleEndian.PutUint32(ch[hPrev:], packLink(r)) }
+
+func chCAS(ch []byte) uint64       { return binary.LittleEndian.Uint64(ch[hCAS:]) }
+func setChCAS(ch []byte, v uint64) { binary.LittleEndian.PutUint64(ch[hCAS:], v) }
+
+func chAccess(ch []byte) int64       { return int64(binary.LittleEndian.Uint64(ch[hAccess:])) }
+func setChAccess(ch []byte, v int64) { binary.LittleEndian.PutUint64(ch[hAccess:], uint64(v)) }
+
+func chExpire(ch []byte) int64       { return int64(binary.LittleEndian.Uint64(ch[hExpire:])) }
+func setChExpire(ch []byte, v int64) { binary.LittleEndian.PutUint64(ch[hExpire:], uint64(v)) }
+
+func chFlags(ch []byte) uint32       { return binary.LittleEndian.Uint32(ch[hFlags:]) }
+func setChFlags(ch []byte, v uint32) { binary.LittleEndian.PutUint32(ch[hFlags:], v) }
+
+func chVLen(ch []byte) int { return int(binary.LittleEndian.Uint32(ch[hVLen:])) }
+func chKLen(ch []byte) int { return int(binary.LittleEndian.Uint16(ch[hKLen:])) }
+
+func chClass(ch []byte) int { return int(binary.LittleEndian.Uint16(ch[hClass:])) }
+
+// chKey returns the key bytes stored in the chunk.
+func chKey(ch []byte) []byte {
+	kl := chKLen(ch)
+	return ch[chunkHeaderSize : chunkHeaderSize+kl]
+}
+
+// chValue returns the value bytes stored in the chunk.
+func chValue(ch []byte) []byte {
+	kl, vl := chKLen(ch), chVLen(ch)
+	return ch[chunkHeaderSize+kl : chunkHeaderSize+kl+vl]
+}
+
+// chExpired reports whether the chunk's item is past expiry at nowNano.
+func chExpired(ch []byte, nowNano int64) bool {
+	e := chExpire(ch)
+	return e != nanoNone && nowNano >= e
+}
+
+// writeChunk initializes a chunk with a complete item. The list links are
+// left untouched — the caller links the ref afterwards.
+func writeChunk(ch []byte, key, value []byte, flags uint32, cas uint64, access, expire int64, classID int) {
+	setChCAS(ch, cas)
+	setChAccess(ch, access)
+	setChExpire(ch, expire)
+	setChFlags(ch, flags)
+	binary.LittleEndian.PutUint32(ch[hVLen:], uint32(len(value)))
+	binary.LittleEndian.PutUint16(ch[hKLen:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(ch[hClass:], uint16(classID))
+	copy(ch[chunkHeaderSize:], key)
+	copy(ch[chunkHeaderSize+len(key):], value)
+}
+
+// setChValue overwrites the value of a chunk in place (same slab class, so
+// header + key + new value is known to fit).
+func setChValue(ch []byte, value []byte) {
+	kl := chKLen(ch)
+	binary.LittleEndian.PutUint32(ch[hVLen:], uint32(len(value)))
+	copy(ch[chunkHeaderSize+kl:], value)
+}

@@ -14,15 +14,21 @@
 //
 // A Cache is one Memcached node's storage engine. It is safe for concurrent
 // use. Where classic memcached 1.4.x serializes every operation on one
-// global lock (the bottleneck the paper's cited lock-contention work —
-// MemC3 et al. — attacks), this engine is lock-striped: keys route by
-// FNV-1a hash onto a power-of-two number of shards, each with its own lock,
-// key-table slice, and per-class MRU lists, while the 1 MiB page budget
-// stays global behind a separate allocator lock. The ElMem-visible
-// semantics are preserved — timestamp dumps k-way-merge the per-shard MRU
-// runs back into one globally recency-ordered list, so FuseCache and the
-// Agent see exactly the single-list behavior the paper assumes (see
-// DESIGN.md, "Sharded engine").
+// global lock, this engine is lock-striped: keys route by FNV-1a hash onto
+// a power-of-two number of shards, each with its own lock, key index, and
+// per-class MRU lists, while the 1 MiB page budget stays global behind a
+// separate allocator lock.
+//
+// Storage is arena-backed (bigcache/freecache lineage): pages are real
+// 1 MiB []byte arenas, every item lives entirely inside its fixed-size
+// chunk (header + key + value), items are addressed by packed itemRefs
+// rather than pointers, and the per-shard key table is a pointer-free
+// open-addressing index. The resident set is therefore invisible to the
+// garbage collector — GC mark work is O(pages + index slots), not
+// O(items) — while the ElMem-visible semantics are unchanged: timestamp
+// dumps k-way-merge the per-shard MRU runs into one globally
+// recency-ordered list, and Item/ItemMeta/KV copies are materialized only
+// at dump/stream boundaries (see DESIGN.md, "Arena-backed slabs").
 package cache
 
 import (
@@ -43,18 +49,13 @@ var (
 	ErrEmptyKey = errors.New("cache: empty key")
 )
 
-// Item is one cached KV pair. The prev/next pointers chain it into its slab
-// class's MRU list.
-//
-// The cache owns every Value buffer: stores copy bytes in (reusing the
-// item's buffer when the slab class is unchanged, so a steady-state set
-// allocates nothing) and reads copy bytes out under the shard lock. No
-// caller-visible slice ever aliases an item's live buffer.
+// Item is a materialized copy of one cached KV pair, produced only at API
+// boundaries (the resident representation is an arena chunk, see
+// arena.go). Mutating an Item never affects the cache.
 type Item struct {
 	// Key is the item's key.
 	Key string
-	// Value is the stored bytes. The buffer is cache-owned and may be
-	// rewritten in place by a later store of the same key.
+	// Value is a copy of the stored bytes.
 	Value []byte
 	// Flags is the client-opaque flags word of the storing command,
 	// echoed verbatim in VALUE replies (memcached semantics).
@@ -64,10 +65,8 @@ type Item struct {
 	LastAccess time.Time
 	// ExpiresAt is the absolute expiry; zero means the item never expires.
 	ExpiresAt time.Time
-
-	classID    int
-	casID      uint64
-	prev, next *Item
+	// CAS is the item's compare-and-swap token.
+	CAS uint64
 }
 
 // Stats is a point-in-time snapshot of a Cache. Per-slab entries aggregate
@@ -86,6 +85,8 @@ type Stats struct {
 	Items int `json:"items"`
 	// BytesUsed is the chunk-accounted resident size.
 	BytesUsed int64 `json:"bytesUsed"`
+	// ArenaBytes is the total arena memory backing assigned pages.
+	ArenaBytes int64 `json:"arenaBytes"`
 	// AssignedPages and MaxPages describe page-pool usage.
 	AssignedPages int `json:"assignedPages"`
 	MaxPages      int `json:"maxPages"`
@@ -97,7 +98,7 @@ type Stats struct {
 }
 
 // Cache is one node's Memcached storage engine: a set of lock-striped
-// shards over a shared page pool.
+// shards over a shared arena page pool.
 type Cache struct {
 	classes []int    // chunk size per class index
 	shards  []*shard // power-of-two lock stripes
@@ -105,7 +106,7 @@ type Cache struct {
 
 	pool pagePool
 
-	now    func() time.Time
+	nanos  func() int64 // the clock, read as stored nanos; every op stamps recency
 	casSeq atomic.Uint64
 }
 
@@ -147,9 +148,11 @@ func (o shardsOption) apply(opts *cacheOptions) { opts.shards = int(o) }
 func WithShards(n int) Option { return shardsOption(n) }
 
 // New creates a Cache with the given memory budget in bytes. The budget is
-// rounded down to whole pages and must cover at least one page.
+// rounded down to whole pages and must cover at least one page. Arena
+// pages are allocated lazily as slabs claim them, so an idle Cache costs
+// only its page table.
 func New(memoryBytes int64, opts ...Option) (*Cache, error) {
-	options := cacheOptions{growthFactor: DefaultGrowthFactor, now: NewMonotonicClock()}
+	options := cacheOptions{growthFactor: DefaultGrowthFactor}
 	for _, o := range opts {
 		o.apply(&options)
 	}
@@ -166,8 +169,18 @@ func New(memoryBytes int64, opts ...Option) (*Cache, error) {
 	c := &Cache{
 		classes: sizeClasses(options.growthFactor),
 		mask:    uint64(shardCount - 1),
-		pool:    pagePool{max: maxPages},
-		now:     options.now,
+		pool:    newPagePool(maxPages),
+	}
+	if options.now != nil {
+		c.nanos = func() int64 { return toNano(options.now()) }
+	} else {
+		// Default monotonic clock, flattened to nanoseconds up front: every
+		// Get/Set stamps recency, and building a time.Time just to convert
+		// it back to nanos costs a second clock read plus a 24-byte struct
+		// round-trip. time.Since on a monotonic base is one nanotime read.
+		base := time.Now()
+		baseNano := base.UnixNano()
+		c.nanos = func() int64 { return baseNano + int64(time.Since(base)) }
 	}
 	c.shards = make([]*shard, shardCount)
 	for i := range c.shards {
@@ -175,6 +188,9 @@ func New(memoryBytes int64, opts ...Option) (*Cache, error) {
 	}
 	return c, nil
 }
+
+// nowNano reads the clock as a stored-timestamp nanosecond count.
+func (c *Cache) nowNano() int64 { return c.nanos() }
 
 // shardFor routes a key to its lock stripe.
 func (c *Cache) shardFor(key string) *shard {
@@ -190,13 +206,13 @@ func (c *Cache) shardIndexFor(key string) int {
 func (c *Cache) ShardCount() int { return len(c.shards) }
 
 // ShardDistribution returns the resident item count of every shard, in
-// stripe order. It is cheap — one lock acquisition and a map-len read per
+// stripe order. It is cheap — one lock acquisition and a counter read per
 // shard — and is the input to metrics.AnalyzeShards.
 func (c *Cache) ShardDistribution() []int {
 	out := make([]int, len(c.shards))
 	for i, sh := range c.shards {
 		sh.mu.Lock()
-		out[i] = len(sh.table)
+		out[i] = sh.items()
 		sh.mu.Unlock()
 	}
 	return out
@@ -206,32 +222,39 @@ func (c *Cache) ShardDistribution() []int {
 // and timestamp, or ErrNotFound. The hot path's allocation-free variant is
 // GetInto, which also reports the item's flags and CAS token.
 func (c *Cache) Get(key string) ([]byte, error) {
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it, ok := sh.lookupLocked(key, c.now())
+	nowNano := c.nowNano()
+	ref, ch, ok := sh.lookupLocked(h, kb, nowNano)
 	if !ok {
 		sh.misses++
 		return nil, fmt.Errorf("get %q: %w", key, ErrNotFound)
 	}
 	sh.hits++
-	it.LastAccess = c.now()
-	sh.slabs[it.classID].list.moveToFront(it)
-	return append(make([]byte, 0, len(it.Value)), it.Value...), nil
+	setChAccess(ch, nowNano)
+	sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+	v := chValue(ch)
+	return append(make([]byte, 0, len(v)), v...), nil
 }
 
 // Peek returns a copy of the value for key without refreshing recency or
 // counting a hit/miss. Agents use it during migration so metadata reads do
 // not perturb hotness.
 func (c *Cache) Peek(key string) ([]byte, bool) {
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it, ok := sh.table[key]
-	if !ok || it.expired(c.now()) {
+	ch, ok := sh.peekLocked(h, kb, c.nowNano())
+	if !ok {
 		return nil, false
 	}
-	return append(make([]byte, 0, len(it.Value)), it.Value...), true
+	v := chValue(ch)
+	return append(make([]byte, 0, len(v)), v...), true
 }
 
 // PeekFull is Peek returning the item's flags and absolute expiry along
@@ -239,23 +262,28 @@ func (c *Cache) Peek(key string) ([]byte, bool) {
 // hit/miss. The hot-key replicator uses it to push a promoted value to its
 // replicas with the original store metadata intact.
 func (c *Cache) PeekFull(key string) (value []byte, flags uint32, expiresAt time.Time, ok bool) {
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it, found := sh.table[key]
-	if !found || it.expired(c.now()) {
+	ch, found := sh.peekLocked(h, kb, c.nowNano())
+	if !found {
 		return nil, 0, time.Time{}, false
 	}
-	return append(make([]byte, 0, len(it.Value)), it.Value...), it.Flags, it.ExpiresAt, true
+	v := chValue(ch)
+	return append(make([]byte, 0, len(v)), v...), chFlags(ch), fromNano(chExpire(ch)), true
 }
 
 // Contains reports key residence without touching recency.
 func (c *Cache) Contains(key string) bool {
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it, ok := sh.table[key]
-	return ok && !it.expired(c.now())
+	_, ok := sh.peekLocked(h, kb, c.nowNano())
+	return ok
 }
 
 // Set stores a copy of the value under key with zero flags, updating MRU
@@ -265,23 +293,29 @@ func (c *Cache) Set(key string, value []byte) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	_, err := sh.setLocked(key, value, 0, c.now())
+	_, err := sh.setLocked(h, kb, value, 0, c.nowNano())
 	return err
 }
 
 // Delete removes key, or returns ErrNotFound.
 func (c *Cache) Delete(key string) error {
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it, ok := sh.table[key]
+	// lookupLocked lazily reclaims an expired resident item and reports a
+	// miss, so deleting one returns NotFound — memcached's semantics.
+	ref, ch, ok := sh.lookupLocked(h, kb, c.nowNano())
 	if !ok {
 		return fmt.Errorf("delete %q: %w", key, ErrNotFound)
 	}
-	sh.removeLocked(it)
+	sh.removeLocked(ref, ch)
 	return nil
 }
 
@@ -292,13 +326,12 @@ func (c *Cache) Delete(key string) error {
 func (c *Cache) FlushAll() {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		sh.table = make(map[string]*Item)
+		sh.idx.reset()
 		for _, sl := range sh.slabs {
 			if sl == nil {
 				continue
 			}
-			sl.list = mruList{}
-			sl.used = 0
+			sl.resetChunks()
 		}
 		sh.mu.Unlock()
 	}
@@ -309,7 +342,7 @@ func (c *Cache) Len() int {
 	n := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		n += len(sh.table)
+		n += sh.items()
 		sh.mu.Unlock()
 	}
 	return n
@@ -338,19 +371,19 @@ func (c *Cache) Stats() Stats {
 		st.Sets += sh.sets
 		st.Evictions += sh.evictions
 		st.Expirations += sh.expirations
-		st.Items += len(sh.table)
+		st.Items += sh.items()
 		for classID, sl := range sh.slabs {
-			if sl == nil || sl.pages == 0 {
+			if sl == nil || sl.pages() == 0 {
 				continue
 			}
-			agg[classID].pages += sl.pages
+			agg[classID].pages += sl.pages()
 			agg[classID].items += sl.list.size
 			agg[classID].used += sl.used
 			agg[classID].evictions += sl.evictions
 		}
 		st.Shards = append(st.Shards, ShardStat{
 			Shard:     i,
-			Items:     len(sh.table),
+			Items:     sh.items(),
 			Hits:      sh.hits,
 			Misses:    sh.misses,
 			Sets:      sh.sets,
@@ -359,6 +392,7 @@ func (c *Cache) Stats() Stats {
 		sh.mu.Unlock()
 	}
 	st.AssignedPages = c.pool.assignedCount()
+	st.ArenaBytes = int64(st.AssignedPages) * PageSize
 	for classID, a := range agg {
 		if a.pages == 0 {
 			continue
@@ -368,6 +402,7 @@ func (c *Cache) Stats() Stats {
 			ClassID:    classID,
 			ChunkSize:  c.classes[classID],
 			Pages:      a.pages,
+			ArenaBytes: int64(a.pages) * PageSize,
 			Items:      a.items,
 			UsedChunks: a.used,
 			Evictions:  a.evictions,

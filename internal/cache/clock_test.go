@@ -31,10 +31,10 @@ func TestCacheDefaultClockMonotonic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prev := c.now()
+	prev := c.nowNano()
 	for i := 0; i < 1000; i++ {
-		cur := c.now()
-		if cur.Before(prev) {
+		cur := c.nowNano()
+		if cur < prev {
 			t.Fatalf("cache clock went backwards: %v -> %v", prev, cur)
 		}
 		prev = cur

@@ -8,7 +8,7 @@ import (
 )
 
 // This file implements the rest of memcached's storage command set on the
-// slab core: conditional stores (add/replace/cas), value edits
+// arena slab core: conditional stores (add/replace/cas), value edits
 // (append/prepend/incr/decr), and TTL expiration. ElMem itself only needs
 // get/set plus the migration extensions, but the testbed is meant to be a
 // drop-in Memcached stand-in, and expiration interacts with migration
@@ -24,11 +24,6 @@ var (
 	ErrNotNumber = errors.New("cache: value is not a number")
 )
 
-// expired reports whether the item is past its expiry at time now.
-func (it *Item) expired(now time.Time) bool {
-	return !it.ExpiresAt.IsZero() && !now.Before(it.ExpiresAt)
-}
-
 // SetExpiring stores the value with an absolute expiry (zero = never) and
 // zero flags.
 func (c *Cache) SetExpiring(key string, value []byte, expiresAt time.Time) error {
@@ -41,32 +36,38 @@ func (c *Cache) SetExpiringFlags(key string, value []byte, flags uint32, expires
 	if key == "" {
 		return ErrEmptyKey
 	}
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it, err := sh.setLocked(key, value, flags, c.now())
+	ch, err := sh.setLocked(h, kb, value, flags, c.nowNano())
 	if err != nil {
 		return err
 	}
-	it.ExpiresAt = expiresAt
+	setChExpire(ch, toNano(expiresAt))
 	return nil
 }
 
 // GetWithCAS returns a copy of the value, the item's client flags, and its
 // CAS token (memcached's gets), refreshing recency.
 func (c *Cache) GetWithCAS(key string) (value []byte, flags uint32, casToken uint64, err error) {
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it, ok := sh.lookupLocked(key, c.now())
+	nowNano := c.nowNano()
+	ref, ch, ok := sh.lookupLocked(h, kb, nowNano)
 	if !ok {
 		sh.misses++
 		return nil, 0, 0, fmt.Errorf("gets %q: %w", key, ErrNotFound)
 	}
 	sh.hits++
-	it.LastAccess = c.now()
-	sh.slabs[it.classID].list.moveToFront(it)
-	return append(make([]byte, 0, len(it.Value)), it.Value...), it.Flags, it.casID, nil
+	setChAccess(ch, nowNano)
+	sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+	v := chValue(ch)
+	return append(make([]byte, 0, len(v)), v...), chFlags(ch), chCAS(ch), nil
 }
 
 // Add stores only if the key is absent (memcached's add).
@@ -79,18 +80,20 @@ func (c *Cache) AddFlags(key string, value []byte, flags uint32, expiresAt time.
 	if key == "" {
 		return ErrEmptyKey
 	}
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	now := c.now()
-	if _, ok := sh.lookupLocked(key, now); ok {
+	nowNano := c.nowNano()
+	if _, _, ok := sh.lookupLocked(h, kb, nowNano); ok {
 		return fmt.Errorf("add %q: %w", key, ErrNotStored)
 	}
-	it, err := sh.setLocked(key, value, flags, now)
+	ch, err := sh.setLocked(h, kb, value, flags, nowNano)
 	if err != nil {
 		return err
 	}
-	it.ExpiresAt = expiresAt
+	setChExpire(ch, toNano(expiresAt))
 	return nil
 }
 
@@ -104,18 +107,20 @@ func (c *Cache) ReplaceFlags(key string, value []byte, flags uint32, expiresAt t
 	if key == "" {
 		return ErrEmptyKey
 	}
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	now := c.now()
-	if _, ok := sh.lookupLocked(key, now); !ok {
+	nowNano := c.nowNano()
+	if _, _, ok := sh.lookupLocked(h, kb, nowNano); !ok {
 		return fmt.Errorf("replace %q: %w", key, ErrNotStored)
 	}
-	it, err := sh.setLocked(key, value, flags, now)
+	ch, err := sh.setLocked(h, kb, value, flags, nowNano)
 	if err != nil {
 		return err
 	}
-	it.ExpiresAt = expiresAt
+	setChExpire(ch, toNano(expiresAt))
 	return nil
 }
 
@@ -130,22 +135,24 @@ func (c *Cache) CompareAndSwapFlags(key string, value []byte, flags uint32, expi
 	if key == "" {
 		return ErrEmptyKey
 	}
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	now := c.now()
-	it, ok := sh.lookupLocked(key, now)
+	nowNano := c.nowNano()
+	_, ch, ok := sh.lookupLocked(h, kb, nowNano)
 	if !ok {
 		return fmt.Errorf("cas %q: %w", key, ErrNotFound)
 	}
-	if it.casID != casToken {
+	if chCAS(ch) != casToken {
 		return fmt.Errorf("cas %q: %w", key, ErrExists)
 	}
-	it, err := sh.setLocked(key, value, flags, now)
+	ch, err := sh.setLocked(h, kb, value, flags, nowNano)
 	if err != nil {
 		return err
 	}
-	it.ExpiresAt = expiresAt
+	setChExpire(ch, toNano(expiresAt))
 	return nil
 }
 
@@ -169,26 +176,29 @@ func (c *Cache) Prepend(key string, data []byte) error {
 }
 
 // edit rewrites an existing item's value in place, preserving expiry and
-// flags. fn must return a freshly allocated slice (setLocked copies into
-// the item's existing buffer, so returning a view of old would overlap).
+// flags. fn must return a freshly allocated slice: old is a view into the
+// item's live chunk, and setLocked rewrites that chunk, so returning a
+// view of old would overlap the copy.
 func (c *Cache) edit(key string, fn func(old []byte) []byte) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	now := c.now()
-	it, ok := sh.lookupLocked(key, now)
+	nowNano := c.nowNano()
+	_, ch, ok := sh.lookupLocked(h, kb, nowNano)
 	if !ok {
 		return fmt.Errorf("edit %q: %w", key, ErrNotStored)
 	}
-	expiresAt, flags := it.ExpiresAt, it.Flags
-	it, err := sh.setLocked(key, fn(it.Value), flags, now)
+	expire, flags := chExpire(ch), chFlags(ch)
+	ch, err := sh.setLocked(h, kb, fn(chValue(ch)), flags, nowNano)
 	if err != nil {
 		return err
 	}
-	it.ExpiresAt = expiresAt
+	setChExpire(ch, expire)
 	return nil
 }
 
@@ -212,41 +222,45 @@ func (c *Cache) arith(key string, fn func(uint64) uint64) (uint64, error) {
 	if key == "" {
 		return 0, ErrEmptyKey
 	}
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	now := c.now()
-	it, ok := sh.lookupLocked(key, now)
+	nowNano := c.nowNano()
+	_, ch, ok := sh.lookupLocked(h, kb, nowNano)
 	if !ok {
 		return 0, fmt.Errorf("arith %q: %w", key, ErrNotFound)
 	}
-	v, err := strconv.ParseUint(string(it.Value), 10, 64)
+	v, err := strconv.ParseUint(string(chValue(ch)), 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("arith %q: %w", key, ErrNotNumber)
 	}
 	out := fn(v)
-	expiresAt, flags := it.ExpiresAt, it.Flags
-	it, err = sh.setLocked(key, []byte(strconv.FormatUint(out, 10)), flags, now)
+	expire, flags := chExpire(ch), chFlags(ch)
+	ch, err = sh.setLocked(h, kb, []byte(strconv.FormatUint(out, 10)), flags, nowNano)
 	if err != nil {
 		return 0, err
 	}
-	it.ExpiresAt = expiresAt
+	setChExpire(ch, expire)
 	return out, nil
 }
 
 // TouchExpiry updates an item's expiry and recency (memcached's touch).
 func (c *Cache) TouchExpiry(key string, expiresAt time.Time) error {
-	sh := c.shardFor(key)
+	kb := sbytes(key)
+	h := shardHash(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	now := c.now()
-	it, ok := sh.lookupLocked(key, now)
+	nowNano := c.nowNano()
+	ref, ch, ok := sh.lookupLocked(h, kb, nowNano)
 	if !ok {
 		return fmt.Errorf("touch %q: %w", key, ErrNotFound)
 	}
-	it.ExpiresAt = expiresAt
-	it.LastAccess = now
-	sh.slabs[it.classID].list.moveToFront(it)
+	setChExpire(ch, toNano(expiresAt))
+	setChAccess(ch, nowNano)
+	sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
 	return nil
 }
 
@@ -258,20 +272,20 @@ func (c *Cache) CrawlExpired() int {
 	reclaimed := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		now := c.now()
+		nowNano := c.nowNano()
 		for _, sl := range sh.slabs {
 			if sl == nil {
 				continue
 			}
-			var dead []*Item
-			sl.list.each(func(it *Item) bool {
-				if it.expired(now) {
-					dead = append(dead, it)
+			var dead []itemRef
+			sl.list.each(&c.pool, func(ref itemRef, ch []byte) bool {
+				if chExpired(ch, nowNano) {
+					dead = append(dead, ref)
 				}
 				return true
 			})
-			for _, it := range dead {
-				sh.expireLocked(it)
+			for _, ref := range dead {
+				sh.expireLocked(ref, c.pool.chunkAt(ref))
 				reclaimed++
 			}
 		}

@@ -1,0 +1,449 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// Differential sweep: the arena engine vs a map-of-copies oracle. The
+// oracle stores plain Go copies of everything, so any arena defect —
+// aliasing between chunks, a stale index entry after rehash, a value
+// written past its class, an expiry misread — shows up as a divergence
+// from the model. The clock is injected and only advances when the sweep
+// says so, making expiry deterministic and the whole run replayable from
+// its seed.
+
+// holdClock is a manually stepped time source: Now never auto-advances, so
+// the cache and the oracle always evaluate expiry against the same instant.
+type holdClock struct{ t time.Time }
+
+func (h *holdClock) Now() time.Time          { return h.t }
+func (h *holdClock) advance(d time.Duration) { h.t = h.t.Add(d) }
+
+// oracleItem is the model's copy of one item.
+type oracleItem struct {
+	value  []byte
+	flags  uint32
+	expire time.Time // zero = never
+}
+
+type oracle struct {
+	m   map[string]*oracleItem
+	clk *holdClock
+}
+
+func (o *oracle) live(key string) *oracleItem {
+	it, ok := o.m[key]
+	if !ok {
+		return nil
+	}
+	if !it.expire.IsZero() && !o.clk.t.Before(it.expire) {
+		delete(o.m, key) // model mirrors lazy expiry
+		return nil
+	}
+	return it
+}
+
+func (o *oracle) set(key string, value []byte, flags uint32, expire time.Time) {
+	o.m[key] = &oracleItem{
+		value:  append([]byte(nil), value...),
+		flags:  flags,
+		expire: expire,
+	}
+}
+
+// TestDifferentialSweep runs a seeded 100k-op randomized workload through
+// every single-key command and checks exact agreement with the oracle at
+// each step. The budget is generous, so no evictions occur and agreement
+// must be perfect.
+func TestDifferentialSweep(t *testing.T) {
+	const (
+		ops      = 100_000
+		keySpace = 500
+		maxVal   = 700
+	)
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	c, err := New(64*PageSize, WithClock(clk.Now), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &oracle{m: map[string]*oracleItem{}, clk: clk}
+	rng := rand.New(rand.NewSource(20260807))
+
+	key := func() string { return fmt.Sprintf("dk-%04d", rng.Intn(keySpace)) }
+	val := func() []byte {
+		v := make([]byte, rng.Intn(maxVal)+1)
+		rng.Read(v)
+		return v
+	}
+	ttl := func() time.Time {
+		if rng.Intn(3) == 0 {
+			return time.Time{} // never expires
+		}
+		return clk.t.Add(time.Duration(rng.Intn(40)+1) * time.Millisecond)
+	}
+
+	checkGet := func(op int, k string) {
+		got, flags, _, err := c.GetWithCAS(k)
+		want := o.live(k)
+		if want == nil {
+			if err == nil {
+				t.Fatalf("op %d: get %q hit, oracle says dead", op, k)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("op %d: get %q missed, oracle has it (expire %v, now %v): %v",
+				op, k, want.expire, clk.t, err)
+		}
+		if !bytes.Equal(got, want.value) || flags != want.flags {
+			t.Fatalf("op %d: get %q = (%d bytes, flags %d), oracle (%d bytes, flags %d)",
+				op, k, len(got), flags, len(want.value), want.flags)
+		}
+	}
+
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(100); {
+		case r < 30: // set
+			k, v, fl, exp := key(), val(), rng.Uint32(), ttl()
+			if err := c.SetExpiringFlags(k, v, fl, exp); err != nil {
+				t.Fatalf("op %d: set %q: %v", op, k, err)
+			}
+			o.set(k, v, fl, exp)
+		case r < 55: // get
+			checkGet(op, key())
+		case r < 62: // delete
+			k := key()
+			err := c.Delete(k)
+			if want := o.live(k); want == nil {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d: delete dead %q: err = %v, want ErrNotFound", op, k, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("op %d: delete live %q: %v", op, k, err)
+				}
+				delete(o.m, k)
+			}
+		case r < 68: // touch
+			k, exp := key(), ttl()
+			err := c.TouchExpiry(k, exp)
+			if want := o.live(k); want == nil {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d: touch dead %q: err = %v", op, k, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("op %d: touch live %q: %v", op, k, err)
+				}
+				want.expire = exp
+			}
+		case r < 73: // add
+			k, v, fl, exp := key(), val(), rng.Uint32(), ttl()
+			err := c.AddFlags(k, v, fl, exp)
+			if want := o.live(k); want == nil {
+				if err != nil {
+					t.Fatalf("op %d: add absent %q: %v", op, k, err)
+				}
+				o.set(k, v, fl, exp)
+			} else if !errors.Is(err, ErrNotStored) {
+				t.Fatalf("op %d: add present %q: err = %v, want ErrNotStored", op, k, err)
+			}
+		case r < 78: // replace
+			k, v, fl, exp := key(), val(), rng.Uint32(), ttl()
+			err := c.ReplaceFlags(k, v, fl, exp)
+			if want := o.live(k); want != nil {
+				if err != nil {
+					t.Fatalf("op %d: replace present %q: %v", op, k, err)
+				}
+				o.set(k, v, fl, exp)
+			} else if !errors.Is(err, ErrNotStored) {
+				t.Fatalf("op %d: replace absent %q: err = %v, want ErrNotStored", op, k, err)
+			}
+		case r < 83: // append / prepend
+			k, data := key(), val()
+			var err error
+			if rng.Intn(2) == 0 {
+				err = c.Append(k, data)
+				if want := o.live(k); want != nil {
+					if err != nil {
+						t.Fatalf("op %d: append %q: %v", op, k, err)
+					}
+					want.value = append(want.value, data...)
+				} else if !errors.Is(err, ErrNotStored) {
+					t.Fatalf("op %d: append absent %q: err = %v", op, k, err)
+				}
+			} else {
+				err = c.Prepend(k, data)
+				if want := o.live(k); want != nil {
+					if err != nil {
+						t.Fatalf("op %d: prepend %q: %v", op, k, err)
+					}
+					want.value = append(append([]byte(nil), data...), want.value...)
+				} else if !errors.Is(err, ErrNotStored) {
+					t.Fatalf("op %d: prepend absent %q: err = %v", op, k, err)
+				}
+			}
+		case r < 88: // incr / decr on dedicated counter keys
+			k := fmt.Sprintf("ctr-%02d", rng.Intn(20))
+			delta := rng.Uint64() % 1000
+			if rng.Intn(5) == 0 { // sometimes seed/reset the counter
+				seed := strconv.FormatUint(rng.Uint64()%100000, 10)
+				if err := c.Set(k, []byte(seed)); err != nil {
+					t.Fatalf("op %d: seed counter: %v", op, err)
+				}
+				o.set(k, []byte(seed), 0, time.Time{})
+				continue
+			}
+			var got uint64
+			var err error
+			decr := rng.Intn(2) == 0
+			if decr {
+				got, err = c.Decr(k, delta)
+			} else {
+				got, err = c.Incr(k, delta)
+			}
+			want := o.live(k)
+			if want == nil {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d: arith on dead %q: err = %v", op, k, err)
+				}
+				continue
+			}
+			cur, perr := strconv.ParseUint(string(want.value), 10, 64)
+			if perr != nil {
+				if !errors.Is(err, ErrNotNumber) {
+					t.Fatalf("op %d: arith on non-number %q: err = %v", op, k, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d: arith %q: %v", op, k, err)
+			}
+			var wantN uint64
+			if decr {
+				wantN = cur - delta
+				if delta > cur {
+					wantN = 0
+				}
+			} else {
+				wantN = cur + delta // wraps like memcached
+			}
+			if got != wantN {
+				t.Fatalf("op %d: arith %q = %d, oracle %d", op, k, got, wantN)
+			}
+			want.value = []byte(strconv.FormatUint(wantN, 10))
+		case r < 92: // gets + cas: a fresh token must win, a stale one must lose
+			k := key()
+			_, _, tok, err := c.GetWithCAS(k)
+			if o.live(k) == nil {
+				if err == nil {
+					t.Fatalf("op %d: gets %q hit, oracle dead", op, k)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d: gets %q: %v", op, k, err)
+			}
+			v, exp := val(), ttl()
+			if rng.Intn(4) == 0 {
+				// Invalidate the token by writing in between.
+				v2 := val()
+				if err := c.Set(k, v2); err != nil {
+					t.Fatalf("op %d: interposing set: %v", op, err)
+				}
+				o.set(k, v2, 0, time.Time{})
+				if err := c.CompareAndSwap(k, v, exp, tok); !errors.Is(err, ErrExists) {
+					t.Fatalf("op %d: stale cas %q: err = %v, want ErrExists", op, k, err)
+				}
+			} else {
+				if err := c.CompareAndSwap(k, v, exp, tok); err != nil {
+					t.Fatalf("op %d: fresh cas %q: %v", op, k, err)
+				}
+				o.set(k, v, 0, exp)
+			}
+		case r < 96: // advance time (expires things lazily on both sides)
+			clk.advance(time.Duration(rng.Intn(10)+1) * time.Millisecond)
+		case r < 98: // crawler sweep
+			c.CrawlExpired()
+			for k := range o.m {
+				o.live(k) // prunes expired model entries
+			}
+		default: // multi-get a batch
+			ks := make([]string, rng.Intn(8)+1)
+			for i := range ks {
+				ks[i] = key()
+			}
+			got := c.GetMulti(ks)
+			for _, k := range ks {
+				want := o.live(k)
+				mv, hit := got[k]
+				if want == nil {
+					if hit {
+						t.Fatalf("op %d: multiget %q hit, oracle dead", op, k)
+					}
+					continue
+				}
+				if !hit {
+					t.Fatalf("op %d: multiget %q missed, oracle live", op, k)
+				}
+				if !bytes.Equal(mv.Value, want.value) || mv.Flags != want.flags {
+					t.Fatalf("op %d: multiget %q value/flags diverged", op, k)
+				}
+			}
+		}
+	}
+
+	// Final full-state agreement: every oracle key must be a hit with the
+	// exact value; cache must hold nothing more.
+	liveCount := 0
+	for k := range o.m {
+		if o.live(k) != nil {
+			liveCount++
+			checkGet(ops, k)
+		}
+	}
+	if got := c.Len(); got != liveCount {
+		// The cache may still hold expired-but-unreclaimed items; crawl
+		// then compare.
+		c.CrawlExpired()
+		if got = c.Len(); got != liveCount {
+			t.Fatalf("final Len = %d, oracle has %d live", got, liveCount)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("sweep assumed no evictions, saw %d (budget too small for workload)", st.Evictions)
+	}
+	c.checkShardInvariants(t)
+}
+
+// TestDifferentialSweepTinyBudget repeats a shorter sweep against a
+// one-page cache where evictions are constant. Exact residency can't be
+// asserted — an eviction is the cache's prerogative — but safety must
+// hold: every hit returns exactly what the oracle last stored, and the
+// structural invariants survive the churn.
+func TestDifferentialSweepTinyBudget(t *testing.T) {
+	const ops = 30_000
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	c, err := New(PageSize, WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &oracle{m: map[string]*oracleItem{}, clk: clk}
+	rng := rand.New(rand.NewSource(42))
+
+	for op := 0; op < ops; op++ {
+		k := fmt.Sprintf("tk-%04d", rng.Intn(8000))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			// Values sized so every item lands in one slab class (304 B
+			// chunks: need = 7-byte key + value + 48 overhead ∈ (240, 304]):
+			// the single page (3449 chunks) overflows and eviction churns.
+			v := make([]byte, rng.Intn(64)+186)
+			rng.Read(v)
+			exp := time.Time{}
+			if rng.Intn(4) == 0 {
+				exp = clk.t.Add(time.Duration(rng.Intn(20)+1) * time.Millisecond)
+			}
+			if err := c.SetExpiringFlags(k, v, uint32(op), exp); err != nil {
+				if errors.Is(err, ErrOutOfMemory) {
+					continue // set failed whole: a class with nothing to evict
+				}
+				t.Fatalf("op %d: set: %v", op, err)
+			}
+			o.set(k, v, uint32(op), exp)
+		case 5, 6, 7, 8:
+			got, flags, _, err := c.GetWithCAS(k)
+			want := o.live(k)
+			if err == nil {
+				// A hit must match the oracle exactly: stale or corrupt
+				// bytes are never excusable.
+				if want == nil {
+					t.Fatalf("op %d: hit on %q the oracle never stored (or saw expire)", op, k)
+				}
+				if !bytes.Equal(got, want.value) || flags != want.flags {
+					t.Fatalf("op %d: %q value/flags diverged from oracle", op, k)
+				}
+			} else if want != nil {
+				// Miss with a live oracle entry: legal only because the
+				// one-page budget forces evictions; track the model.
+				delete(o.m, k)
+			}
+		default:
+			clk.advance(time.Duration(rng.Intn(5)+1) * time.Millisecond)
+		}
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Error("tiny-budget sweep never evicted; the test isn't exercising eviction")
+	}
+	c.checkShardInvariants(t)
+}
+
+// TestImportReplayNoOp pins the migration replay rule on the arena engine:
+// re-importing a pair whose LastAccess is equal to or older than the
+// resident copy must change neither the value nor the MRU position
+// (delivered-twice batches after a lost ACK).
+func TestImportReplayNoOp(t *testing.T) {
+	c, _ := newTestCache(t, 4)
+	base := time.Unix(1_800_000_000, 0)
+	pairs := []KV{
+		{Key: "r1", Value: []byte("v1"), LastAccess: base.Add(3 * time.Second)},
+		{Key: "r2", Value: []byte("v2"), LastAccess: base.Add(2 * time.Second)},
+		{Key: "r3", Value: []byte("v3"), LastAccess: base.Add(1 * time.Second)},
+	}
+	if _, err := c.BatchImport(pairs, true); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.DumpClass(c.mustClass(t, "r1", 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact replay: equal timestamps → full no-op.
+	replay := []KV{
+		{Key: "r2", Value: []byte("REPLAYED"), LastAccess: base.Add(2 * time.Second)},
+		{Key: "r3", Value: []byte("OLDER"), LastAccess: base}, // strictly older
+	}
+	if _, err := c.BatchImport(replay, true); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.DumpClass(before[0].ClassID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("replay changed item count %d → %d", len(before), len(after))
+	}
+	for i := range before {
+		if after[i].Key != before[i].Key || !after[i].LastAccess.Equal(before[i].LastAccess) {
+			t.Fatalf("replay changed dump order/timestamps at %d: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+	if v, err := c.Get("r2"); err != nil || string(v) != "v2" {
+		t.Fatalf("replay overwrote value: %q, %v", v, err)
+	}
+
+	// A strictly fresher import must win.
+	fresh := []KV{{Key: "r3", Value: []byte("v3-new"), LastAccess: base.Add(10 * time.Second)}}
+	if _, err := c.BatchImport(fresh, true); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Get("r3"); err != nil || string(v) != "v3-new" {
+		t.Fatalf("fresher import did not apply: %q, %v", v, err)
+	}
+}
+
+// mustClass resolves the slab class a (key, valueLen) item lands in.
+func (c *Cache) mustClass(t *testing.T, key string, valueLen int) int {
+	t.Helper()
+	id, _, err := c.ClassForItem(len(key), valueLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}

@@ -22,6 +22,10 @@ import (
 // and capacities gather-and-reduce, and the batch import fans its writes
 // out per shard so each shard lock is taken once per batch. The serving
 // path on other shards keeps running while a dump snapshots one shard.
+//
+// Resident items are arena chunks; the Item/ItemMeta/KV values returned
+// here are copies materialized at this boundary, so callers never alias
+// live cache memory.
 
 // ItemMeta is one entry of a timestamp dump: everything phase 1 of the
 // migration ships over the network (keys are ~10s of bytes, timestamps 10
@@ -38,9 +42,19 @@ type ItemMeta struct {
 	ClassID int `json:"classId"`
 }
 
+// metaOf materializes a chunk's metadata copy.
+func metaOf(ch []byte, classID int) ItemMeta {
+	return ItemMeta{
+		Key:        string(chKey(ch)),
+		LastAccess: fromNano(chAccess(ch)),
+		ValueSize:  chVLen(ch),
+		ClassID:    classID,
+	}
+}
+
 // dumpClass snapshots one shard's metadata for the class; callers sort and
 // merge the runs.
-func (sh *shard) dumpClass(classID int, now time.Time, filter func(key string) bool) []ItemMeta {
+func (sh *shard) dumpClass(classID int, nowNano int64, filter func(key string) bool) []ItemMeta {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sl := sh.slabs[classID]
@@ -48,17 +62,13 @@ func (sh *shard) dumpClass(classID int, now time.Time, filter func(key string) b
 		return nil
 	}
 	out := make([]ItemMeta, 0, sl.list.size)
-	sl.list.each(func(it *Item) bool {
-		if it.expired(now) {
+	sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
+		if chExpired(ch, nowNano) {
 			return true // dead items are not migration candidates
 		}
-		if filter == nil || filter(it.Key) {
-			out = append(out, ItemMeta{
-				Key:        it.Key,
-				LastAccess: it.LastAccess,
-				ValueSize:  len(it.Value),
-				ClassID:    classID,
-			})
+		m := metaOf(ch, classID)
+		if filter == nil || filter(m.Key) {
+			out = append(out, m)
 		}
 		return true
 	})
@@ -74,10 +84,10 @@ func (c *Cache) DumpClass(classID int, filter func(key string) bool) ([]ItemMeta
 	if classID < 0 || classID >= len(c.classes) {
 		return nil, fmt.Errorf("cache: slab class %d out of range", classID)
 	}
-	now := c.now()
+	nowNano := c.nowNano()
 	runs := make([][]ItemMeta, 0, len(c.shards))
 	for _, sh := range c.shards {
-		run := sh.dumpClass(classID, now, filter)
+		run := sh.dumpClass(classID, nowNano, filter)
 		if len(run) == 0 {
 			continue
 		}
@@ -119,13 +129,8 @@ func (c *Cache) ClassOrderByShard(classID int) ([][]ItemMeta, error) {
 		var run []ItemMeta
 		if sl := sh.slabs[classID]; sl != nil && sl.list.size > 0 {
 			run = make([]ItemMeta, 0, sl.list.size)
-			sl.list.each(func(it *Item) bool {
-				run = append(run, ItemMeta{
-					Key:        it.Key,
-					LastAccess: it.LastAccess,
-					ValueSize:  len(it.Value),
-					ClassID:    classID,
-				})
+			sl.list.each(&c.pool, func(ref itemRef, ch []byte) bool {
+				run = append(run, metaOf(ch, classID))
 				return true
 			})
 		}
@@ -143,12 +148,12 @@ func (c *Cache) MedianTimestamp(classID int) (time.Time, bool) {
 	if classID < 0 || classID >= len(c.classes) {
 		return time.Time{}, false
 	}
-	var stamps []time.Time
+	var stamps []int64
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		if sl := sh.slabs[classID]; sl != nil {
-			sl.list.each(func(it *Item) bool {
-				stamps = append(stamps, it.LastAccess)
+			sl.list.each(&c.pool, func(ref itemRef, ch []byte) bool {
+				stamps = append(stamps, chAccess(ch))
 				return true
 			})
 		}
@@ -157,8 +162,8 @@ func (c *Cache) MedianTimestamp(classID int) (time.Time, bool) {
 	if len(stamps) == 0 {
 		return time.Time{}, false
 	}
-	sort.Slice(stamps, func(i, j int) bool { return stamps[i].After(stamps[j]) })
-	return stamps[len(stamps)/2], true
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i] > stamps[j] })
+	return fromNano(stamps[len(stamps)/2]), true
 }
 
 // SlabPageWeights returns w_b for every populated class: the fraction of
@@ -175,7 +180,7 @@ func (c *Cache) SlabPageWeights() map[int]float64 {
 		sh.mu.Lock()
 		for classID, sl := range sh.slabs {
 			if sl != nil {
-				pages[classID] += sl.pages
+				pages[classID] += sl.pages()
 			}
 		}
 		sh.mu.Unlock()
@@ -272,7 +277,7 @@ type KV struct {
 
 // fetchTop snapshots up to count matching pairs of one shard in MRU order,
 // copying values; callers sort and merge the runs.
-func (sh *shard) fetchTop(classID, count int, now time.Time, filter func(key string) bool) []KV {
+func (sh *shard) fetchTop(classID, count int, nowNano int64, filter func(key string) bool) []KV {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sl := sh.slabs[classID]
@@ -280,14 +285,19 @@ func (sh *shard) fetchTop(classID, count int, now time.Time, filter func(key str
 		return nil
 	}
 	out := make([]KV, 0, count)
-	sl.list.each(func(it *Item) bool {
-		if it.expired(now) {
+	sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
+		if chExpired(ch, nowNano) {
 			return true // never ship dead items
 		}
-		if filter == nil || filter(it.Key) {
-			v := make([]byte, len(it.Value))
-			copy(v, it.Value)
-			out = append(out, KV{Key: it.Key, Value: v, Flags: it.Flags, LastAccess: it.LastAccess})
+		key := string(chKey(ch))
+		if filter == nil || filter(key) {
+			v := chValue(ch)
+			out = append(out, KV{
+				Key:        key,
+				Value:      append(make([]byte, 0, len(v)), v...),
+				Flags:      chFlags(ch),
+				LastAccess: fromNano(chAccess(ch)),
+			})
 			if len(out) == count {
 				return false
 			}
@@ -308,11 +318,11 @@ func (c *Cache) FetchTop(classID, count int, filter func(key string) bool) ([]KV
 	if count <= 0 {
 		return nil, nil
 	}
-	now := c.now()
+	nowNano := c.nowNano()
 	runs := make([][]KV, 0, len(c.shards))
 	for _, sh := range c.shards {
 		// A shard never contributes more than count items to the global top.
-		run := sh.fetchTop(classID, count, now, filter)
+		run := sh.fetchTop(classID, count, nowNano, filter)
 		if len(run) == 0 {
 			continue
 		}
@@ -412,7 +422,10 @@ func (sh *shard) importOneLocked(p KV) error {
 	if classID < 0 {
 		return &ValueTooLargeError{Key: p.Key, Need: need}
 	}
-	if it, ok := sh.table[p.Key]; ok {
+	kb := sbytes(p.Key)
+	h := shardHash(p.Key)
+	pNano := toNano(p.LastAccess)
+	if ref, ch, ok := sh.idx.lookup(h, kb, &c.pool); ok {
 		// The receiver may already hold the key: set by a client while
 		// metadata was in flight, or — after a lost reply — delivered again
 		// by the sender's retry. Only a strictly fresher copy may update the
@@ -421,32 +434,28 @@ func (sh *shard) importOneLocked(p KV) error {
 		// retried batch re-hoists its items to the head, inflating their MRU
 		// position past pairs that landed in between (see DESIGN.md, "Fault
 		// injection & invariants").
-		if !p.LastAccess.After(it.LastAccess) {
+		if pNano <= chAccess(ch) {
 			return nil
 		}
-		it.LastAccess = p.LastAccess
-		if it.classID == classID {
-			it.Value = append(it.Value[:0], p.Value...)
-			it.Flags = p.Flags
-			sh.slabs[classID].list.moveToFront(it)
+		setChAccess(ch, pNano)
+		if chClass(ch) == classID {
+			setChValue(ch, p.Value)
+			setChFlags(ch, p.Flags)
+			sh.slabs[classID].list.moveToFront(&c.pool, ref)
 			return nil
 		}
-		sh.removeLocked(it)
+		sh.removeLocked(ref, ch)
 	}
-	sl := sh.slab(classID)
-	if err := sh.reserveChunkLocked(sl); err != nil {
+	ref, err := sh.allocChunkLocked(classID)
+	if err != nil {
 		return fmt.Errorf("import %q: %w", p.Key, err)
 	}
-	it := &Item{
-		Key:        p.Key,
-		Value:      append(make([]byte, 0, len(p.Value)), p.Value...),
-		Flags:      p.Flags,
-		LastAccess: p.LastAccess,
-		classID:    classID,
-	}
-	sl.list.pushFront(it)
+	ch := c.pool.chunkAt(ref)
+	writeChunk(ch, kb, p.Value, p.Flags, 0, pNano, nanoNone, classID)
+	sl := sh.slabs[classID]
+	sl.list.pushFront(&c.pool, ref)
 	sl.used++
-	sh.table[p.Key] = it
+	sh.idx.insert(h, ref)
 	return nil
 }
 
@@ -461,12 +470,12 @@ func (c *Cache) EvictColdest(classID, n int) int {
 	evicted := 0
 	for evicted < n {
 		var victim *shard
-		var victimTS time.Time
+		var victimTS int64
 		for _, sh := range c.shards {
 			sh.mu.Lock()
-			if sl := sh.slabs[classID]; sl != nil && sl.list.tail != nil {
-				ts := sl.list.tail.LastAccess
-				if victim == nil || ts.Before(victimTS) {
+			if sl := sh.slabs[classID]; sl != nil && sl.list.tail != nilRef {
+				ts := chAccess(c.pool.chunkAt(sl.list.tail))
+				if victim == nil || ts < victimTS {
 					victim, victimTS = sh, ts
 				}
 			}
@@ -476,7 +485,7 @@ func (c *Cache) EvictColdest(classID, n int) int {
 			return evicted
 		}
 		victim.mu.Lock()
-		if sl := victim.slabs[classID]; sl != nil && sl.list.tail != nil {
+		if sl := victim.slabs[classID]; sl != nil && sl.list.tail != nilRef {
 			victim.evictLocked(sl)
 			evicted++
 		}
@@ -491,8 +500,14 @@ func (c *Cache) Keys() []string {
 	out := make([]string, 0, c.Len())
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		for k := range sh.table {
-			out = append(out, k)
+		for _, sl := range sh.slabs {
+			if sl == nil {
+				continue
+			}
+			sl.list.each(&c.pool, func(ref itemRef, ch []byte) bool {
+				out = append(out, string(chKey(ch)))
+				return true
+			})
 		}
 		sh.mu.Unlock()
 	}

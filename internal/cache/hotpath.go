@@ -4,51 +4,55 @@ import "time"
 
 // The wire hot path: byte-slice-keyed variants of Get/Set/GetMulti that
 // perform zero steady-state heap allocations. Keys arrive from the protocol
-// parser as slices into its read buffer; the map lookups use the
-// compiler-elided string(key) index form, and results are appended into
-// caller-provided scratch that the server pools per connection. The
-// convenience string-keyed API (Get/Set/GetMulti) stays for everything that
-// is not serving sockets.
+// parser as slices into its read buffer; lookups probe the pointer-free
+// index and compare key bytes directly in the arena, and results are
+// appended into caller-provided scratch that the server pools per
+// connection. The convenience string-keyed API (Get/Set/GetMulti) stays for
+// everything that is not serving sockets.
 
 // GetInto looks up key, refreshing recency, and appends a copy of the value
 // to dst. It returns the extended slice together with the item's client
 // flags and CAS token; hit is false on miss (dst is returned unchanged).
 // It never allocates when dst has capacity for the value.
 func (c *Cache) GetInto(key []byte, dst []byte) (out []byte, flags uint32, casToken uint64, hit bool) {
-	sh := c.shards[shardHashBytes(key)&c.mask]
+	h := shardHashBytes(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
-	now := c.now()
-	it, ok := sh.lookupBytesLocked(key, now)
+	nowNano := c.nanos()
+	ref, ch, ok := sh.lookupLocked(h, key, nowNano)
 	if !ok {
 		sh.misses++
 		sh.mu.Unlock()
 		return dst, 0, 0, false
 	}
 	sh.hits++
-	it.LastAccess = now
-	sh.slabs[it.classID].list.moveToFront(it)
-	dst = append(dst, it.Value...)
-	flags, casToken = it.Flags, it.casID
+	setChAccess(ch, nowNano)
+	sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+	dst = append(dst, chValue(ch)...)
+	flags, casToken = chFlags(ch), chCAS(ch)
 	sh.mu.Unlock()
 	return dst, flags, casToken, true
 }
 
 // SetBytes stores a copy of value under a byte-slice key with client flags
 // and an absolute expiry (zero = never). Overwriting an existing item of
-// the same slab class reuses its buffer and allocates nothing; only the
-// first store of a new key materializes the key string and value buffer.
+// the same slab class rewrites its chunk in place and allocates nothing;
+// a brand-new key only takes a free arena chunk — no per-item object is
+// ever created, so even first stores are allocation-free once the slab's
+// pages and the index have warmed up.
 func (c *Cache) SetBytes(key, value []byte, flags uint32, expiresAt time.Time) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
-	sh := c.shards[shardHashBytes(key)&c.mask]
+	h := shardHashBytes(key)
+	sh := c.shards[h&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	it, err := sh.setKeyedLocked("", key, value, flags, c.now())
+	ch, err := sh.setLocked(h, key, value, flags, c.nanos())
 	if err != nil {
 		return err
 	}
-	it.ExpiresAt = expiresAt
+	setChExpire(ch, toNano(expiresAt))
 	return nil
 }
 
@@ -70,8 +74,8 @@ type MultiItem struct {
 // GetMultiInto call.
 func (m MultiItem) ValueIn(arena []byte) []byte { return arena[m.off : m.off+m.n] }
 
-// getMultiScratchKeys bounds the stack-resident shard-index scratch; larger
-// batches fall back to one heap allocation for the index array.
+// getMultiScratchKeys bounds the stack-resident hash scratch; larger
+// batches fall back to one heap allocation for the hash array.
 const getMultiScratchKeys = 64
 
 // GetMultiInto is the hot-path multi-get: one result per requested key, in
@@ -80,7 +84,7 @@ const getMultiScratchKeys = 64
 // promote exactly like per-key Get. Locking is grouped by shard — each
 // touched stripe's lock is taken once per call — and nothing allocates once
 // dst and arena have warmed up to the workload's batch shape (batches over
-// 64 keys pay one index-scratch allocation).
+// 64 keys pay one hash-scratch allocation).
 func (c *Cache) GetMultiInto(keys [][]byte, dst []MultiItem, arena []byte) ([]MultiItem, []byte) {
 	dst, arena = dst[:0], arena[:0]
 	if len(keys) == 0 {
@@ -91,41 +95,44 @@ func (c *Cache) GetMultiInto(keys [][]byte, dst []MultiItem, arena []byte) ([]Mu
 	} else {
 		dst = dst[:len(keys)]
 	}
-	var idxArr [getMultiScratchKeys]int
-	idx := idxArr[:]
-	if len(keys) > len(idxArr) {
-		idx = make([]int, len(keys))
+	var hashArr [getMultiScratchKeys]uint64
+	var doneArr [getMultiScratchKeys]bool
+	hs, done := hashArr[:], doneArr[:]
+	if len(keys) > getMultiScratchKeys {
+		hs = make([]uint64, len(keys))
+		done = make([]bool, len(keys))
 	} else {
-		idx = idx[:len(keys)]
+		hs, done = hs[:len(keys)], done[:len(keys)]
 	}
 	for i, key := range keys {
-		idx[i] = int(shardHashBytes(key) & c.mask)
+		hs[i] = shardHashBytes(key)
 	}
 	for i := range keys {
-		si := idx[i]
-		if si < 0 {
+		if done[i] {
 			continue // already served under an earlier shard's lock
 		}
+		si := hs[i] & c.mask
 		sh := c.shards[si]
 		sh.mu.Lock()
-		now := c.now()
+		nowNano := c.nanos()
 		for j := i; j < len(keys); j++ {
-			if idx[j] != si {
+			if done[j] || hs[j]&c.mask != si {
 				continue
 			}
-			idx[j] = -1
-			it, ok := sh.lookupBytesLocked(keys[j], now)
+			done[j] = true
+			ref, ch, ok := sh.lookupLocked(hs[j], keys[j], nowNano)
 			if !ok {
 				sh.misses++
 				dst[j] = MultiItem{}
 				continue
 			}
 			sh.hits++
-			it.LastAccess = now
-			sh.slabs[it.classID].list.moveToFront(it)
+			setChAccess(ch, nowNano)
+			sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+			v := chValue(ch)
 			off := len(arena)
-			arena = append(arena, it.Value...)
-			dst[j] = MultiItem{Hit: true, Flags: it.Flags, CAS: it.casID, off: off, n: len(it.Value)}
+			arena = append(arena, v...)
+			dst[j] = MultiItem{Hit: true, Flags: chFlags(ch), CAS: chCAS(ch), off: off, n: len(v)}
 		}
 		sh.mu.Unlock()
 	}

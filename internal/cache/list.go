@@ -1,95 +1,124 @@
 package cache
 
-// mruList is an intrusive doubly-linked list of items kept in
+// refList is an intrusive doubly-linked list of chunks kept in
 // Most-Recently-Used order: head is the hottest item, tail the coldest.
-// Memcached stores each slab class's items this way so that LRU eviction is
-// O(1) — delete the tail (Section II-A).
-type mruList struct {
-	head *Item
-	tail *Item
+// Memcached stores each slab class's items this way so that LRU eviction
+// is O(1) — delete the tail (Section II-A). The links are not pointers:
+// prev/next are itemRefs stored in the chunk headers themselves, so the
+// list contributes nothing to the GC's pointer graph.
+type refList struct {
+	head itemRef
+	tail itemRef
 	size int
 }
 
-// pushFront inserts an item at the MRU head.
-func (l *mruList) pushFront(it *Item) {
-	it.prev = nil
-	it.next = l.head
-	if l.head != nil {
-		l.head.prev = it
+// pushFront inserts a chunk at the MRU head.
+func (l *refList) pushFront(p *pagePool, ref itemRef) {
+	ch := p.chunkAt(ref)
+	setChPrev(ch, nilRef)
+	setChNext(ch, l.head)
+	if l.head != nilRef {
+		setChPrev(p.chunkAt(l.head), ref)
 	}
-	l.head = it
-	if l.tail == nil {
-		l.tail = it
+	l.head = ref
+	if l.tail == nilRef {
+		l.tail = ref
 	}
 	l.size++
 }
 
-// remove unlinks an item from the list.
-func (l *mruList) remove(it *Item) {
-	if it.prev != nil {
-		it.prev.next = it.next
-	} else {
-		l.head = it.next
+// pushBack inserts a chunk at the LRU tail. Batch import uses pushFront
+// for migrated hot data; pushBack exists for completeness and tests.
+func (l *refList) pushBack(p *pagePool, ref itemRef) {
+	ch := p.chunkAt(ref)
+	setChNext(ch, nilRef)
+	setChPrev(ch, l.tail)
+	if l.tail != nilRef {
+		setChNext(p.chunkAt(l.tail), ref)
 	}
-	if it.next != nil {
-		it.next.prev = it.prev
-	} else {
-		l.tail = it.prev
+	l.tail = ref
+	if l.head == nilRef {
+		l.head = ref
 	}
-	it.prev, it.next = nil, nil
+	l.size++
+}
+
+// remove unlinks a chunk from the list.
+func (l *refList) remove(p *pagePool, ref itemRef) {
+	ch := p.chunkAt(ref)
+	prev, next := chPrev(ch), chNext(ch)
+	if prev != nilRef {
+		setChNext(p.chunkAt(prev), next)
+	} else {
+		l.head = next
+	}
+	if next != nilRef {
+		setChPrev(p.chunkAt(next), prev)
+	} else {
+		l.tail = prev
+	}
+	setChPrev(ch, nilRef)
+	setChNext(ch, nilRef)
 	l.size--
 }
 
-// moveToFront relinks an existing member at the head.
-func (l *mruList) moveToFront(it *Item) {
-	if l.head == it {
+// moveToFront relinks an existing member at the head. It is the hottest
+// list operation (every Get promotes), so the unlink and relink are fused:
+// a non-head member always has a live prev, and the old head is always
+// live, which drops several nil checks and redundant link writes that the
+// remove+pushFront composition would pay.
+func (l *refList) moveToFront(p *pagePool, ref itemRef) {
+	if l.head == ref {
 		return
 	}
-	l.remove(it)
-	l.pushFront(it)
+	ch := p.chunkAt(ref)
+	prev, next := chPrev(ch), chNext(ch)
+	setChNext(p.chunkAt(prev), next)
+	if next != nilRef {
+		setChPrev(p.chunkAt(next), prev)
+	} else {
+		l.tail = prev
+	}
+	setChPrev(ch, nilRef)
+	setChNext(ch, l.head)
+	setChPrev(p.chunkAt(l.head), ref)
+	l.head = ref
 }
 
-// pushBack inserts an item at the LRU tail. Batch import uses pushFront for
-// migrated hot data; pushBack exists for completeness and tests.
-func (l *mruList) pushBack(it *Item) {
-	it.next = nil
-	it.prev = l.tail
-	if l.tail != nil {
-		l.tail.next = it
-	}
-	l.tail = it
-	if l.head == nil {
-		l.head = it
-	}
-	l.size++
-}
-
-// each walks the list head→tail, stopping early if fn returns false.
-func (l *mruList) each(fn func(*Item) bool) {
-	for it := l.head; it != nil; {
-		next := it.next // capture: fn may unlink it
-		if !fn(it) {
+// each walks the list head→tail, calling fn with each ref and its resolved
+// chunk; it stops early if fn returns false. fn may unlink the current
+// chunk (the successor is captured first) but must not unlink others.
+func (l *refList) each(p *pagePool, fn func(ref itemRef, ch []byte) bool) {
+	for ref := l.head; ref != nilRef; {
+		ch := p.chunkAt(ref)
+		next := chNext(ch)
+		if !fn(ref, ch) {
 			return
 		}
-		it = next
+		ref = next
 	}
 }
 
 // validate checks structural invariants; used by tests and property checks.
-func (l *mruList) validate() bool {
+func (l *refList) validate(p *pagePool) bool {
 	if l.size == 0 {
-		return l.head == nil && l.tail == nil
+		return l.head == nilRef && l.tail == nilRef
 	}
-	if l.head == nil || l.tail == nil || l.head.prev != nil || l.tail.next != nil {
+	if l.head == nilRef || l.tail == nilRef {
+		return false
+	}
+	if chPrev(p.chunkAt(l.head)) != nilRef || chNext(p.chunkAt(l.tail)) != nilRef {
 		return false
 	}
 	n := 0
-	var prev *Item
-	for it := l.head; it != nil; it = it.next {
-		if it.prev != prev {
+	prev := nilRef
+	for ref := l.head; ref != nilRef; {
+		ch := p.chunkAt(ref)
+		if chPrev(ch) != prev {
 			return false
 		}
-		prev = it
+		prev = ref
+		ref = chNext(ch)
 		n++
 		if n > l.size {
 			return false

@@ -9,98 +9,141 @@ import (
 	"time"
 )
 
-func listKeys(l *mruList) []string {
+// listHarness hands out arena chunks for exercising refList in isolation:
+// a small page pool plus a bump allocator over pages of one chunk size.
+type listHarness struct {
+	pool    pagePool
+	pageIDs []uint32
+	used    uint32 // chunks taken from the last page
+	cpp     uint32 // chunks per page
+}
+
+func newListHarness(t *testing.T) *listHarness {
+	t.Helper()
+	const chunkSize = 256
+	h := &listHarness{pool: newPagePool(8), cpp: PageSize / chunkSize}
+	pageID, ok := h.pool.tryAcquire(chunkSize)
+	if !ok {
+		t.Fatal("tryAcquire failed on fresh pool")
+	}
+	h.pageIDs = append(h.pageIDs, pageID)
+	return h
+}
+
+// alloc writes key into a fresh chunk and returns its ref.
+func (h *listHarness) alloc(t *testing.T, key string) itemRef {
+	t.Helper()
+	if h.used == h.cpp {
+		pageID, ok := h.pool.tryAcquire(256)
+		if !ok {
+			t.Fatal("harness out of pages")
+		}
+		h.pageIDs = append(h.pageIDs, pageID)
+		h.used = 0
+	}
+	ref := makeRef(h.pageIDs[len(h.pageIDs)-1], h.used)
+	h.used++
+	writeChunk(h.pool.chunkAt(ref), []byte(key), nil, 0, 0, 0, nanoNone, 0)
+	return ref
+}
+
+func (h *listHarness) listKeys(l *refList) []string {
 	var out []string
-	l.each(func(it *Item) bool {
-		out = append(out, it.Key)
+	l.each(&h.pool, func(ref itemRef, ch []byte) bool {
+		out = append(out, string(chKey(ch)))
 		return true
 	})
 	return out
 }
 
 func TestListPushFrontOrder(t *testing.T) {
-	var l mruList
+	h := newListHarness(t)
+	var l refList
 	for _, k := range []string{"a", "b", "c"} {
-		l.pushFront(&Item{Key: k})
+		l.pushFront(&h.pool, h.alloc(t, k))
 	}
-	got := listKeys(&l)
+	got := h.listKeys(&l)
 	want := []string{"c", "b", "a"}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("order = %v, want %v", got, want)
 		}
 	}
-	if !l.validate() {
+	if !l.validate(&h.pool) {
 		t.Fatal("invariants broken")
 	}
 }
 
 func TestListPushBack(t *testing.T) {
-	var l mruList
+	h := newListHarness(t)
+	var l refList
 	for _, k := range []string{"a", "b"} {
-		l.pushBack(&Item{Key: k})
+		l.pushBack(&h.pool, h.alloc(t, k))
 	}
-	got := listKeys(&l)
+	got := h.listKeys(&l)
 	if got[0] != "a" || got[1] != "b" {
 		t.Fatalf("order = %v, want [a b]", got)
 	}
-	if !l.validate() {
+	if !l.validate(&h.pool) {
 		t.Fatal("invariants broken")
 	}
 }
 
 func TestListRemoveHeadTailMiddle(t *testing.T) {
-	items := map[string]*Item{}
-	var l mruList
+	h := newListHarness(t)
+	refs := map[string]itemRef{}
+	var l refList
 	for _, k := range []string{"a", "b", "c", "d"} {
-		it := &Item{Key: k}
-		items[k] = it
-		l.pushBack(it)
+		ref := h.alloc(t, k)
+		refs[k] = ref
+		l.pushBack(&h.pool, ref)
 	}
-	l.remove(items["a"]) // head
-	l.remove(items["d"]) // tail
-	l.remove(items["b"]) // middle
-	got := listKeys(&l)
+	l.remove(&h.pool, refs["a"]) // head
+	l.remove(&h.pool, refs["d"]) // tail
+	l.remove(&h.pool, refs["b"]) // middle
+	got := h.listKeys(&l)
 	if len(got) != 1 || got[0] != "c" {
 		t.Fatalf("remaining = %v, want [c]", got)
 	}
-	if !l.validate() {
+	if !l.validate(&h.pool) {
 		t.Fatal("invariants broken")
 	}
-	l.remove(items["c"])
-	if l.head != nil || l.tail != nil || l.size != 0 {
+	l.remove(&h.pool, refs["c"])
+	if l.head != nilRef || l.tail != nilRef || l.size != 0 {
 		t.Fatal("empty-list state wrong after removing last item")
 	}
 }
 
 func TestListMoveToFront(t *testing.T) {
-	items := map[string]*Item{}
-	var l mruList
+	h := newListHarness(t)
+	refs := map[string]itemRef{}
+	var l refList
 	for _, k := range []string{"a", "b", "c"} {
-		it := &Item{Key: k}
-		items[k] = it
-		l.pushBack(it)
+		ref := h.alloc(t, k)
+		refs[k] = ref
+		l.pushBack(&h.pool, ref)
 	}
-	l.moveToFront(items["c"])
-	if got := listKeys(&l); got[0] != "c" {
+	l.moveToFront(&h.pool, refs["c"])
+	if got := h.listKeys(&l); got[0] != "c" {
 		t.Fatalf("head = %q, want c", got[0])
 	}
-	l.moveToFront(items["c"]) // no-op on head
-	if got := listKeys(&l); got[0] != "c" || l.size != 3 {
+	l.moveToFront(&h.pool, refs["c"]) // no-op on head
+	if got := h.listKeys(&l); got[0] != "c" || l.size != 3 {
 		t.Fatal("moveToFront of head corrupted list")
 	}
-	if !l.validate() {
+	if !l.validate(&h.pool) {
 		t.Fatal("invariants broken")
 	}
 }
 
 func TestListEachEarlyStop(t *testing.T) {
-	var l mruList
+	h := newListHarness(t)
+	var l refList
 	for i := 0; i < 5; i++ {
-		l.pushBack(&Item{Key: fmt.Sprintf("k%d", i)})
+		l.pushBack(&h.pool, h.alloc(t, fmt.Sprintf("k%d", i)))
 	}
 	n := 0
-	l.each(func(*Item) bool {
+	l.each(&h.pool, func(itemRef, []byte) bool {
 		n++
 		return n < 2
 	})
@@ -114,40 +157,41 @@ func TestListEachEarlyStop(t *testing.T) {
 func TestListPropertyRandomOps(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		var l mruList
+		h := newListHarness(t)
+		var l refList
 		var model []string // head-first
-		items := make(map[string]*Item)
+		refs := make(map[string]itemRef)
 		for op := 0; op < 300; op++ {
 			switch r := rng.Intn(4); {
 			case r == 0 || len(model) == 0: // pushFront
 				k := fmt.Sprintf("k%d", op)
-				it := &Item{Key: k}
-				items[k] = it
-				l.pushFront(it)
+				ref := h.alloc(t, k)
+				refs[k] = ref
+				l.pushFront(&h.pool, ref)
 				model = append([]string{k}, model...)
 			case r == 1: // remove random
 				i := rng.Intn(len(model))
 				k := model[i]
-				l.remove(items[k])
-				delete(items, k)
+				l.remove(&h.pool, refs[k])
+				delete(refs, k)
 				model = append(model[:i:i], model[i+1:]...)
 			case r == 2: // moveToFront random
 				i := rng.Intn(len(model))
 				k := model[i]
-				l.moveToFront(items[k])
+				l.moveToFront(&h.pool, refs[k])
 				model = append(model[:i:i], model[i+1:]...)
 				model = append([]string{k}, model...)
 			default: // pushBack
 				k := fmt.Sprintf("k%d", op)
-				it := &Item{Key: k}
-				items[k] = it
-				l.pushBack(it)
+				ref := h.alloc(t, k)
+				refs[k] = ref
+				l.pushBack(&h.pool, ref)
 				model = append(model, k)
 			}
-			if !l.validate() {
+			if !l.validate(&h.pool) {
 				return false
 			}
-			got := listKeys(&l)
+			got := h.listKeys(&l)
 			if len(got) != len(model) {
 				return false
 			}
@@ -167,7 +211,7 @@ func TestListPropertyRandomOps(t *testing.T) {
 
 // TestCachePropertyNeverExceedsCapacity checks the global memory invariant
 // under random workloads: used chunks never exceed page capacity, and the
-// table and lists always agree.
+// index and lists always agree.
 func TestCachePropertyNeverExceedsCapacity(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -29,50 +29,50 @@ func (c *Cache) GetMulti(keys []string) map[string]MultiValue {
 		return nil
 	}
 	out := make(map[string]MultiValue, len(keys))
-	c.eachShardGroup(keys, func(sh *shard, i int, now time.Time) {
+	c.eachShardGroup(keys, func(sh *shard, i int, h uint64, nowNano int64) {
 		key := keys[i]
-		it, ok := sh.lookupLocked(key, now)
+		ref, ch, ok := sh.lookupLocked(h, sbytes(key), nowNano)
 		if !ok {
 			sh.misses++
 			return
 		}
 		sh.hits++
-		it.LastAccess = now
-		sh.slabs[it.classID].list.moveToFront(it)
+		setChAccess(ch, nowNano)
+		sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+		v := chValue(ch)
 		out[key] = MultiValue{
-			Value: append(make([]byte, 0, len(it.Value)), it.Value...),
-			Flags: it.Flags,
-			CAS:   it.casID,
+			Value: append(make([]byte, 0, len(v)), v...),
+			Flags: chFlags(ch),
+			CAS:   chCAS(ch),
 		}
 	})
 	return out
 }
 
 // eachShardGroup visits keys grouped by lock stripe, taking each touched
-// shard's lock exactly once and calling fn with each key's index under its
-// shard's lock (in slice order within a shard). It routes with a flat index
-// array rather than per-shard slices, so a batch costs one allocation no
-// matter how many stripes it spans; the O(keys × distinct-shards) rescan is
-// cheap at protocol batch sizes.
-func (c *Cache) eachShardGroup(keys []string, fn func(sh *shard, i int, now time.Time)) {
-	idx := make([]int, len(keys))
+// shard's lock exactly once and calling fn with each key's index and
+// routing hash under its shard's lock (in slice order within a shard). The
+// O(keys × distinct-shards) rescan is cheap at protocol batch sizes.
+func (c *Cache) eachShardGroup(keys []string, fn func(sh *shard, i int, h uint64, nowNano int64)) {
+	hs := make([]uint64, len(keys))
+	done := make([]bool, len(keys))
 	for i, key := range keys {
-		idx[i] = int(c.shardIndexFor(key))
+		hs[i] = shardHash(key)
 	}
 	for i := range keys {
-		si := idx[i]
-		if si < 0 {
+		if done[i] {
 			continue // already served under an earlier shard's lock
 		}
+		si := hs[i] & c.mask
 		sh := c.shards[si]
 		sh.mu.Lock()
-		now := c.now()
+		nowNano := c.nowNano()
 		for j := i; j < len(keys); j++ {
-			if idx[j] != si {
+			if done[j] || hs[j]&c.mask != si {
 				continue
 			}
-			idx[j] = -1
-			fn(sh, j, now)
+			done[j] = true
+			fn(sh, j, hs[j], nowNano)
 		}
 		sh.mu.Unlock()
 	}
@@ -105,7 +105,7 @@ func (c *Cache) SetBatch(items []SetItem) (int, error) {
 	}
 	stored := 0
 	var firstErr error
-	c.eachShardGroup(keys, func(sh *shard, i int, now time.Time) {
+	c.eachShardGroup(keys, func(sh *shard, i int, h uint64, nowNano int64) {
 		item := &items[i]
 		if item.Key == "" {
 			if firstErr == nil {
@@ -113,14 +113,14 @@ func (c *Cache) SetBatch(items []SetItem) (int, error) {
 			}
 			return
 		}
-		it, err := sh.setLocked(item.Key, item.Value, item.Flags, now)
+		ch, err := sh.setLocked(h, sbytes(item.Key), item.Value, item.Flags, nowNano)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			return
 		}
-		it.ExpiresAt = item.ExpiresAt
+		setChExpire(ch, toNano(item.ExpiresAt))
 		stored++
 	})
 	return stored, firstErr

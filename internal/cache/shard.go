@@ -5,15 +5,19 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
-	"time"
+	"unsafe"
 )
 
 // The lock-striped engine: keys are routed by FNV-1a hash onto a power-of-
 // two number of shards, each owning its slice of the key index and its own
 // per-class MRU lists. The 1 MiB page budget stays global — shards draw
-// pages from a shared allocator (pagePool) guarded by its own mutex, so the
-// hot Get/Set path never contends across shards; the pool lock is taken
-// only on the rare page-assignment slow path.
+// pages from a shared allocator (pagePool, see arena.go) guarded by its own
+// mutex, so the hot Get/Set path never contends across shards; the pool
+// lock is taken only on the rare page-assignment slow path.
+//
+// Items live entirely inside arena chunks (see arena.go): the shard holds
+// no per-item Go objects, only the pointer-free keyIndex and the per-class
+// slabs whose MRU lists are ref-linked through the chunk headers.
 
 // minPagesPerShard bounds striping from below: a shard that owns fewer
 // pages than this would fragment the slab ladder (every (shard, class) pair
@@ -55,7 +59,8 @@ func floorPow2(n int) int {
 }
 
 // FNV-1a, the paper-era memcached default for hash-table bucketing; the
-// upper half is folded in because the shard mask keeps only low bits.
+// upper half is folded in because the shard mask keeps only low bits (the
+// in-shard keyIndex re-mixes the full hash, see index.go).
 const (
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211
@@ -81,47 +86,23 @@ func shardHashBytes(key []byte) uint64 {
 	return h ^ h>>32
 }
 
-// pagePool is the shared page allocator. Pages, once acquired by a
-// (shard, class) slab, are never returned — the classic memcached rule —
-// so the pool is a single high-water counter.
-type pagePool struct {
-	mu       sync.Mutex
-	max      int
-	assigned int
-}
-
-// tryAcquire claims one page if any remain unassigned.
-func (p *pagePool) tryAcquire() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.assigned >= p.max {
-		return false
+// sbytes views a string's bytes without copying. The slice is read-only by
+// contract: it is only ever hashed, compared, or copied from. It lets the
+// string-keyed convenience API share the byte-keyed core paths.
+func sbytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
 	}
-	p.assigned++
-	return true
+	return unsafe.Slice(unsafe.StringData(s), len(s))
 }
 
-// assignedCount reports pages handed out so far.
-func (p *pagePool) assignedCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.assigned
-}
-
-// free reports pages still unassigned.
-func (p *pagePool) free() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.max - p.assigned
-}
-
-// shard is one lock stripe: a key-table slice plus per-class MRU lists and
-// counters. Everything below the mutex is guarded by it.
+// shard is one lock stripe: a pointer-free key index plus per-class slabs
+// and counters. Everything below the mutex is guarded by it.
 type shard struct {
 	owner *Cache
 
 	mu    sync.Mutex
-	table map[string]*Item
+	idx   keyIndex
 	slabs []*slab // lazily populated per class
 
 	hits, misses, sets, evictions uint64
@@ -131,7 +112,6 @@ type shard struct {
 func newShard(c *Cache) *shard {
 	return &shard{
 		owner: c,
-		table: make(map[string]*Item),
 		slabs: make([]*slab, len(c.classes)),
 	}
 }
@@ -144,152 +124,139 @@ func (sh *shard) slab(classID int) *slab {
 	return sh.slabs[classID]
 }
 
-// lookupLocked finds a live item, lazily expiring a dead one.
-func (sh *shard) lookupLocked(key string, now time.Time) (*Item, bool) {
-	it, ok := sh.table[key]
+// items reports the number of resident keys (live index entries), the
+// arena engine's equivalent of len(table).
+func (sh *shard) items() int { return sh.idx.count }
+
+// lookupLocked finds a live item by its routing hash and key bytes,
+// lazily expiring a dead one. It returns the item's ref and chunk.
+func (sh *shard) lookupLocked(h uint64, key []byte, nowNano int64) (itemRef, []byte, bool) {
+	ref, ch, ok := sh.idx.lookup(h, key, &sh.owner.pool)
+	if !ok {
+		return nilRef, nil, false
+	}
+	if chExpired(ch, nowNano) {
+		sh.expireLocked(ref, ch)
+		return nilRef, nil, false
+	}
+	return ref, ch, true
+}
+
+// peekLocked is lookupLocked without the lazy expiry (expired items are
+// skipped, not reclaimed) — for read-only probes like Peek/Contains.
+func (sh *shard) peekLocked(h uint64, key []byte, nowNano int64) ([]byte, bool) {
+	_, ch, ok := sh.idx.lookup(h, key, &sh.owner.pool)
 	if !ok {
 		return nil, false
 	}
-	if it.expired(now) {
-		sh.expireLocked(it)
+	if chExpired(ch, nowNano) {
 		return nil, false
 	}
-	return it, true
+	return ch, true
 }
 
-// lookupBytesLocked is lookupLocked keyed by a byte slice. The compiler
-// elides the string conversion in the map index, so no allocation happens
-// on this path.
-func (sh *shard) lookupBytesLocked(key []byte, now time.Time) (*Item, bool) {
-	it, ok := sh.table[string(key)]
-	if !ok {
-		return nil, false
-	}
-	if it.expired(now) {
-		sh.expireLocked(it)
-		return nil, false
-	}
-	return it, true
-}
-
-// setLocked is the core insert path; callers hold sh.mu. The value is
-// copied into a cache-owned buffer (reused in place when the slab class is
-// unchanged), so callers keep ownership of theirs. Returns the stored item
-// so callers can adjust expiry without a second map lookup.
-func (sh *shard) setLocked(key string, value []byte, flags uint32, ts time.Time) (*Item, error) {
-	return sh.setKeyedLocked(key, nil, value, flags, ts)
-}
-
-// setKeyedLocked is setLocked with the key supplied as a string, a byte
-// slice, or both. Exactly one form is consulted for lookups (keyB wins when
-// non-nil, avoiding a conversion allocation on the wire path); the string
-// is materialized from keyB only when a brand-new item must own its key.
-func (sh *shard) setKeyedLocked(key string, keyB []byte, value []byte, flags uint32, ts time.Time) (*Item, error) {
+// setLocked is the core insert path; callers hold sh.mu. The key and value
+// bytes are copied into the item's chunk (overwritten in place when the
+// slab class is unchanged, so a steady-state set allocates nothing) and
+// the expiry is cleared; callers needing a TTL stamp it on the returned
+// chunk. Returns the stored chunk so callers can adjust fields without a
+// second lookup.
+func (sh *shard) setLocked(h uint64, key, value []byte, flags uint32, tsNano int64) ([]byte, error) {
 	c := sh.owner
-	keyLen := len(key)
-	if keyB != nil {
-		keyLen = len(keyB)
-	}
-	need := keyLen + len(value) + ItemOverhead
+	need := len(key) + len(value) + ItemOverhead
 	classID := classForSize(c.classes, need)
 	if classID < 0 {
-		if keyB != nil {
-			key = string(keyB)
-		}
-		return nil, &ValueTooLargeError{Key: key, Need: need}
+		return nil, &ValueTooLargeError{Key: string(key), Need: need}
 	}
 
 	cas := c.casSeq.Add(1)
-	var it *Item
-	var ok bool
-	if keyB != nil {
-		it, ok = sh.table[string(keyB)]
-	} else {
-		it, ok = sh.table[key]
-	}
-	if ok {
-		if it.classID == classID {
-			// In-place update within the same chunk class: reuse the
-			// existing buffer, so steady-state overwrites allocate nothing.
-			it.Value = append(it.Value[:0], value...)
-			it.Flags = flags
-			it.LastAccess = ts
-			it.ExpiresAt = time.Time{}
-			it.casID = cas
-			sh.slabs[classID].list.moveToFront(it)
+	if ref, ch, ok := sh.idx.lookup(h, key, &c.pool); ok {
+		if chClass(ch) == classID {
+			// In-place update within the same chunk: steady-state
+			// overwrites touch only arena bytes.
+			setChValue(ch, value)
+			setChFlags(ch, flags)
+			setChAccess(ch, tsNano)
+			setChExpire(ch, nanoNone)
+			setChCAS(ch, cas)
+			sh.slabs[classID].list.moveToFront(&c.pool, ref)
 			sh.sets++
-			return it, nil
+			return ch, nil
 		}
 		// Size class changed: drop and reinsert.
-		sh.removeLocked(it)
+		sh.removeLocked(ref, ch)
 	}
 
-	sl := sh.slab(classID)
-	if err := sh.reserveChunkLocked(sl); err != nil {
-		if keyB != nil {
-			key = string(keyB)
-		}
+	ref, err := sh.allocChunkLocked(classID)
+	if err != nil {
 		return nil, fmt.Errorf("set %q: %w", key, err)
 	}
-	if keyB != nil {
-		key = string(keyB)
-	}
-	it = &Item{
-		Key:        key,
-		Value:      append(make([]byte, 0, len(value)), value...),
-		Flags:      flags,
-		LastAccess: ts,
-		classID:    classID,
-		casID:      cas,
-	}
-	sl.list.pushFront(it)
+	ch := c.pool.chunkAt(ref)
+	writeChunk(ch, key, value, flags, cas, tsNano, nanoNone, classID)
+	sl := sh.slabs[classID]
+	sl.list.pushFront(&c.pool, ref)
 	sl.used++
-	sh.table[key] = it
+	sh.idx.insert(h, ref)
 	sh.sets++
-	return it, nil
+	return ch, nil
 }
 
-// reserveChunkLocked guarantees sl has a free chunk: first by acquiring an
-// unassigned page from the shared pool, then by evicting the shard's LRU
-// tail of the class. Pages, once assigned to a (shard, class) slab, are
-// never reassigned, mirroring memcached.
-func (sh *shard) reserveChunkLocked(sl *slab) error {
-	if sl.freeChunks() > 0 {
-		return nil
+// allocChunkLocked guarantees a free chunk for the class: from the slab's
+// free list or bump cursor, then by acquiring an unassigned page from the
+// shared pool, then by evicting the shard's LRU tail of the class. Pages,
+// once assigned to a (shard, class) slab, are never reassigned, mirroring
+// memcached.
+func (sh *shard) allocChunkLocked(classID int) (itemRef, error) {
+	sl := sh.slab(classID)
+	pool := &sh.owner.pool
+	if ref, ok := sl.takeChunk(pool); ok {
+		return ref, nil
 	}
-	if sh.owner.pool.tryAcquire() {
-		sl.pages++
-		return nil
+	if pageID, ok := pool.tryAcquire(sl.chunkSize); ok {
+		sl.pageIDs = append(sl.pageIDs, pageID)
+		ref, _ := sl.takeChunk(pool)
+		return ref, nil
 	}
-	if sl.list.tail == nil {
-		return ErrOutOfMemory
+	if sl.list.tail == nilRef {
+		return nilRef, ErrOutOfMemory
 	}
 	sh.evictLocked(sl)
-	return nil
+	ref, _ := sl.takeChunk(pool)
+	return ref, nil
 }
 
 // evictLocked drops the LRU tail of sl.
 func (sh *shard) evictLocked(sl *slab) {
+	pool := &sh.owner.pool
 	victim := sl.list.tail
-	sl.list.remove(victim)
+	ch := pool.chunkAt(victim)
+	h := shardHashBytes(chKey(ch))
+	sl.list.remove(pool, victim)
 	sl.used--
-	delete(sh.table, victim.Key)
+	sh.idx.delete(h, victim)
+	sl.pushFree(pool, victim)
 	sl.evictions++
 	sh.evictions++
 }
 
-// removeLocked unlinks an item and frees its chunk.
-func (sh *shard) removeLocked(it *Item) {
-	sl := sh.slabs[it.classID]
-	sl.list.remove(it)
+// removeLocked unlinks an item and recycles its chunk. The routing hash is
+// recomputed from the key bytes in the chunk — removal is never on the
+// zero-alloc fast path.
+func (sh *shard) removeLocked(ref itemRef, ch []byte) {
+	pool := &sh.owner.pool
+	h := shardHashBytes(chKey(ch))
+	classID := chClass(ch)
+	sl := sh.slabs[classID]
+	sl.list.remove(pool, ref)
 	sl.used--
-	delete(sh.table, it.Key)
+	sh.idx.delete(h, ref)
+	sl.pushFree(pool, ref)
 }
 
 // expireLocked lazily removes an expired item, counting like memcached: a
 // get on an expired item is a miss.
-func (sh *shard) expireLocked(it *Item) {
-	sh.removeLocked(it)
+func (sh *shard) expireLocked(ref itemRef, ch []byte) {
+	sh.removeLocked(ref, ch)
 	sh.expirations++
 }
 

@@ -13,9 +13,13 @@ const (
 	MinChunkSize = 96
 	// DefaultGrowthFactor is memcached's default chunk growth factor.
 	DefaultGrowthFactor = 1.25
-	// ItemOverhead approximates memcached's per-item header (hash chain,
-	// LRU pointers, CAS, flags, key length, suffix).
-	ItemOverhead = 48
+	// ItemOverhead is the per-item storage overhead: exactly the in-chunk
+	// header (list links, CAS, timestamps, flags, lengths, class ID, padding
+	// — see arena.go). An item of keyLen+valueLen payload occupies the
+	// smallest chunk ≥ keyLen+valueLen+ItemOverhead; the codec and every
+	// classForSize caller share this constant, so class selection always
+	// matches the physical layout (pinned by TestChunkHeaderLayout).
+	ItemOverhead = chunkHeaderSize
 )
 
 // sizeClasses computes the chunk sizes for every slab class: a geometric
@@ -41,22 +45,34 @@ func sizeClasses(factor float64) []int {
 	return classes
 }
 
-// slab is one slab class: a chunk size, its page and chunk accounting, and
-// the MRU-ordered list of resident items.
+// slab is one (shard, class) slab: a chunk size, the arena pages it owns,
+// and the MRU-ordered ref list of resident items. Chunks are handed out by
+// bump allocation through the owned pages, and freed chunks are recycled
+// through a free list chained via the chunks' next fields.
 type slab struct {
 	classID   int
 	chunkSize int
 
-	// pages is the number of 1 MiB pages assigned to this class. Classic
-	// memcached never returns pages to the global pool.
-	pages int
 	// chunksPerPage is how many chunks one page yields.
-	chunksPerPage int
+	chunksPerPage uint32
+
+	// pageIDs are the pool pages assigned to this slab, in acquisition
+	// order. Classic memcached never returns pages to the global pool.
+	pageIDs []uint32
+	// bumpPage/bumpChunk is the bump-allocation cursor: the next
+	// never-used chunk is pageIDs[bumpPage] chunk bumpChunk.
+	bumpPage  int
+	bumpChunk uint32
+
+	// freeHead chains recycled chunks (delete, expiry, class-change
+	// reinsert) through their next fields.
+	freeHead itemRef
+
 	// used is the number of occupied chunks.
 	used int
 
 	// list holds the class's items in MRU order.
-	list mruList
+	list refList
 
 	// evictions counts LRU tail drops from this class.
 	evictions uint64
@@ -66,15 +82,55 @@ func newSlab(classID, chunkSize int) *slab {
 	return &slab{
 		classID:       classID,
 		chunkSize:     chunkSize,
-		chunksPerPage: PageSize / chunkSize,
+		chunksPerPage: uint32(PageSize / chunkSize),
 	}
 }
 
+// pages is the number of 1 MiB pages assigned to this slab.
+func (s *slab) pages() int { return len(s.pageIDs) }
+
 // capacity is the total chunks across assigned pages.
-func (s *slab) capacity() int { return s.pages * s.chunksPerPage }
+func (s *slab) capacity() int { return len(s.pageIDs) * int(s.chunksPerPage) }
 
 // freeChunks is the number of unoccupied chunks in assigned pages.
 func (s *slab) freeChunks() int { return s.capacity() - s.used }
+
+// pushFree recycles a chunk onto the free list.
+func (s *slab) pushFree(p *pagePool, ref itemRef) {
+	setChNext(p.chunkAt(ref), s.freeHead)
+	s.freeHead = ref
+}
+
+// takeChunk returns a free chunk if one is available without evicting:
+// first from the free list, then by bumping through assigned pages.
+func (s *slab) takeChunk(p *pagePool) (itemRef, bool) {
+	if s.freeHead != nilRef {
+		ref := s.freeHead
+		s.freeHead = chNext(p.chunkAt(ref))
+		return ref, true
+	}
+	for s.bumpPage < len(s.pageIDs) {
+		if s.bumpChunk < s.chunksPerPage {
+			ref := makeRef(s.pageIDs[s.bumpPage], s.bumpChunk)
+			s.bumpChunk++
+			return ref, true
+		}
+		s.bumpPage++
+		s.bumpChunk = 0
+	}
+	return nilRef, false
+}
+
+// resetChunks drops every resident item, keeping the assigned pages
+// (FlushAll): the bump cursor rewinds, the free list empties, and the MRU
+// list resets.
+func (s *slab) resetChunks() {
+	s.bumpPage = 0
+	s.bumpChunk = 0
+	s.freeHead = nilRef
+	s.used = 0
+	s.list = refList{}
+}
 
 // SlabStats is a point-in-time snapshot of one slab class, exposed through
 // Cache.Stats and used by the Master's node-scoring (III-C) for the page
@@ -86,6 +142,8 @@ type SlabStats struct {
 	ChunkSize int `json:"chunkSize"`
 	// Pages is the number of 1 MiB pages assigned.
 	Pages int `json:"pages"`
+	// ArenaBytes is the arena memory backing the class: Pages × PageSize.
+	ArenaBytes int64 `json:"arenaBytes"`
 	// Items is the number of resident items.
 	Items int `json:"items"`
 	// UsedChunks is the number of occupied chunks (== Items).

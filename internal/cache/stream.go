@@ -2,7 +2,6 @@ package cache
 
 import (
 	"fmt"
-	"time"
 )
 
 // Streaming migration producer (phase 3 data plane). The original
@@ -27,7 +26,7 @@ import (
 
 // topMeta snapshots up to count matching metas of one shard in MRU order;
 // callers sort and merge the runs.
-func (sh *shard) topMeta(classID, count int, now time.Time, filter func(key string) bool) []ItemMeta {
+func (sh *shard) topMeta(classID, count int, nowNano int64, filter func(key string) bool) []ItemMeta {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sl := sh.slabs[classID]
@@ -35,17 +34,13 @@ func (sh *shard) topMeta(classID, count int, now time.Time, filter func(key stri
 		return nil
 	}
 	out := make([]ItemMeta, 0, min(count, sl.list.size))
-	sl.list.each(func(it *Item) bool {
-		if it.expired(now) {
+	sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
+		if chExpired(ch, nowNano) {
 			return true // dead items are not migration candidates
 		}
-		if filter == nil || filter(it.Key) {
-			out = append(out, ItemMeta{
-				Key:        it.Key,
-				LastAccess: it.LastAccess,
-				ValueSize:  len(it.Value),
-				ClassID:    classID,
-			})
+		m := metaOf(ch, classID)
+		if filter == nil || filter(m.Key) {
+			out = append(out, m)
 			if len(out) == count {
 				return false
 			}
@@ -67,10 +62,10 @@ func (c *Cache) TopMeta(classID, count int, filter func(key string) bool) ([]Ite
 	if count <= 0 {
 		return nil, nil
 	}
-	now := c.now()
+	nowNano := c.nowNano()
 	runs := make([][]ItemMeta, 0, len(c.shards))
 	for _, sh := range c.shards {
-		run := sh.topMeta(classID, count, now, filter)
+		run := sh.topMeta(classID, count, nowNano, filter)
 		if len(run) == 0 {
 			continue
 		}
@@ -115,7 +110,7 @@ func (c *Cache) AppendPairs(dst []KV, metas []ItemMeta) []KV {
 		si := c.shardIndexFor(m.Key)
 		groups[si] = append(groups[si], i)
 	}
-	now := c.now()
+	nowNano := c.nowNano()
 	for si, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
@@ -123,15 +118,16 @@ func (c *Cache) AppendPairs(dst []KV, metas []ItemMeta) []KV {
 		sh := c.shards[si]
 		sh.mu.Lock()
 		for _, i := range idxs {
-			it, ok := sh.table[metas[i].Key]
-			if !ok || it.expired(now) {
+			key := metas[i].Key
+			ch, ok := sh.peekLocked(shardHash(key), sbytes(key), nowNano)
+			if !ok {
 				out[i].Key = "" // vanished since selection
 				continue
 			}
-			out[i].Key = metas[i].Key
-			out[i].Value = append(out[i].Value[:0], it.Value...)
-			out[i].Flags = it.Flags
-			out[i].LastAccess = it.LastAccess
+			out[i].Key = key
+			out[i].Value = append(out[i].Value[:0], chValue(ch)...)
+			out[i].Flags = chFlags(ch)
+			out[i].LastAccess = fromNano(chAccess(ch))
 		}
 		sh.mu.Unlock()
 	}

@@ -219,7 +219,7 @@ func TestStressNoLostItems(t *testing.T) {
 	c.checkShardInvariants(t)
 }
 
-// checkShardInvariants verifies, per shard, that the key table and the
+// checkShardInvariants verifies, per shard, that the key index and the
 // per-class MRU lists agree exactly: same membership, consistent sizes, and
 // intact list links.
 func (c *Cache) checkShardInvariants(t *testing.T) {
@@ -231,15 +231,19 @@ func (c *Cache) checkShardInvariants(t *testing.T) {
 			if sl == nil {
 				continue
 			}
-			if !sl.list.validate() {
+			if !sl.list.validate(&c.pool) {
 				sh.mu.Unlock()
 				t.Fatalf("shard %d class %d: corrupt MRU list", si, classID)
 			}
-			sl.list.each(func(it *Item) bool {
+			sl.list.each(&c.pool, func(ref itemRef, ch []byte) bool {
 				listed++
-				got, ok := sh.table[it.Key]
-				if !ok || got != it {
-					t.Errorf("shard %d: listed item %q not in table", si, it.Key)
+				key := chKey(ch)
+				got, _, ok := sh.idx.lookup(shardHashBytes(key), key, &c.pool)
+				if !ok || got != ref {
+					t.Errorf("shard %d: listed item %q not in index", si, key)
+				}
+				if chClass(ch) != classID {
+					t.Errorf("shard %d: item %q in class %d list has header class %d", si, key, classID, chClass(ch))
 				}
 				return true
 			})
@@ -247,8 +251,8 @@ func (c *Cache) checkShardInvariants(t *testing.T) {
 				t.Errorf("shard %d class %d: used=%d list=%d", si, classID, sl.used, sl.list.size)
 			}
 		}
-		if listed != len(sh.table) {
-			t.Errorf("shard %d: %d listed items, table has %d", si, listed, len(sh.table))
+		if listed != sh.idx.count {
+			t.Errorf("shard %d: %d listed items, index has %d", si, listed, sh.idx.count)
 		}
 		sh.mu.Unlock()
 	}

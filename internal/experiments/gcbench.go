@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+)
+
+// GC benchmark: the arena-backed slab engine vs a pointer-based reference
+// engine at multi-million resident items. The claim under test is the
+// tentpole of the arena redesign — that cache residency no longer costs
+// the collector anything, because items live in 1 MiB []byte arenas the
+// mark phase treats as single objects, while a pointer-based cache hands
+// the GC several heap objects per item (map entry, item struct, value
+// slice, key string).
+//
+// Both engines are loaded to the same residency, then driven with an
+// identical seeded get/set mix while the collector is forced to run on a
+// fixed op cadence. Forcing makes the comparison controlled: a steady
+// cache workload allocates almost nothing on either engine, so organic GC
+// would simply never run for one of them and the bench would measure
+// allocation rates, not mark cost. What we want is exactly the mark cost
+// at residency — the pause and CPU the *rest* of the application's
+// allocation behavior would pay for co-hosting the cache.
+
+// GCBenchConfig sizes the benchmark.
+type GCBenchConfig struct {
+	// Items is the resident item count both engines are loaded to.
+	Items int
+	// ValueSize is the stored value size in bytes.
+	ValueSize int
+	// TimedOps is the number of mixed operations in the measured phase.
+	TimedOps int
+	// GCEvery forces a collection every GCEvery timed ops.
+	GCEvery int
+	// SetFraction is the share of timed ops that are overwrites (the rest
+	// are gets), in percent.
+	SetFraction int
+	// Seed drives key choice in the timed phase.
+	Seed int64
+}
+
+// DefaultGCBenchConfig is the committed BENCH_gc.json configuration:
+// 2M small items, 3M timed ops, a forced collection every 250k ops.
+func DefaultGCBenchConfig() GCBenchConfig {
+	return GCBenchConfig{
+		Items:       2_000_000,
+		ValueSize:   100,
+		TimedOps:    3_000_000,
+		GCEvery:     250_000,
+		SetFraction: 10,
+		Seed:        1,
+	}
+}
+
+// GCEngineResult is one engine's measurements.
+type GCEngineResult struct {
+	Engine string `json:"engine"`
+	// HeapObjects and HeapAllocBytes are live heap stats after loading and
+	// a full collection — residency's standing cost to every future cycle.
+	HeapObjects    uint64 `json:"heapObjects"`
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	// LoadSeconds is how long loading Items took.
+	LoadSeconds float64 `json:"loadSeconds"`
+	// TimedSeconds is the measured phase's wall time (includes the forced
+	// collections).
+	TimedSeconds float64 `json:"timedSeconds"`
+	// NsPerOp is mean ns per timed op (incl. amortized forced GC).
+	NsPerOp float64 `json:"nsPerOp"`
+	// GetP99Ns and SetP99Ns are per-kind p99 latencies over the timed
+	// phase (streaming P² estimate).
+	GetP99Ns float64 `json:"getP99Ns"`
+	SetP99Ns float64 `json:"setP99Ns"`
+	// GC summarizes collector activity over the timed phase.
+	GC metrics.GCDelta `json:"gc"`
+}
+
+// GCBenchResult is the full comparison.
+type GCBenchResult struct {
+	Config  GCBenchConfig    `json:"config"`
+	Engines []GCEngineResult `json:"engines"`
+	// GCCPUImprovement and PauseImprovement are pointer ÷ arena ratios
+	// (higher = arena better).
+	GCCPUImprovement float64 `json:"gcCpuImprovement"`
+	PauseImprovement float64 `json:"pauseImprovement"`
+	// HeapObjectsRatio is pointer ÷ arena live heap objects at residency.
+	HeapObjectsRatio float64 `json:"heapObjectsRatio"`
+}
+
+// gcBenchEngine is the minimal surface both engines expose to the driver.
+type gcBenchEngine interface {
+	set(key string, value []byte)
+	get(key string, dst []byte) []byte
+}
+
+// arenaEngine adapts cache.Cache.
+type arenaEngine struct{ c *cache.Cache }
+
+func (a arenaEngine) set(key string, value []byte) {
+	if err := a.c.SetBytes([]byte(key), value, 0, time.Time{}); err != nil {
+		panic(fmt.Sprintf("gcbench: arena set: %v", err))
+	}
+}
+
+func (a arenaEngine) get(key string, dst []byte) []byte {
+	out, _, _, _ := a.c.GetInto([]byte(key), dst[:0])
+	return out
+}
+
+// ptrItem is the reference engine's per-item heap object: the classic
+// pointer-chained design the arena engine replaced — one struct, one value
+// slice, and a map entry per item, all visible to the GC mark phase.
+type ptrItem struct {
+	key        string
+	value      []byte
+	prev, next *ptrItem
+	access     int64
+	flags      uint32
+	cas        uint64
+}
+
+// ptrEngine is a faithful miniature of the pointer-based seed engine:
+// map[string]*item plus an intrusive MRU list, overwrites reusing the
+// value slice in place (so its steady-state hot path is just as
+// allocation-free as the arena's — the *only* difference the bench sees is
+// what residency costs the collector).
+type ptrEngine struct {
+	table      map[string]*ptrItem
+	head, tail *ptrItem
+	max        int
+	clock      int64
+}
+
+func newPtrEngine(max int) *ptrEngine {
+	return &ptrEngine{table: make(map[string]*ptrItem, max), max: max}
+}
+
+func (p *ptrEngine) moveToFront(it *ptrItem) {
+	if p.head == it {
+		return
+	}
+	// unlink
+	if it.prev != nil {
+		it.prev.next = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	}
+	if p.tail == it {
+		p.tail = it.prev
+	}
+	// push front
+	it.prev, it.next = nil, p.head
+	if p.head != nil {
+		p.head.prev = it
+	}
+	p.head = it
+	if p.tail == nil {
+		p.tail = it
+	}
+}
+
+func (p *ptrEngine) set(key string, value []byte) {
+	p.clock++
+	if it, ok := p.table[key]; ok {
+		it.value = append(it.value[:0], value...)
+		it.access = p.clock
+		p.moveToFront(it)
+		return
+	}
+	if len(p.table) >= p.max && p.tail != nil {
+		victim := p.tail
+		p.moveToFront(victim) // unlink via relink, then drop from head
+		p.head = victim.next
+		if p.head != nil {
+			p.head.prev = nil
+		}
+		delete(p.table, victim.key)
+	}
+	it := &ptrItem{
+		key:    key,
+		value:  append(make([]byte, 0, len(value)), value...),
+		access: p.clock,
+	}
+	p.table[key] = it
+	it.next = p.head
+	if p.head != nil {
+		p.head.prev = it
+	}
+	p.head = it
+	if p.tail == nil {
+		p.tail = it
+	}
+}
+
+func (p *ptrEngine) get(key string, dst []byte) []byte {
+	p.clock++
+	it, ok := p.table[key]
+	if !ok {
+		return dst[:0]
+	}
+	it.access = p.clock
+	p.moveToFront(it)
+	return append(dst[:0], it.value...)
+}
+
+// runGCEngine loads the engine to cfg.Items and runs the timed mixed phase.
+func runGCEngine(name string, eng gcBenchEngine, cfg GCBenchConfig) (GCEngineResult, error) {
+	res := GCEngineResult{Engine: name}
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	keyBuf := make([]byte, 0, 32)
+	key := func(i int) string {
+		keyBuf = fmt.Appendf(keyBuf[:0], "bench-key-%08d", i)
+		return string(keyBuf)
+	}
+
+	loadStart := time.Now()
+	for i := 0; i < cfg.Items; i++ {
+		eng.set(key(i), value)
+	}
+	res.LoadSeconds = time.Since(loadStart).Seconds()
+
+	// Settle: a full collection so HeapObjects reflects live residency.
+	runtime.GC()
+	snap := metrics.ReadGC()
+	res.HeapObjects = snap.HeapObjects
+	res.HeapAllocBytes = snap.HeapAllocBytes
+
+	getQ, err := metrics.NewP2Quantile(0.99)
+	if err != nil {
+		return res, err
+	}
+	setQ, err := metrics.NewP2Quantile(0.99)
+	if err != nil {
+		return res, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dst := make([]byte, 0, cfg.ValueSize)
+
+	before := metrics.ReadGC()
+	timedStart := time.Now()
+	for op := 0; op < cfg.TimedOps; op++ {
+		if cfg.GCEvery > 0 && op > 0 && op%cfg.GCEvery == 0 {
+			runtime.GC()
+		}
+		k := key(rng.Intn(cfg.Items))
+		opStart := time.Now()
+		if rng.Intn(100) < cfg.SetFraction {
+			eng.set(k, value)
+			setQ.Observe(float64(time.Since(opStart).Nanoseconds()))
+		} else {
+			dst = eng.get(k, dst)
+			getQ.Observe(float64(time.Since(opStart).Nanoseconds()))
+		}
+	}
+	res.TimedSeconds = time.Since(timedStart).Seconds()
+	res.GC = metrics.ReadGC().Sub(before)
+	res.NsPerOp = res.TimedSeconds * 1e9 / float64(cfg.TimedOps)
+	res.GetP99Ns = getQ.Value()
+	res.SetP99Ns = setQ.Value()
+	return res, nil
+}
+
+// GCBench runs the pointer engine then the arena engine under cfg and
+// returns the comparison. The pointer engine runs first and is released
+// (with a full collection) before the arena engine starts, so neither
+// phase marks the other's heap.
+func GCBench(cfg GCBenchConfig) (*GCBenchResult, error) {
+	out := &GCBenchResult{Config: cfg}
+
+	ptr := newPtrEngine(cfg.Items + 1)
+	ptrRes, err := runGCEngine("pointer", ptr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Engines = append(out.Engines, ptrRes)
+	ptr.table, ptr.head, ptr.tail = nil, nil, nil
+	runtime.GC()
+
+	// Size the arena budget for residency plus slab-ladder slack: chunk
+	// fit is decided per item, so compute it from the real class ladder.
+	probe, err := cache.New(cache.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	_, chunkSize, err := probe.ClassForItem(len("bench-key-00000000"), cfg.ValueSize)
+	if err != nil {
+		return nil, err
+	}
+	pages := int64(cfg.Items)*int64(chunkSize)/cache.PageSize + 64
+	c, err := cache.New(pages * cache.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	arenaRes, err := runGCEngine("arena", arenaEngine{c}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if got := c.Len(); got != cfg.Items {
+		return nil, fmt.Errorf("gcbench: arena engine resident %d items, want %d (evictions skew the comparison)", got, cfg.Items)
+	}
+	out.Engines = append(out.Engines, arenaRes)
+
+	out.GCCPUImprovement = ratio(ptrRes.GC.CPUFraction, arenaRes.GC.CPUFraction)
+	out.PauseImprovement = ratio(float64(ptrRes.GC.PauseNs), float64(arenaRes.GC.PauseNs))
+	out.HeapObjectsRatio = ratio(float64(ptrRes.HeapObjects), float64(arenaRes.HeapObjects))
+	return out, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Render prints the comparison as a table.
+func (r *GCBenchResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "GC cost at %d resident items (%d B values), %d timed ops, GC forced every %d ops\n\n",
+		r.Config.Items, r.Config.ValueSize, r.Config.TimedOps, r.Config.GCEvery)
+	fmt.Fprintf(w, "%-8s  %13s  %10s  %9s  %8s  %9s  %9s  %9s\n",
+		"engine", "heap objects", "heap MB", "gc cpu", "pause ms", "cycles", "get p99", "set p99")
+	for _, e := range r.Engines {
+		fmt.Fprintf(w, "%-8s  %13d  %10.1f  %8.2f%%  %8.1f  %9d  %7.0fns  %7.0fns\n",
+			e.Engine, e.HeapObjects, float64(e.HeapAllocBytes)/(1<<20),
+			e.GC.CPUFraction*100, float64(e.GC.PauseNs)/1e6, e.GC.Cycles,
+			e.GetP99Ns, e.SetP99Ns)
+	}
+	fmt.Fprintf(w, "\narena improvement: %.1fx GC CPU, %.1fx pause, %.0fx fewer heap objects\n",
+		r.GCCPUImprovement, r.PauseImprovement, r.HeapObjectsRatio)
+}
+
+// WriteJSON writes the machine-readable result.
+func (r *GCBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGCBenchSmall runs the comparison at a deliberately tiny scale — the
+// point is harness correctness (both engines load, the timed phase runs,
+// ratios compute, output renders), not the headline numbers, which only
+// mean something at the 2M-item `make bench-gc` scale.
+func TestGCBenchSmall(t *testing.T) {
+	cfg := GCBenchConfig{
+		Items:       20_000,
+		ValueSize:   64,
+		TimedOps:    40_000,
+		GCEvery:     10_000,
+		SetFraction: 10,
+		Seed:        1,
+	}
+	res, err := GCBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Engines) != 2 {
+		t.Fatalf("got %d engine results, want 2", len(res.Engines))
+	}
+	ptr, arena := res.Engines[0], res.Engines[1]
+	if ptr.Engine != "pointer" || arena.Engine != "arena" {
+		t.Fatalf("engine order = %q, %q", ptr.Engine, arena.Engine)
+	}
+	// The pointer engine holds several heap objects per item; the arena
+	// engine holds O(pages). The *difference* is the robust small-scale
+	// signal — the ratio's denominator is dominated by the test binary's
+	// own baseline objects at 20k items, so it is only meaningful at the
+	// 2M-item `make bench-gc` scale.
+	if ptr.HeapObjects < uint64(cfg.Items) {
+		t.Errorf("pointer engine HeapObjects = %d, want >= %d (one per item at minimum)",
+			ptr.HeapObjects, cfg.Items)
+	}
+	if diff := int64(ptr.HeapObjects) - int64(arena.HeapObjects); diff < int64(cfg.Items) {
+		t.Errorf("pointer-arena HeapObjects gap = %d, want >= %d (pointer residency must dominate)",
+			diff, cfg.Items)
+	}
+	if res.HeapObjectsRatio < 10 {
+		t.Errorf("HeapObjectsRatio = %.1f, want >= 10", res.HeapObjectsRatio)
+	}
+	for _, e := range res.Engines {
+		if e.TimedSeconds <= 0 || e.NsPerOp <= 0 {
+			t.Errorf("%s: timed phase did not measure (timed=%v ns/op=%v)",
+				e.Engine, e.TimedSeconds, e.NsPerOp)
+		}
+		if e.GC.Cycles == 0 {
+			t.Errorf("%s: no GC cycles despite forced cadence", e.Engine)
+		}
+	}
+
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "arena improvement") {
+		t.Errorf("Render output missing summary line:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"gcCpuImprovement\"") {
+		t.Errorf("JSON output missing gcCpuImprovement:\n%s", sb.String())
+	}
+}

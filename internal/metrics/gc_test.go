@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestReadGCSnapshotAndDelta(t *testing.T) {
+	before := ReadGC()
+	// Generate garbage and force a cycle so the counters move.
+	for i := 0; i < 1000; i++ {
+		_ = make([]byte, 1024)
+	}
+	runtime.GC()
+	after := ReadGC()
+
+	if after.NumGC <= before.NumGC {
+		t.Errorf("NumGC did not advance: %d -> %d", before.NumGC, after.NumGC)
+	}
+	if after.PauseTotalNs < before.PauseTotalNs {
+		t.Errorf("PauseTotalNs went backwards: %d -> %d", before.PauseTotalNs, after.PauseTotalNs)
+	}
+	if after.HeapObjects == 0 {
+		t.Error("HeapObjects = 0; a running Go program always has live objects")
+	}
+	if after.TotalCPUSeconds < after.GCCPUSeconds {
+		t.Errorf("total CPU %.3fs < GC CPU %.3fs", after.TotalCPUSeconds, after.GCCPUSeconds)
+	}
+
+	d := after.Sub(before)
+	if d.Cycles == 0 {
+		t.Error("delta saw no GC cycles despite runtime.GC()")
+	}
+	if d.CPUFraction < 0 || d.CPUFraction > 1 {
+		t.Errorf("CPUFraction = %v outside [0, 1]", d.CPUFraction)
+	}
+	if d.PauseNs != after.PauseTotalNs-before.PauseTotalNs {
+		t.Error("PauseNs delta mismatch")
+	}
+}

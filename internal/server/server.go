@@ -19,6 +19,7 @@ import (
 	"repro/internal/hashring"
 	"repro/internal/hotkey"
 	"repro/internal/memproto"
+	"repro/internal/metrics"
 )
 
 // Version is the reported server version string.
@@ -702,6 +703,7 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 
 	case memproto.CmdStats:
 		st := s.cache.Stats()
+		gc := metrics.ReadGC()
 		s.mu.Lock()
 		currConns := len(s.conns)
 		s.mu.Unlock()
@@ -722,6 +724,16 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 			{"bytes", uint64(st.BytesUsed)},
 			{"total_pages", uint64(st.MaxPages)},
 			{"assigned_pages", uint64(st.AssignedPages)},
+			{"arena_bytes", uint64(st.ArenaBytes)},
+			// GC load of the whole process, for verifying the arena
+			// engine's O(pages) mark cost in live deployments. The CPU
+			// fraction is scaled to parts-per-million (stats values are
+			// integers on the wire).
+			{"gc_cpu_ppm", uint64(gc.GCCPUFraction * 1e6)},
+			{"gc_pause_total_ns", gc.PauseTotalNs},
+			{"gc_cycles", uint64(gc.NumGC)},
+			{"heap_objects", gc.HeapObjects},
+			{"heap_alloc_bytes", gc.HeapAllocBytes},
 			{"lease_granted", s.leaseGranted.Load()},
 			{"lease_filled", s.leaseFilled.Load()},
 			{"lease_rejected", s.leaseRejected.Load()},
@@ -765,6 +777,9 @@ func (s *Server) handle(req *memproto.Request, st *connState) error {
 				return err
 			}
 			if err := rw.StatUint(prefix+"items", uint64(sl.Items)); err != nil {
+				return err
+			}
+			if err := rw.StatUint(prefix+"arena_bytes", uint64(sl.ArenaBytes)); err != nil {
 				return err
 			}
 		}
