@@ -1,8 +1,10 @@
 GO ?= go
 SEEDS ?= 10
 FUZZTIME ?= 10s
+E2E_DIR ?= /tmp/elmem-e2e
+SCENARIOS ?=
 
-.PHONY: build test race vet bench bench-hot bench-migrate bench-skew bench-serve bench-gc allocs chaos fuzz check
+.PHONY: build test race vet bench bench-hot bench-migrate bench-skew bench-serve bench-gc allocs chaos fuzz e2e examples check
 
 ## build: compile every package
 build:
@@ -79,5 +81,20 @@ chaos:
 fuzz:
 	$(GO) test -fuzz FuzzParser -fuzztime $(FUZZTIME) ./internal/memproto/
 
+## e2e: the process-level end-to-end suite — real elmem-node/-master/
+## -loadgen binaries driven through scripted failure scenarios (crash-
+## restart mid-migration, master restart, partitions, clock skew, payload
+## sweeps, warm-restart snapshots). Filter with SCENARIOS=crash,partition;
+## process logs land under $(E2E_DIR)/logs/<scenario>/
+e2e:
+	$(GO) run ./cmd/elmem-e2e -workdir $(E2E_DIR) -scenarios '$(SCENARIOS)'
+
+## examples: build every example program and run the two self-checking
+## ones (quickstart, fusecache-demo) to completion
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/fusecache-demo
+
 ## check: everything the CI gate runs
-check: build vet test race allocs chaos fuzz
+check: build vet test race allocs chaos fuzz examples e2e

@@ -1,0 +1,82 @@
+// Command elmem-e2e runs the process-level end-to-end suite: it builds
+// the real elmem-node / elmem-master / elmem-loadgen binaries, then
+// drives them through scripted failure scenarios — crash-restart mid-
+// migration, master restart, network partitions, clock skew, payload
+// sweeps, and warm-restart snapshots — asserting on live expvar counters
+// and on key/value integrity against an acked-write oracle.
+//
+// Usage:
+//
+//	elmem-e2e -workdir /tmp/elmem-e2e                # run everything
+//	elmem-e2e -scenarios crash,partition             # substring filter
+//	elmem-e2e -list                                  # list scenarios
+//
+// Process logs are captured under <workdir>/logs/<scenario>/ so a CI
+// failure ships the full cluster history as an artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/e2eharness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elmem-e2e:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workdir   = flag.String("workdir", filepath.Join(os.TempDir(), "elmem-e2e"), "scratch directory for binaries, snapshots, and captured logs")
+		scenarios = flag.String("scenarios", "", "comma-separated case-insensitive substring filter (empty = all)")
+		seed      = flag.Int64("seed", 1, "base seed; each scenario derives its own deterministic seed")
+		list      = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	all := e2eharness.Scenarios()
+	if *list {
+		for _, sc := range all {
+			fmt.Printf("%-28s %s\n", sc.Name, sc.Describe)
+		}
+		return nil
+	}
+
+	selected := e2eharness.MatchScenarios(all, *scenarios)
+	if len(selected) == 0 {
+		return fmt.Errorf("no scenarios match %q (use -list)", *scenarios)
+	}
+
+	if err := os.MkdirAll(*workdir, 0o755); err != nil {
+		return err
+	}
+	fmt.Printf("building binaries into %s/bin ...\n", *workdir)
+	bins, err := e2eharness.BuildBinaries(*workdir)
+	if err != nil {
+		return err
+	}
+
+	results := e2eharness.RunScenarios(os.Stdout, selected, bins, *workdir, *seed)
+	for _, r := range results {
+		if !r.Passed {
+			return fmt.Errorf("%d scenario(s) failed", countFailed(results))
+		}
+	}
+	return nil
+}
+
+func countFailed(results []e2eharness.Result) int {
+	n := 0
+	for _, r := range results {
+		if !r.Passed {
+			n++
+		}
+	}
+	return n
+}

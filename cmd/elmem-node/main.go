@@ -14,8 +14,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"os/signal"
@@ -50,6 +53,10 @@ func run() error {
 		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (off when empty)")
 		verbose   = flag.Bool("v", false, "log requests and agent activity")
 
+		snapshotDir = flag.String("snapshot-dir", "", "warm-restart snapshot directory: restore on start, dump on SIGTERM (off when empty)")
+		drain       = flag.Duration("drain", 3*time.Second, "bound on draining in-flight connections at shutdown")
+		clockSkew   = flag.Duration("clock-skew", 0, "offset applied to this node's MRU clock (testing)")
+
 		hotMembers   = flag.String("hotkey-members", "", "comma-separated cache addresses of the whole tier (incl. this node); enables hot-key replicated serving")
 		hotReplicas  = flag.Int("hotkey-replicas", 2, "hot-key serving-set size R including the home node")
 		hotTopK      = flag.Int("hotkey-topk", 16, "max keys this node keeps promoted")
@@ -65,9 +72,32 @@ func run() error {
 	}
 
 	logger := log.New(os.Stderr, "elmem-node ", log.LstdFlags)
-	c, err := cache.New(int64(*memoryMB) << 20)
+	var cacheOpts []cache.Option
+	if *clockSkew != 0 {
+		mono := cache.NewMonotonicClock()
+		skew := *clockSkew
+		cacheOpts = append(cacheOpts, cache.WithClock(func() time.Time {
+			return mono().Add(skew)
+		}))
+	}
+	c, err := cache.New(int64(*memoryMB)<<20, cacheOpts...)
 	if err != nil {
 		return err
+	}
+
+	if *snapshotDir != "" {
+		start := time.Now()
+		n, err := c.RestoreSnapshotFile(*snapshotDir)
+		switch {
+		case err == nil:
+			logger.Printf("warm restart: restored %d items from %s in %v", n, *snapshotDir, time.Since(start).Round(time.Millisecond))
+		case errors.Is(err, fs.ErrNotExist):
+			logger.Printf("no snapshot in %s, starting cold", *snapshotDir)
+		default:
+			// A damaged snapshot degrades to a cold start; it must never
+			// stop the node from serving.
+			logger.Printf("warning: snapshot restore failed, starting cold: %v", err)
+		}
 	}
 
 	book := agentrpc.NewAddressBook()
@@ -165,6 +195,29 @@ func run() error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logger.Printf("shutting down")
+	logger.Printf("shutting down: draining connections (bound %v)", *drain)
+
+	// Shutdown ordering: stop accepting and drain in-flight connections
+	// first, then stop the agent RPC plane, and only then snapshot — the
+	// dump must observe the final quiesced cache state so the restored
+	// node serves exactly what drained clients were acknowledged.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("warning: server shutdown: %v", err)
+	}
+	cancel()
+	_ = rpc.Close()
+	if rep != nil {
+		rep.Stop()
+	}
+
+	if *snapshotDir != "" {
+		start := time.Now()
+		n, err := c.WriteSnapshotFile(*snapshotDir)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		logger.Printf("snapshot: wrote %d items to %s in %v", n, *snapshotDir, time.Since(start).Round(time.Millisecond))
+	}
 	return nil
 }

@@ -273,6 +273,11 @@ type KV struct {
 	// LastAccess preserves the MRU timestamp across the move so merged
 	// hotness stays meaningful.
 	LastAccess time.Time `json:"lastAccess"`
+	// Expiry is the item's absolute expiry deadline (zero = never). Carrying
+	// it keeps TTLs intact across migrations and warm-restart snapshots; the
+	// binary migration frames predate the field and ship it as zero, which
+	// matches their historical drop-the-TTL behavior.
+	Expiry time.Time `json:"expiresAt,omitempty"`
 }
 
 // fetchTop snapshots up to count matching pairs of one shard in MRU order,
@@ -297,6 +302,7 @@ func (sh *shard) fetchTop(classID, count int, nowNano int64, filter func(key str
 				Value:      append(make([]byte, 0, len(v)), v...),
 				Flags:      chFlags(ch),
 				LastAccess: fromNano(chAccess(ch)),
+				Expiry:     fromNano(chExpire(ch)),
 			})
 			if len(out) == count {
 				return false
@@ -441,6 +447,7 @@ func (sh *shard) importOneLocked(p KV) error {
 		if chClass(ch) == classID {
 			setChValue(ch, p.Value)
 			setChFlags(ch, p.Flags)
+			setChExpire(ch, toNano(p.Expiry))
 			sh.slabs[classID].list.moveToFront(&c.pool, ref)
 			return nil
 		}
@@ -451,7 +458,7 @@ func (sh *shard) importOneLocked(p KV) error {
 		return fmt.Errorf("import %q: %w", p.Key, err)
 	}
 	ch := c.pool.chunkAt(ref)
-	writeChunk(ch, kb, p.Value, p.Flags, 0, pNano, nanoNone, classID)
+	writeChunk(ch, kb, p.Value, p.Flags, 0, pNano, toNano(p.Expiry), classID)
 	sl := sh.slabs[classID]
 	sl.list.pushFront(&c.pool, ref)
 	sl.used++

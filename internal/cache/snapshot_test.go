@@ -1,0 +1,408 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// stateFingerprint renders a cache's full observable state — every class's
+// MRU-ordered dump with values, flags, timestamps, and expiries — into one
+// comparable string. Two caches with equal fingerprints serve identically.
+func stateFingerprint(t *testing.T, c *Cache) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, classID := range c.PopulatedClasses() {
+		metas, err := c.DumpClass(classID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "class %d\n", classID)
+		for _, m := range metas {
+			v, flags, expiry, ok := c.PeekFull(m.Key)
+			if !ok {
+				t.Fatalf("dumped key %q not peekable", m.Key)
+			}
+			fmt.Fprintf(&buf, "%s %x flags=%d access=%d expire=%d\n",
+				m.Key, v, flags, m.LastAccess.UnixNano(), toNano(expiry))
+		}
+	}
+	return buf.String()
+}
+
+// liveCount sums the unexpired items across all populated classes.
+func liveCount(t *testing.T, c *Cache) int {
+	t.Helper()
+	n := 0
+	for _, classID := range c.PopulatedClasses() {
+		metas, err := c.DumpClass(classID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(metas)
+	}
+	return n
+}
+
+// populateSeeded fills a cache with a seeded op mix: sets with flags and a
+// TTL tail, overwrites, deletes, and touch-gets that shuffle MRU order.
+func populateSeeded(t *testing.T, c *Cache, clk *holdClock, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ops; i++ {
+		key := "snap-" + strconv.Itoa(rng.Intn(ops/2+1))
+		switch op := rng.Intn(10); {
+		case op < 6: // set
+			val := make([]byte, 1+rng.Intn(400))
+			rng.Read(val)
+			var expire time.Time
+			if rng.Intn(5) == 0 {
+				expire = clk.t.Add(time.Duration(1+rng.Intn(120)) * time.Second)
+			}
+			if err := c.SetExpiringFlags(key, val, uint32(rng.Uint32()), expire); err != nil {
+				t.Fatalf("set %q: %v", key, err)
+			}
+		case op < 8: // get re-hoists MRU position
+			_, _ = c.Get(key)
+		default:
+			_ = c.Delete(key)
+		}
+		if rng.Intn(50) == 0 {
+			clk.advance(time.Second)
+		}
+	}
+}
+
+func TestSnapshotRoundTripDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+			src, err := New(64*PageSize, WithClock(clk.Now), WithShards(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			populateSeeded(t, src, clk, seed, 3000)
+
+			var buf bytes.Buffer
+			wrote, err := src.WriteSnapshot(&buf)
+			if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			// Len counts resident items including not-yet-crawled expired
+			// ones; the snapshot holds exactly the live subset.
+			if live := liveCount(t, src); wrote != live {
+				t.Fatalf("wrote %d pairs, cache holds %d live items", wrote, live)
+			}
+
+			dst, err := New(64*PageSize, WithClock(clk.Now), WithShards(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := dst.RestoreSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if restored != wrote {
+				t.Fatalf("restored %d of %d pairs", restored, wrote)
+			}
+
+			want, got := stateFingerprint(t, src), stateFingerprint(t, dst)
+			if want != got {
+				t.Fatalf("state diverged after round trip:\nsource:\n%s\nrestored:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestSnapshotMRUOrderPreserved drives a known access sequence and checks
+// the restored cache reproduces the source's structural MRU list order per
+// shard — not just the timestamp-sorted dump, which would mask inversions.
+func TestSnapshotMRUOrderPreserved(t *testing.T) {
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	src, err := New(8*PageSize, WithClock(clk.Now), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := src.Set("mru-"+strconv.Itoa(i), []byte("v"+strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Millisecond)
+	}
+	// Re-touch a scattered subset so list order differs from insert order.
+	for i := 0; i < 200; i += 7 {
+		if _, err := src.Get("mru-" + strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(8*PageSize, WithClock(clk.Now), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.RestoreSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, classID := range src.PopulatedClasses() {
+		wantRuns, err := src.ClassOrderByShard(classID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRuns, err := dst.ClassOrderByShard(classID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantRuns) != len(gotRuns) {
+			t.Fatalf("class %d: shard count %d vs %d", classID, len(wantRuns), len(gotRuns))
+		}
+		for si := range wantRuns {
+			if len(wantRuns[si]) != len(gotRuns[si]) {
+				t.Fatalf("class %d shard %d: %d vs %d items", classID, si, len(wantRuns[si]), len(gotRuns[si]))
+			}
+			for i := range wantRuns[si] {
+				if wantRuns[si][i].Key != gotRuns[si][i].Key {
+					t.Fatalf("class %d shard %d position %d: %q vs %q",
+						classID, si, i, wantRuns[si][i].Key, gotRuns[si][i].Key)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotExcludesExpired: items past their deadline at dump time must
+// not be written, and TTLs of live items must survive the round trip.
+func TestSnapshotExcludesExpired(t *testing.T) {
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	src, err := New(4*PageSize, WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetExpiring("dead", []byte("x"), clk.t.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetExpiring("live-ttl", []byte("y"), clk.t.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Set("live-forever", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second) // "dead" is now expired but still resident
+
+	var buf bytes.Buffer
+	wrote, err := src.WriteSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != 2 {
+		t.Fatalf("wrote %d pairs, want 2 (expired item must be excluded)", wrote)
+	}
+
+	dst, err := New(4*PageSize, WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.RestoreSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Get("dead"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired item restored: err=%v", err)
+	}
+	if v, err := dst.Get("live-ttl"); err != nil || string(v) != "y" {
+		t.Fatalf("live-ttl: %q, %v", v, err)
+	}
+	// The restored TTL must still fire.
+	clk.advance(2 * time.Hour)
+	if _, err := dst.Get("live-ttl"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restored TTL did not fire: err=%v", err)
+	}
+	if v, err := dst.Get("live-forever"); err != nil || string(v) != "z" {
+		t.Fatalf("live-forever: %q, %v", v, err)
+	}
+}
+
+// TestSnapshotCorruptRestoresCold sweeps truncations and bit flips over a
+// valid snapshot: every damaged variant must restore to an error wrapping
+// ErrSnapshotCorrupt, leave the cache empty, and keep it fully usable —
+// never panic, never half-populate.
+func TestSnapshotCorruptRestoresCold(t *testing.T) {
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	src, err := New(32*PageSize, WithClock(clk.Now), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateSeeded(t, src, clk, 99, 800)
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	restoreDamaged := func(t *testing.T, data []byte) {
+		t.Helper()
+		dst, err := New(32*PageSize, WithClock(clk.Now), WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, rerr := dst.RestoreSnapshot(bytes.NewReader(data))
+		if rerr == nil {
+			t.Fatal("damaged snapshot restored without error")
+		}
+		if !errors.Is(rerr, ErrSnapshotCorrupt) {
+			t.Fatalf("error does not wrap ErrSnapshotCorrupt: %v", rerr)
+		}
+		if n != 0 || dst.Len() != 0 {
+			t.Fatalf("cache not cold after corrupt restore: n=%d len=%d", n, dst.Len())
+		}
+		// The cache must remain serviceable.
+		if err := dst.Set("after", []byte("ok")); err != nil {
+			t.Fatalf("cache unusable after corrupt restore: %v", err)
+		}
+		if v, err := dst.Get("after"); err != nil || string(v) != "ok" {
+			t.Fatalf("cache unusable after corrupt restore: %q, %v", v, err)
+		}
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		cuts := []int{0, 1, 4, 5, len(good) / 3, len(good) / 2, len(good) - 5, len(good) - 1}
+		for i := 0; i < 8; i++ {
+			cuts = append(cuts, rng.Intn(len(good)))
+		}
+		for _, cut := range cuts {
+			restoreDamaged(t, good[:cut])
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 16; i++ {
+			damaged := append([]byte(nil), good...)
+			pos := rng.Intn(len(damaged))
+			damaged[pos] ^= 1 << uint(rng.Intn(8))
+			restoreDamaged(t, damaged)
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		restoreDamaged(t, []byte("definitely not a snapshot file, much longer than a header"))
+	})
+}
+
+// TestSnapshotFileRoundTrip covers the atomic file wrappers: tmp+rename
+// write, restore-then-remove, and the missing-file cold start.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	src, err := New(32*PageSize, WithClock(clk.Now), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateSeeded(t, src, clk, 3, 500)
+
+	wrote, err := src.WriteSnapshotFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := liveCount(t, src); wrote != live {
+		t.Fatalf("wrote %d, cache holds %d live items", wrote, live)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != SnapshotFileName {
+		t.Fatalf("snapshot dir contents: %v (want only %s — temp file must be cleaned up)", entries, SnapshotFileName)
+	}
+
+	dst, err := New(32*PageSize, WithClock(clk.Now), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dst.RestoreSnapshotFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != wrote {
+		t.Fatalf("restored %d of %d", restored, wrote)
+	}
+	if want, got := stateFingerprint(t, src), stateFingerprint(t, dst); want != got {
+		t.Fatal("state diverged through file round trip")
+	}
+	// Consumed snapshots must be removed so a later crash-restart cannot
+	// resurrect stale values.
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFileName)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("snapshot file still present after restore: %v", err)
+	}
+
+	// Second restore: the normal cold start.
+	cold, err := New(32*PageSize, WithClock(clk.Now), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.RestoreSnapshotFile(dir); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing snapshot should report fs.ErrNotExist, got %v", err)
+	}
+	if cold.Len() != 0 {
+		t.Fatal("cold start not empty")
+	}
+}
+
+// TestSnapshotRestoreSmallerBudget: restoring into a cache with a smaller
+// memory budget must keep the hottest items and drop only the coldest —
+// the warm restart equivalent of FuseCache's hot-data preference.
+func TestSnapshotRestoreSmallerBudget(t *testing.T) {
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	src, err := New(32*PageSize, WithClock(clk.Now), WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~3 pages of one class: 3000 items x ~1 KiB chunks.
+	val := make([]byte, 900)
+	for i := 0; i < 3000; i++ {
+		if err := src.Set(fmt.Sprintf("budget-%04d", i), val); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(2*PageSize, WithClock(clk.Now), WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dst.RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("restore into smaller budget must degrade, not fail: %v", err)
+	}
+	// Import evicts the coldest already-restored items to admit hotter
+	// ones, so the processed count stays full while residency shrinks.
+	if restored == 0 {
+		t.Fatal("restore into smaller budget imported nothing")
+	}
+	if kept := dst.Len(); kept == 0 || kept >= 3000 {
+		t.Fatalf("smaller-budget cache retains %d of 3000 items, want a strict subset", kept)
+	}
+	// The hottest (latest-set) items must have survived.
+	for i := 2999; i > 2999-100; i-- {
+		if _, err := dst.Get(fmt.Sprintf("budget-%04d", i)); err != nil {
+			t.Fatalf("hot item budget-%04d lost in smaller-budget restore: %v", i, err)
+		}
+	}
+}

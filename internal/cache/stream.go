@@ -128,6 +128,7 @@ func (c *Cache) AppendPairs(dst []KV, metas []ItemMeta) []KV {
 			out[i].Value = append(out[i].Value[:0], chValue(ch)...)
 			out[i].Flags = chFlags(ch)
 			out[i].LastAccess = fromNano(chAccess(ch))
+			out[i].Expiry = fromNano(chExpire(ch))
 		}
 		sh.mu.Unlock()
 	}

@@ -5,6 +5,9 @@ import (
 	"io"
 	"net/http"
 	"testing"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 func get(t *testing.T, url string) []byte {
@@ -56,5 +59,58 @@ func TestServeVarsAndPprof(t *testing.T) {
 	}
 	if body := get(t, "http://"+s.Addr()+"/debug/pprof/goroutine?debug=1"); len(body) == 0 {
 		t.Fatal("goroutine profile is empty")
+	}
+}
+
+// TestNodeCounterVars pins the contract the e2e harness scenarios assert
+// on: the vars elmem-node publishes under -debug-addr — elmem_migration
+// and elmem_gc — decode over HTTP, survive duplicate Publish calls, and
+// are unreachable once the server is gone (the -debug-addr "" case:
+// nothing listens, nothing leaks).
+func TestNodeCounterVars(t *testing.T) {
+	// Mirror elmem-node's Publish calls: a migration-counter snapshot
+	// func and the live GC metrics.
+	Publish("elmem_migration", func() any {
+		return map[string]int64{"pairsSent": 17, "pairsImported": 5}
+	})
+	Publish("elmem_gc", func() any { return metrics.ReadGC() })
+	// A second registration under a live name must keep the first.
+	Publish("elmem_migration", func() any { return map[string]int64{"pairsSent": -1} })
+	Publish("elmem_gc", func() any { return "shadowed" })
+
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, "http://"+s.Addr()+"/debug/vars"), &vars); err != nil {
+		t.Fatal(err)
+	}
+	var mig map[string]int64
+	if err := json.Unmarshal(vars["elmem_migration"], &mig); err != nil {
+		t.Fatalf("elmem_migration: %v (%s)", err, vars["elmem_migration"])
+	}
+	if mig["pairsSent"] != 17 || mig["pairsImported"] != 5 {
+		t.Fatalf("duplicate Publish shadowed elmem_migration: %v", mig)
+	}
+	var gc struct {
+		NumGC *uint32 `json:"numGC"`
+	}
+	if err := json.Unmarshal(vars["elmem_gc"], &gc); err != nil || gc.NumGC == nil {
+		t.Fatalf("elmem_gc does not decode as GC metrics: %v (%s)", err, vars["elmem_gc"])
+	}
+
+	// With the server closed — the state a node is in when -debug-addr is
+	// empty — the counters are not reachable anywhere.
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cl := http.Client{Timeout: time.Second}
+	if resp, err := cl.Get("http://" + addr + "/debug/vars"); err == nil {
+		resp.Body.Close()
+		t.Fatal("/debug/vars still reachable after Close")
 	}
 }

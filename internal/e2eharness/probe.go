@@ -1,0 +1,188 @@
+package e2eharness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/agent"
+)
+
+// WaitMemcachedReady polls addr with `version` round trips until the
+// node answers or the timeout expires.
+func WaitMemcachedReady(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		_ = conn.SetDeadline(time.Now().Add(time.Second))
+		_, _ = conn.Write([]byte("version\r\n"))
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if err == nil && strings.HasPrefix(line, "VERSION") {
+			return nil
+		}
+		lastErr = fmt.Errorf("version probe: %q, %v", line, err)
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("node %s not ready after %v: %w", addr, timeout, lastErr)
+}
+
+// FetchExpvars downloads /debug/vars from a node's -debug-addr.
+func FetchExpvars(debugAddr string) (map[string]json.RawMessage, error) {
+	cl := http.Client{Timeout: 2 * time.Second}
+	resp, err := cl.Get("http://" + debugAddr + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/vars: %s", resp.Status)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return nil, err
+	}
+	return vars, nil
+}
+
+// MigrationCounters decodes the elmem_migration expvar from a node's
+// debug address.
+func MigrationCounters(debugAddr string) (agent.MigrationCounters, error) {
+	var c agent.MigrationCounters
+	vars, err := FetchExpvars(debugAddr)
+	if err != nil {
+		return c, err
+	}
+	raw, ok := vars["elmem_migration"]
+	if !ok {
+		return c, fmt.Errorf("%s: no elmem_migration expvar", debugAddr)
+	}
+	err = json.Unmarshal(raw, &c)
+	return c, err
+}
+
+// PollUntil re-evaluates cond every 25ms until it holds or the timeout
+// expires; it reports whether cond ever held.
+func PollUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return cond()
+}
+
+// Stats runs a raw `stats` round trip against a node's memcached port
+// and returns the STAT pairs.
+func Stats(addr string) (map[string]string, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte("stats\r\n")); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	br := bufio.NewReader(conn)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "STAT" {
+			out[fields[1]] = fields[2]
+		}
+	}
+}
+
+// RawGet fetches one key over a bare memcached connection, returning the
+// value and whether it was a hit. A fresh connection per call keeps it
+// independent of client-side routing — the probe reads exactly one node.
+func RawGet(addr, key string) ([]byte, bool, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, false, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(conn, "get %s\r\n", key); err != nil {
+		return nil, false, err
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, false, err
+	}
+	if strings.HasPrefix(line, "END") {
+		return nil, false, nil
+	}
+	var rkey string
+	var flags, size int
+	if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &rkey, &flags, &size); err != nil {
+		return nil, false, fmt.Errorf("get %s: bad reply %q", key, line)
+	}
+	val := make([]byte, size+2)
+	if _, err := readFull(br, val); err != nil {
+		return nil, false, err
+	}
+	if _, err := br.ReadString('\n'); err != nil { // END
+		return nil, false, err
+	}
+	return val[:size], true, nil
+}
+
+// RawSet stores one key over a bare memcached connection and returns
+// the server's reply line ("STORED", "SERVER_ERROR ...", ...).
+func RawSet(addr, key string, val []byte) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := fmt.Fprintf(conn, "set %s 0 0 %d\r\n", key, len(val)); err != nil {
+		return "", err
+	}
+	if _, err := conn.Write(val); err != nil {
+		return "", err
+	}
+	if _, err := conn.Write([]byte("\r\n")); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func readFull(br *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := br.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

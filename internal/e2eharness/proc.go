@@ -1,0 +1,114 @@
+// Package e2eharness drives real elmem binaries — elmem-node,
+// elmem-master, elmem-loadgen — as separate processes, the way an
+// operator runs them: spawn, probe for readiness on the memcached port,
+// inject seeded failures (SIGKILL, restarts, faultnet proxies between
+// real sockets), and assert on live expvar counters plus post-scenario
+// key/value integrity against an acked-write oracle. Every in-process
+// chaos test so far trusted the Go runtime to share memory between
+// "nodes"; this package is the tier where nothing is shared but the
+// wire.
+package e2eharness
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Proc supervises one spawned binary. Stdout and stderr are captured to
+// a log file under the scenario's log directory so CI can upload them as
+// artifacts when a scenario fails.
+type Proc struct {
+	Name    string
+	LogPath string
+
+	cmd  *exec.Cmd
+	logf *os.File
+
+	mu     sync.Mutex
+	waited bool
+	werr   error
+	done   chan struct{}
+}
+
+// Spawn starts bin with args, capturing combined output to
+// logDir/<name>.log. The caller owns the process: Stop/Kill/Wait it.
+func Spawn(logDir, name, bin string, args ...string) (*Proc, error) {
+	if err := os.MkdirAll(logDir, 0o755); err != nil {
+		return nil, err
+	}
+	logPath := filepath.Join(logDir, name+".log")
+	logf, err := os.Create(logPath)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return nil, fmt.Errorf("start %s: %w", name, err)
+	}
+	p := &Proc{Name: name, LogPath: logPath, cmd: cmd, logf: logf, done: make(chan struct{})}
+	go func() {
+		err := cmd.Wait()
+		p.mu.Lock()
+		p.waited = true
+		p.werr = err
+		p.mu.Unlock()
+		logf.Close()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// Done is closed when the process has exited.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Exited reports whether the process has already terminated.
+func (p *Proc) Exited() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Signal delivers sig (e.g. syscall.SIGTERM) to the process.
+func (p *Proc) Signal(sig os.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+
+// Kill delivers SIGKILL — the crash every restart scenario begins with —
+// and waits for the process to be reaped.
+func (p *Proc) Kill() {
+	_ = p.cmd.Process.Signal(syscall.SIGKILL)
+	<-p.done
+}
+
+// Wait blocks until exit or timeout. It returns the process's wait
+// error (nil for exit status 0) and whether it exited in time.
+func (p *Proc) Wait(timeout time.Duration) (error, bool) {
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.werr, true
+}
+
+// Output returns the captured combined output so far.
+func (p *Proc) Output() string {
+	b, err := os.ReadFile(p.LogPath)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}

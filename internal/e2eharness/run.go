@@ -1,0 +1,148 @@
+package e2eharness
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Scenario is one scripted operations drill over real processes.
+type Scenario struct {
+	Name     string
+	Describe string
+	Run      func(t *T)
+}
+
+// Result is one scenario's verdict.
+type Result struct {
+	Name     string
+	Passed   bool
+	Err      string
+	Duration time.Duration
+}
+
+// MatchScenarios filters scenarios by a comma-separated list of
+// case-insensitive substrings; an empty filter selects everything.
+func MatchScenarios(all []Scenario, filter string) []Scenario {
+	filter = strings.TrimSpace(filter)
+	if filter == "" {
+		return all
+	}
+	var pats []string
+	for _, p := range strings.Split(filter, ",") {
+		if p = strings.ToLower(strings.TrimSpace(p)); p != "" {
+			pats = append(pats, p)
+		}
+	}
+	if len(pats) == 0 {
+		return all
+	}
+	var out []Scenario
+	for _, sc := range all {
+		name := strings.ToLower(sc.Name)
+		for _, p := range pats {
+			if strings.Contains(name, p) {
+				out = append(out, sc)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RunScenarios executes the scenarios sequentially, each with its own
+// scratch and log directories under workdir and a deterministic seed
+// derived from baseSeed and the scenario's position. It prints a
+// per-scenario PASS/FAIL summary to out and returns the results.
+func RunScenarios(out io.Writer, scenarios []Scenario, bins Binaries, workdir string, baseSeed int64) []Result {
+	results := make([]Result, 0, len(scenarios))
+	for i, sc := range scenarios {
+		fmt.Fprintf(out, "=== RUN   %s — %s\n", sc.Name, sc.Describe)
+		res := runOne(out, sc, bins, workdir, baseSeed+int64(i)*1000)
+		results = append(results, res)
+		if res.Passed {
+			fmt.Fprintf(out, "--- PASS: %s (%.1fs)\n", sc.Name, res.Duration.Seconds())
+		} else {
+			fmt.Fprintf(out, "--- FAIL: %s (%.1fs)\n    %s\n    logs: %s\n",
+				sc.Name, res.Duration.Seconds(), res.Err, filepath.Join(workdir, "logs", sc.Name))
+		}
+	}
+	passed := 0
+	for _, r := range results {
+		if r.Passed {
+			passed++
+		}
+	}
+	fmt.Fprintf(out, "SUMMARY: %d passed, %d failed (of %d)\n", passed, len(results)-passed, len(results))
+	return results
+}
+
+func runOne(out io.Writer, sc Scenario, bins Binaries, workdir string, seed int64) (res Result) {
+	start := time.Now()
+	res.Name = sc.Name
+
+	scratch := filepath.Join(workdir, "scratch", sc.Name)
+	logDir := filepath.Join(workdir, "logs", sc.Name)
+	for _, d := range []string{scratch, logDir} {
+		_ = os.RemoveAll(d)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			res.Err = err.Error()
+			res.Duration = time.Since(start)
+			return res
+		}
+	}
+	logf, err := os.Create(filepath.Join(logDir, "harness.log"))
+	if err != nil {
+		res.Err = err.Error()
+		res.Duration = time.Since(start)
+		return res
+	}
+	defer logf.Close()
+
+	t := &T{
+		Name:    sc.Name,
+		Seed:    seed,
+		WorkDir: scratch,
+		LogDir:  logDir,
+		Bins:    bins,
+		log:     log.New(io.MultiWriter(logf, prefixWriter{out, "    | "}), "", log.Ltime|log.Lmicroseconds),
+	}
+	defer t.teardown()
+	defer func() {
+		res.Duration = time.Since(start)
+		if r := recover(); r != nil {
+			if f, ok := r.(failure); ok {
+				res.Err = f.msg
+				return
+			}
+			panic(r)
+		}
+		res.Passed = res.Err == ""
+	}()
+
+	sc.Run(t)
+	return res
+}
+
+// prefixWriter indents harness log lines under the scenario banner.
+type prefixWriter struct {
+	w      io.Writer
+	prefix string
+}
+
+func (p prefixWriter) Write(b []byte) (int, error) {
+	lines := strings.SplitAfter(string(b), "\n")
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		if _, err := io.WriteString(p.w, p.prefix+line); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}

@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -59,6 +60,11 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	// draining flips when Shutdown begins: each connection finishes the
+	// pipelined requests it has already buffered, flushes, and closes
+	// cleanly instead of being torn down mid-reply.
+	draining atomic.Bool
 
 	// Wire counters, exposed through `stats` like memcached's
 	// curr_connections / total_connections / bytes_read / bytes_written.
@@ -215,6 +221,80 @@ func (s *Server) Close() error {
 	return err
 }
 
+// defaultDrainTimeout bounds Shutdown's wait for idle or slow
+// connections when the caller's context carries no earlier deadline.
+const defaultDrainTimeout = 5 * time.Second
+
+// drainDiscardTimeout bounds the post-drain read that absorbs request
+// bytes a client may still have in flight when its connection closes.
+const drainDiscardTimeout = 250 * time.Millisecond
+
+// Shutdown stops accepting and drains in-flight connections: each one
+// keeps serving until its pipelined input is exhausted, flushes its
+// replies, half-closes, and discards any late request bytes so the
+// client reads every reply followed by a clean EOF — closing with
+// unread bytes queued would send a RST that can destroy replies still
+// sitting in the client's kernel buffer. Connections that have not
+// drained when ctx expires (or after defaultDrainTimeout) are
+// force-closed. Shutdown then joins all server goroutines, so when it
+// returns the cache has quiesced and is safe to snapshot.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.draining.Store(true)
+	close(s.stopCrawler)
+	err := s.ln.Close()
+
+	// A draining connection exits at its next flush boundary; one blocked
+	// in Read with nothing in flight needs a deadline to wake up and
+	// observe the drain.
+	deadline := time.Now().Add(defaultDrainTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for _, c := range conns {
+		_ = c.SetReadDeadline(deadline)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
+// drainClose gives conn the graceful goodbye: half-close the write side
+// so the client sees FIN after the final reply, then absorb whatever the
+// client was still sending (bounded) before the full close.
+func drainClose(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(drainDiscardTimeout))
+	_, _ = io.Copy(io.Discard, conn)
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -302,6 +382,14 @@ var connStatePool = sync.Pool{
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
+	// Runs before dropConn's Close on every exit path during a drain, so
+	// even a connection leaving through the read-deadline or quit paths
+	// ends with FIN, not RST.
+	defer func() {
+		if s.draining.Load() {
+			drainClose(conn)
+		}
+	}()
 	s.connsTotal.Add(1)
 
 	st := connStatePool.Get().(*connState)
@@ -349,6 +437,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		// syscall when the input queue drains (see DESIGN.md).
 		if parser.Buffered() == 0 {
 			if err := rw.Flush(); err != nil {
+				return
+			}
+			// Drain boundary: every request this connection had queued is
+			// answered and flushed — the earliest moment it can close
+			// without cutting a reply in half.
+			if s.draining.Load() {
 				return
 			}
 		}

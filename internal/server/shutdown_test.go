@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+func newShutdownServer(t *testing.T) *Server {
+	t.Helper()
+	c, err := cache.New(16 * cache.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Listen("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// readLine round-trips one request so the connection is registered and
+// serving before the test races Shutdown against it.
+func handshake(t *testing.T, conn net.Conn, br *bufio.Reader) {
+	t.Helper()
+	if _, err := conn.Write([]byte("version\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "VERSION") {
+		t.Fatalf("handshake: %q, %v", line, err)
+	}
+}
+
+// TestShutdownPipelinedClientSeesEOF pins the drain contract: a client
+// with a pipelined burst in flight when Shutdown starts reads well-formed
+// replies followed by a clean EOF — never ECONNRESET, never a torn reply.
+func TestShutdownPipelinedClientSeesEOF(t *testing.T) {
+	s := newShutdownServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	handshake(t, conn, br)
+
+	var burst bytes.Buffer
+	const sets = 200
+	for i := 0; i < sets; i++ {
+		fmt.Fprintf(&burst, "set shutdown-key-%03d 0 0 5\r\nhello\r\n", i)
+	}
+	if _, err := conn.Write(burst.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	stored := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if errors.Is(err, syscall.ECONNRESET) {
+				t.Fatalf("pipelined client saw connection reset after %d replies", stored)
+			}
+			if err != io.EOF {
+				t.Fatalf("want clean EOF after %d replies, got %v", stored, err)
+			}
+			if line != "" {
+				t.Fatalf("torn reply at EOF: %q", line)
+			}
+			break
+		}
+		if line != "STORED\r\n" {
+			t.Fatalf("reply %d: %q", stored, line)
+		}
+		stored++
+	}
+	if stored == 0 {
+		t.Fatal("drain answered none of the pipelined burst")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The drained writes must have landed.
+	if s.Cache().Len() != stored {
+		t.Fatalf("cache holds %d items, client saw %d STORED", s.Cache().Len(), stored)
+	}
+}
+
+// TestShutdownIdleClientSeesEOF: a connection sitting in a blocked read
+// with nothing in flight is woken by the drain deadline and closed with
+// FIN, and Shutdown returns without waiting for the client to hang up.
+func TestShutdownIdleClientSeesEOF(t *testing.T) {
+	s := newShutdownServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	handshake(t, conn, br)
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("shutdown of an idle connection took %v", elapsed)
+	}
+
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("idle client: want EOF, got %v", err)
+	}
+}
+
+// TestShutdownRefusesNewConnections: once Shutdown begins, the listener
+// is gone; a second Shutdown or Close is a no-op.
+func TestShutdownRefusesNewConnections(t *testing.T) {
+	s := newShutdownServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if conn, err := net.DialTimeout("tcp", s.Addr(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after shutdown: %v", err)
+	}
+}
