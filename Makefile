@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 E2E_DIR ?= /tmp/elmem-e2e
 SCENARIOS ?=
 
-.PHONY: build test race vet bench bench-hot bench-migrate bench-skew bench-serve bench-gc allocs chaos fuzz e2e examples check
+.PHONY: build test race vet bench bench-hot bench-migrate bench-skew bench-serve bench-gc bench-tenant allocs chaos fuzz e2e examples check
 
 ## build: compile every package
 build:
@@ -60,6 +60,15 @@ bench-serve:
 ## BENCH_gc.json (see EXPERIMENTS.md)
 bench-gc:
 	$(GO) run ./cmd/elmem-bench -experiment gc
+
+## bench-tenant: the multi-tenant memory arbitration experiment — a
+## noisy-neighbor tenant mix run unpartitioned, statically split, and
+## under the MRC arbiter; the regression bars are a ≥15% aggregate
+## hit-rate gain for arbitration over the static even split and the
+## reserved-floor tenant within 5% of its isolated baseline, results in
+## BENCH_tenant.json (see EXPERIMENTS.md)
+bench-tenant:
+	$(GO) run ./cmd/elmem-bench -experiment tenant
 
 ## bench-hot: hot-path benchmarks — in-process parse/handle/write cost
 ## (allocs/op must read 0) and loopback pipelining at depth 1/8/64

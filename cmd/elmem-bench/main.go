@@ -66,6 +66,7 @@ func run(w io.Writer) error {
 		"skew":      runSkew,
 		"serve":     runServe,
 		"gc":        runGC,
+		"tenant":    runTenant,
 	}
 	if *experiment == "all" {
 		order := []string{
@@ -292,6 +293,33 @@ func runGC(w io.Writer, fast bool) error {
 		return err
 	}
 	fmt.Fprintln(w, "\nwrote BENCH_gc.json")
+	return nil
+}
+
+// runTenant compares the MRC-driven memory arbiter against a static even
+// split and an unpartitioned pool on the noisy-neighbor tenant mix, and
+// writes the machine-readable result to BENCH_tenant.json.
+func runTenant(w io.Writer, fast bool) error {
+	cfg := experiments.DefaultTenantBenchConfig()
+	if fast {
+		cfg.WarmupOps = 150_000
+		cfg.MeasuredOps = 150_000
+		cfg.ArbEvery = 10_000
+	}
+	res, err := experiments.TenantBench(cfg)
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	f, err := os.Create("BENCH_tenant.json")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if err := res.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nwrote BENCH_tenant.json")
 	return nil
 }
 

@@ -48,6 +48,8 @@ func run() error {
 		dbCapacity = flag.Float64("db-capacity", 4000, "simulated database capacity r_DB (KV req/s)")
 		dbBase     = flag.Duration("db-base", time.Millisecond, "simulated database base latency")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		tenants    = flag.String("tenants", "", "multi-tenant mix: name:keys:zipf:share[:shift],... (shift multiplies the tenant's keyspace mid-run); keys become name/k...")
+		shiftAt    = flag.Float64("tenant-shift-at", 0.5, "run fraction at which shifting tenants change phase")
 	)
 	flag.Parse()
 
@@ -64,6 +66,10 @@ func run() error {
 		return err
 	}
 	defer cl.Close()
+
+	if *tenants != "" {
+		return runTenants(cl, *tenants, *rate, *duration, *kv, *dbCapacity, *dbBase, *seed, *shiftAt)
+	}
 
 	dataset, err := store.NewDataset(*keys, store.WithSizeBounds(1, 1024))
 	if err != nil {
@@ -136,6 +142,115 @@ func run() error {
 			int(st.At/time.Second), st.HitRate(), st.P95.Seconds()*1000, st.Requests)
 	}
 	return nil
+}
+
+// runTenants is the multi-tenant mode: the spec string becomes a
+// loadgen.TenantConfig, the simulated database is sized to the largest
+// (post-shift) tenant keyspace, and per-tenant hit rates are reported at
+// the end alongside the usual per-second aggregate series.
+func runTenants(cl *client.Cluster, spec string, rate float64, duration time.Duration,
+	kv int, dbCapacity float64, dbBase time.Duration, seed int64, shiftAt float64) error {
+	specs, err := parseTenants(spec)
+	if err != nil {
+		return err
+	}
+	var maxKeys uint64 = 1
+	for _, t := range specs {
+		n := t.Keys
+		if t.Shift > 1 {
+			n = uint64(float64(t.Keys) * t.Shift)
+		}
+		if n > maxKeys {
+			maxKeys = n
+		}
+	}
+	dataset, err := store.NewDataset(maxKeys, store.WithSizeBounds(1, 1024))
+	if err != nil {
+		return err
+	}
+	db, err := store.NewDB(dataset, store.LatencyModel{
+		Base:     dbBase,
+		Capacity: dbCapacity,
+		Max:      2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	handler, err := webtier.New(cl, db, webtier.WithRealSleep())
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	report, err := loadgen.RunTenants(ctx, loadgen.TenantConfig{
+		Duration:     duration,
+		Rate:         rate,
+		KVPerRequest: kv,
+		Seed:         seed,
+		Tenants:      specs,
+		ShiftFrac:    shiftAt,
+	}, loadgen.HandlerFunc(
+		func(keys []string) (time.Duration, int, int, error) {
+			res, err := handler.Handle(keys)
+			return res.RT, res.Hits, res.Misses, err
+		}))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# sent=%d errors=%d achieved_rate=%.1f req/s\n",
+		report.Sent, report.Errors, report.AchievedRate)
+	fmt.Println("tenant requests hitrate")
+	for _, o := range report.Tenants {
+		fmt.Printf("%s %d %.3f\n", o.Name, o.Requests, o.HitRate())
+	}
+	fmt.Println("second hitrate p95_ms requests")
+	for _, st := range report.Series {
+		if st.Requests == 0 {
+			continue
+		}
+		fmt.Printf("%d %.3f %.3f %d\n",
+			int(st.At/time.Second), st.HitRate(), st.P95.Seconds()*1000, st.Requests)
+	}
+	return nil
+}
+
+// parseTenants parses "name:keys:zipf:share[:shift],...".
+func parseTenants(spec string) ([]loadgen.TenantSpec, error) {
+	var out []loadgen.TenantSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 4 || len(fields) > 5 {
+			return nil, fmt.Errorf("tenant spec %q: want name:keys:zipf:share[:shift]", part)
+		}
+		var t loadgen.TenantSpec
+		t.Name = fields[0]
+		if _, err := fmt.Sscanf(fields[1], "%d", &t.Keys); err != nil {
+			return nil, fmt.Errorf("tenant %s: bad keys %q", t.Name, fields[1])
+		}
+		if _, err := fmt.Sscanf(fields[2], "%g", &t.ZipfS); err != nil {
+			return nil, fmt.Errorf("tenant %s: bad zipf %q", t.Name, fields[2])
+		}
+		if _, err := fmt.Sscanf(fields[3], "%g", &t.Share); err != nil {
+			return nil, fmt.Errorf("tenant %s: bad share %q", t.Name, fields[3])
+		}
+		if len(fields) == 5 {
+			if _, err := fmt.Sscanf(fields[4], "%g", &t.Shift); err != nil {
+				return nil, fmt.Errorf("tenant %s: bad shift %q", t.Name, fields[4])
+			}
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty tenant spec")
+	}
+	return out, nil
 }
 
 func parseTrace(name string) (*trace.Trace, error) {

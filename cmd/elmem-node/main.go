@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -63,6 +64,10 @@ func run() error {
 		hotThreshold = flag.Float64("hotkey-threshold", 0.05, "sampled-share threshold that promotes a key")
 		hotSample    = flag.Int("hotkey-sample", 32, "sample one in N operations into the hot-key sketch")
 		hotTick      = flag.Duration("hotkey-tick", 2*time.Second, "promotion/demotion evaluation interval")
+
+		tenantsFlag  = flag.String("tenants", "", "named tenants sharing this node: name[:reserved_pages[:max_pages]],...")
+		tenantPrefix = flag.String("tenant-prefix", "", "single-character delimiter routing \"<tenant><delim>key\" keys to tenants (empty disables prefix routing)")
+		arbTick      = flag.Duration("arbiter", 0, "MRC memory-arbitration cycle interval (0 disables; requires -tenants)")
 	)
 	flag.Parse()
 
@@ -80,9 +85,35 @@ func run() error {
 			return mono().Add(skew)
 		}))
 	}
+	if *tenantPrefix != "" {
+		if len(*tenantPrefix) != 1 {
+			return fmt.Errorf("-tenant-prefix must be a single character, got %q", *tenantPrefix)
+		}
+		cacheOpts = append(cacheOpts, cache.WithTenantPrefix((*tenantPrefix)[0]))
+	}
 	c, err := cache.New(int64(*memoryMB)<<20, cacheOpts...)
 	if err != nil {
 		return err
+	}
+
+	if *tenantsFlag != "" {
+		for _, entry := range strings.Split(*tenantsFlag, ",") {
+			tname, cfg, err := parseTenantEntry(strings.TrimSpace(entry))
+			if err != nil {
+				return err
+			}
+			if _, err := c.RegisterTenant(tname, cfg); err != nil {
+				return fmt.Errorf("tenant %q: %w", tname, err)
+			}
+		}
+	}
+	if *arbTick > 0 {
+		if *tenantsFlag == "" {
+			return fmt.Errorf("-arbiter requires -tenants")
+		}
+		arb := cache.NewArbiter(c, cache.ArbiterConfig{Interval: *arbTick})
+		arb.Start()
+		defer arb.Stop()
 	}
 
 	if *snapshotDir != "" {
@@ -178,6 +209,9 @@ func run() error {
 			}
 		})
 		debugsrv.Publish("elmem_gc", func() any { return metrics.ReadGC() })
+		if *tenantsFlag != "" {
+			debugsrv.Publish("elmem_tenants", func() any { return c.TenantStats() })
+		}
 		if rep != nil {
 			debugsrv.Publish("elmem_hotkey", func() any { return rep.Snapshot() })
 		}
@@ -220,4 +254,29 @@ func run() error {
 		logger.Printf("snapshot: wrote %d items to %s in %v", n, *snapshotDir, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// parseTenantEntry parses one -tenants entry: name[:reserved[:max]], page
+// counts.
+func parseTenantEntry(entry string) (string, cache.TenantConfig, error) {
+	fields := strings.Split(entry, ":")
+	if len(fields) < 1 || len(fields) > 3 || fields[0] == "" {
+		return "", cache.TenantConfig{}, fmt.Errorf("bad -tenants entry %q (want name[:reserved[:max]])", entry)
+	}
+	var cfg cache.TenantConfig
+	if len(fields) >= 2 {
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return "", cache.TenantConfig{}, fmt.Errorf("tenant %q: bad reserved pages %q", fields[0], fields[1])
+		}
+		cfg.ReservedPages = n
+	}
+	if len(fields) == 3 {
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return "", cache.TenantConfig{}, fmt.Errorf("tenant %q: bad max pages %q", fields[0], fields[2])
+		}
+		cfg.MaxPages = n
+	}
+	return fields[0], cfg, nil
 }

@@ -33,7 +33,8 @@ import (
 //	36  valueLen  uint32
 //	40  keyLen    uint16
 //	42  classID   uint16
-//	44  (4 bytes reserved, pads the header to 8-byte alignment)
+//	44  tenantID  uint16   — owning tenant (0 = default namespace)
+//	46  (2 bytes reserved, pads the header to 8-byte alignment)
 //	48  key bytes, immediately followed by value bytes
 //
 // The MRU links store refs in a packed 32-bit form — (page+1) in the high
@@ -53,11 +54,12 @@ const (
 	hVLen   = 36
 	hKLen   = 40
 	hClass  = 42
+	hTenant = 44
 
 	// headerFieldBytes is the sum of the header field widths; the header is
 	// padded to the next 8-byte boundary. A test pins chunkHeaderSize (and
 	// therefore ItemOverhead) to this layout.
-	headerFieldBytes = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 2 + 2
+	headerFieldBytes = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 2 + 2 + 2
 	chunkHeaderSize  = (headerFieldBytes + 7) &^ 7
 
 	// linkChunkBits splits a packed 32-bit header link: low bits hold the
@@ -119,23 +121,40 @@ func makeRef(page, chunk uint32) itemRef {
 func (r itemRef) page() uint32  { return uint32(r>>32) - 1 }
 func (r itemRef) chunk() uint32 { return uint32(r) }
 
+// tenantPages is one tenant's slice of the page budget: how many pages its
+// slabs currently hold, the floor the arbiter may never steal below, the
+// current allowance (the knob the arbiter turns), and the hard ceiling.
+type tenantPages struct {
+	assigned int // pages currently held by this tenant's slabs
+	reserved int // guaranteed floor: steals never push assigned below it
+	quota    int // current allowance; tryAcquire fails at or above it
+	cap      int // hard ceiling: quota transfers never raise quota past it
+	steals   uint64
+}
+
 // pagePool is the shared page allocator: the global 1 MiB page budget plus
-// the arena memory itself. Pages, once acquired by a (shard, class) slab,
-// are never returned — the classic memcached rule — so assignment is a
-// high-water counter into a fixed page table.
+// the arena memory itself. Classic memcached never returns a page; here a
+// page *can* leave a slab — but only through the tenant arbiter's explicit
+// page steal, which evicts the page's residents first and funnels the ID
+// through freeIDs. Serving paths still never release pages, so for a
+// single-tenant cache assignment remains the classic high-water counter.
 //
-// The pages and chunkSizes tables are sized at construction and their
-// slots are written exactly once, under the pool lock, before the page ID
-// is handed to a shard; after that the owning shard is the only accessor,
-// always under its own shard lock, so chunk resolution never takes the
-// pool lock.
+// The pages and chunkSizes tables are sized at construction; a slot is
+// (re)written only under the pool lock before the page ID is handed to a
+// shard, and the acquiring shard's release-to-reacquire path also passes
+// through this lock, so cross-shard page reuse is properly ordered and
+// chunk resolution itself never takes the pool lock.
 type pagePool struct {
-	mu       sync.Mutex
-	max      int
-	assigned int
+	mu        sync.Mutex
+	max       int
+	highWater int      // pages ever allocated (dense table prefix)
+	assigned  int      // pages currently held by any slab
+	freeIDs   []uint32 // stolen pages awaiting reassignment
 
 	pages      [][]byte
 	chunkSizes []uint32
+	owner      []uint16      // page ID → owning tenant, valid while assigned
+	tenants    []tenantPages // index = tenant ID; 0 is the default tenant
 }
 
 func newPagePool(max int) pagePool {
@@ -149,22 +168,74 @@ func newPagePool(max int) pagePool {
 		max:        max,
 		pages:      make([][]byte, max),
 		chunkSizes: make([]uint32, max),
+		owner:      make([]uint16, max),
+		// The default tenant starts with the whole budget; registration
+		// carves quotas out for named tenants.
+		tenants: []tenantPages{{quota: max, cap: max}},
 	}
 }
 
-// tryAcquire claims one page for a slab of the given chunk size, allocating
-// its arena. It returns the page ID.
-func (p *pagePool) tryAcquire(chunkSize int) (uint32, bool) {
+// ensureTenantLocked grows the tenant table through tid; callers hold p.mu.
+// Unregistered tenants default to an uncapped quota (first-come page use),
+// matching the pre-tenancy behavior for the default namespace.
+func (p *pagePool) ensureTenantLocked(tid uint16) *tenantPages {
+	for int(tid) >= len(p.tenants) {
+		p.tenants = append(p.tenants, tenantPages{quota: p.max, cap: p.max})
+	}
+	return &p.tenants[tid]
+}
+
+// tryAcquire claims one page for tenant tid's slab of the given chunk size,
+// allocating its arena on first use. It returns the page ID; false means
+// the tenant is at quota or the global budget is exhausted.
+func (p *pagePool) tryAcquire(tid uint16, chunkSize int) (uint32, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.assigned >= p.max {
+	t := p.ensureTenantLocked(tid)
+	if t.assigned >= t.quota {
 		return 0, false
 	}
-	id := uint32(p.assigned)
-	p.pages[id] = make([]byte, PageSize)
+	// Pages other tenants' reserved floors still lack are spoken for: a
+	// grant may not eat into them, so reservations hold even before the
+	// arbiter's first cycle. The tenant table is tiny (it is not the page
+	// table), so the scan costs nothing on this already-slow path.
+	short := 0
+	for i := range p.tenants {
+		if o := &p.tenants[i]; uint16(i) != tid && o.assigned < o.reserved {
+			short += o.reserved - o.assigned
+		}
+	}
+	if p.max-p.assigned <= short {
+		return 0, false
+	}
+	var id uint32
+	switch {
+	case len(p.freeIDs) > 0:
+		id = p.freeIDs[len(p.freeIDs)-1]
+		p.freeIDs = p.freeIDs[:len(p.freeIDs)-1]
+	case p.highWater < p.max:
+		id = uint32(p.highWater)
+		p.pages[id] = make([]byte, PageSize)
+		p.highWater++
+	default:
+		return 0, false
+	}
 	p.chunkSizes[id] = uint32(chunkSize)
+	p.owner[id] = tid
+	t.assigned++
 	p.assigned++
 	return id, true
+}
+
+// release returns a page (already emptied by its shard) to the free pool,
+// debiting its owner. Callers must have evicted every resident first.
+func (p *pagePool) release(id uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tid := p.owner[id]
+	p.tenants[tid].assigned--
+	p.assigned--
+	p.freeIDs = append(p.freeIDs, id)
 }
 
 // chunkAt resolves a ref to its chunk bytes (header + key + value + slack).
@@ -215,6 +286,8 @@ func chKLen(ch []byte) int { return int(binary.LittleEndian.Uint16(ch[hKLen:])) 
 
 func chClass(ch []byte) int { return int(binary.LittleEndian.Uint16(ch[hClass:])) }
 
+func chTenant(ch []byte) uint16 { return binary.LittleEndian.Uint16(ch[hTenant:]) }
+
 // chKey returns the key bytes stored in the chunk.
 func chKey(ch []byte) []byte {
 	kl := chKLen(ch)
@@ -234,8 +307,10 @@ func chExpired(ch []byte, nowNano int64) bool {
 }
 
 // writeChunk initializes a chunk with a complete item. The list links are
-// left untouched — the caller links the ref afterwards.
-func writeChunk(ch []byte, key, value []byte, flags uint32, cas uint64, access, expire int64, classID int) {
+// left untouched — the caller links the ref afterwards. The tenant is
+// always written: a stolen page's chunks are recycled across tenants, so a
+// stale tenant field must never survive a rewrite.
+func writeChunk(ch []byte, key, value []byte, flags uint32, cas uint64, access, expire int64, classID int, tenant uint16) {
 	setChCAS(ch, cas)
 	setChAccess(ch, access)
 	setChExpire(ch, expire)
@@ -243,6 +318,7 @@ func writeChunk(ch []byte, key, value []byte, flags uint32, cas uint64, access, 
 	binary.LittleEndian.PutUint32(ch[hVLen:], uint32(len(value)))
 	binary.LittleEndian.PutUint16(ch[hKLen:], uint16(len(key)))
 	binary.LittleEndian.PutUint16(ch[hClass:], uint16(classID))
+	binary.LittleEndian.PutUint16(ch[hTenant:], tenant)
 	copy(ch[chunkHeaderSize:], key)
 	copy(ch[chunkHeaderSize+len(key):], value)
 }

@@ -13,11 +13,11 @@ import (
 // through the header, so layout drift must be a conscious, test-visible
 // change.
 func TestChunkHeaderLayout(t *testing.T) {
-	if headerFieldBytes != 44 {
-		t.Errorf("headerFieldBytes = %d, want 44 (field added/removed without updating layout tests?)", headerFieldBytes)
+	if headerFieldBytes != 46 {
+		t.Errorf("headerFieldBytes = %d, want 46 (field added/removed without updating layout tests?)", headerFieldBytes)
 	}
 	if chunkHeaderSize != 48 {
-		t.Errorf("chunkHeaderSize = %d, want 48 (44 padded to 8-byte alignment — classic memcached's per-item overhead)", chunkHeaderSize)
+		t.Errorf("chunkHeaderSize = %d, want 48 (46 padded to 8-byte alignment — classic memcached's per-item overhead)", chunkHeaderSize)
 	}
 	if ItemOverhead != chunkHeaderSize {
 		t.Errorf("ItemOverhead = %d, want chunkHeaderSize = %d: the public overhead constant must be the real header size", ItemOverhead, chunkHeaderSize)
@@ -43,6 +43,7 @@ func TestChunkHeaderLayout(t *testing.T) {
 		{"vlen", hVLen, 4},
 		{"klen", hKLen, 2},
 		{"class", hClass, 2},
+		{"tenant", hTenant, 2},
 	}
 	for i := 1; i < len(offsets); i++ {
 		prev := offsets[i-1]
@@ -65,7 +66,7 @@ func TestChunkFieldRoundTrips(t *testing.T) {
 	value := []byte("the-value-bytes")
 	access := time.Unix(1600000000, 123456789).UnixNano()
 	expire := time.Unix(1700000000, 987654321).UnixNano()
-	writeChunk(ch, key, value, 0xDEADBEEF, 42, access, expire, 3)
+	writeChunk(ch, key, value, 0xDEADBEEF, 42, access, expire, 3, 7)
 
 	if got := chKey(ch); !bytes.Equal(got, key) {
 		t.Errorf("key = %q, want %q", got, key)
@@ -87,6 +88,9 @@ func TestChunkFieldRoundTrips(t *testing.T) {
 	}
 	if got := chClass(ch); got != 3 {
 		t.Errorf("class = %d, want 3", got)
+	}
+	if got := chTenant(ch); got != 7 {
+		t.Errorf("tenant = %d, want 7", got)
 	}
 	if got := chKLen(ch); got != len(key) {
 		t.Errorf("klen = %d, want %d", got, len(key))
@@ -201,7 +205,7 @@ func TestPagePoolAssignment(t *testing.T) {
 	pool := newPagePool(3)
 	sizes := []int{128, 256, 1024}
 	for i, cs := range sizes {
-		id, ok := pool.tryAcquire(cs)
+		id, ok := pool.tryAcquire(0, cs)
 		if !ok {
 			t.Fatalf("acquire %d failed", i)
 		}
@@ -209,7 +213,7 @@ func TestPagePoolAssignment(t *testing.T) {
 			t.Fatalf("page ID = %d, want %d", id, i)
 		}
 	}
-	if _, ok := pool.tryAcquire(128); ok {
+	if _, ok := pool.tryAcquire(0, 128); ok {
 		t.Fatal("acquire beyond budget succeeded")
 	}
 	if pool.assignedCount() != 3 || pool.free() != 0 {

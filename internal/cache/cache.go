@@ -32,8 +32,10 @@
 package cache
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -97,6 +99,13 @@ type Stats struct {
 	Shards []ShardStat `json:"shards"`
 }
 
+// tenantRegistry is the immutable name↔ID table, swapped whole on
+// registration so hot-path reads are one atomic load with no lock.
+type tenantRegistry struct {
+	names  []string // tenant ID → name; index 0 is the default namespace ""
+	byName map[string]uint16
+}
+
 // Cache is one node's Memcached storage engine: a set of lock-striped
 // shards over a shared arena page pool.
 type Cache struct {
@@ -105,6 +114,13 @@ type Cache struct {
 	mask    uint64   // len(shards) - 1
 
 	pool pagePool
+
+	// reg is the tenant name registry; prefixDelim, when non-zero, enables
+	// key-prefix tenant resolution ("tenant<delim>rest" routes to tenant).
+	// regMu serializes registrations; reads are lock-free.
+	reg         atomic.Pointer[tenantRegistry]
+	regMu       sync.Mutex
+	prefixDelim byte
 
 	nanos  func() int64 // the clock, read as stored nanos; every op stamps recency
 	casSeq atomic.Uint64
@@ -119,6 +135,7 @@ type cacheOptions struct {
 	growthFactor float64
 	now          func() time.Time
 	shards       int
+	tenantPrefix byte
 }
 
 type growthFactorOption float64
@@ -147,6 +164,17 @@ func (o shardsOption) apply(opts *cacheOptions) { opts.shards = int(o) }
 // degenerates to a single shard with the classic single-lock semantics.
 func WithShards(n int) Option { return shardsOption(n) }
 
+type tenantPrefixOption byte
+
+func (o tenantPrefixOption) apply(opts *cacheOptions) { opts.tenantPrefix = byte(o) }
+
+// WithTenantPrefix enables key-prefix tenant resolution: a key of the form
+// "name<delim>rest" whose prefix names a registered tenant is served from
+// that tenant's namespace (quota, accounting, MRC). Keys with no delimiter
+// or an unregistered prefix stay in the default namespace. Resolution costs
+// one IndexByte plus a map probe and allocates nothing.
+func WithTenantPrefix(delim byte) Option { return tenantPrefixOption(delim) }
+
 // New creates a Cache with the given memory budget in bytes. The budget is
 // rounded down to whole pages and must cover at least one page. Arena
 // pages are allocated lazily as slabs claim them, so an idle Cache costs
@@ -167,10 +195,12 @@ func New(memoryBytes int64, opts ...Option) (*Cache, error) {
 		shardCount = ceilPow2(shardCount)
 	}
 	c := &Cache{
-		classes: sizeClasses(options.growthFactor),
-		mask:    uint64(shardCount - 1),
-		pool:    newPagePool(maxPages),
+		classes:     sizeClasses(options.growthFactor),
+		mask:        uint64(shardCount - 1),
+		pool:        newPagePool(maxPages),
+		prefixDelim: options.tenantPrefix,
 	}
+	c.reg.Store(&tenantRegistry{names: []string{""}, byName: map[string]uint16{}})
 	if options.now != nil {
 		c.nanos = func() int64 { return toNano(options.now()) }
 	} else {
@@ -192,14 +222,41 @@ func New(memoryBytes int64, opts ...Option) (*Cache, error) {
 // nowNano reads the clock as a stored-timestamp nanosecond count.
 func (c *Cache) nowNano() int64 { return c.nanos() }
 
-// shardFor routes a key to its lock stripe.
+// resolveTenant maps an operation to its tenant: a non-default connection
+// tenant (set by the `namespace` verb) wins; otherwise, when prefix mode is
+// on, the key's prefix is looked up in the registry. Unknown prefixes and
+// bare keys stay in the default namespace. Allocation-free.
+func (c *Cache) resolveTenant(conn uint16, key []byte) uint16 {
+	if conn != 0 {
+		return conn
+	}
+	if c.prefixDelim == 0 {
+		return 0
+	}
+	i := bytes.IndexByte(key, c.prefixDelim)
+	if i <= 0 {
+		return 0
+	}
+	return c.reg.Load().byName[string(key[:i])]
+}
+
+// route resolves an operation's tenant, routing hash, and lock stripe.
+func (c *Cache) route(conn uint16, key []byte) (uint16, uint64, *shard) {
+	tid := c.resolveTenant(conn, key)
+	h := shardHashT(tid, key)
+	return tid, h, c.shards[h&c.mask]
+}
+
+// shardFor routes a default-namespace key to its lock stripe.
 func (c *Cache) shardFor(key string) *shard {
-	return c.shards[shardHash(key)&c.mask]
+	_, _, sh := c.route(0, sbytes(key))
+	return sh
 }
 
 // shardIndexFor returns the stripe index for a key.
 func (c *Cache) shardIndexFor(key string) int {
-	return int(shardHash(key) & c.mask)
+	_, h, _ := c.route(0, sbytes(key))
+	return int(h & c.mask)
 }
 
 // ShardCount reports the number of lock stripes.
@@ -223,19 +280,21 @@ func (c *Cache) ShardDistribution() []int {
 // GetInto, which also reports the item's flags and CAS token.
 func (c *Cache) Get(key string) ([]byte, error) {
 	kb := sbytes(key)
-	h := shardHash(key)
-	sh := c.shards[h&c.mask]
+	tid, h, sh := c.route(0, kb)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	nowNano := c.nowNano()
-	ref, ch, ok := sh.lookupLocked(h, kb, nowNano)
+	sh.sampleAccess(tid, h)
+	ref, ch, ok := sh.lookupLocked(h, tid, kb, nowNano)
 	if !ok {
 		sh.misses++
+		sh.tstat(tid).misses++
 		return nil, fmt.Errorf("get %q: %w", key, ErrNotFound)
 	}
 	sh.hits++
+	sh.tstat(tid).hits++
 	setChAccess(ch, nowNano)
-	sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+	sh.slabFor(ch).list.moveToFront(&c.pool, ref)
 	v := chValue(ch)
 	return append(make([]byte, 0, len(v)), v...), nil
 }
@@ -245,11 +304,10 @@ func (c *Cache) Get(key string) ([]byte, error) {
 // not perturb hotness.
 func (c *Cache) Peek(key string) ([]byte, bool) {
 	kb := sbytes(key)
-	h := shardHash(key)
-	sh := c.shards[h&c.mask]
+	tid, h, sh := c.route(0, kb)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	ch, ok := sh.peekLocked(h, kb, c.nowNano())
+	ch, ok := sh.peekLocked(h, tid, kb, c.nowNano())
 	if !ok {
 		return nil, false
 	}
@@ -263,11 +321,10 @@ func (c *Cache) Peek(key string) ([]byte, bool) {
 // replicas with the original store metadata intact.
 func (c *Cache) PeekFull(key string) (value []byte, flags uint32, expiresAt time.Time, ok bool) {
 	kb := sbytes(key)
-	h := shardHash(key)
-	sh := c.shards[h&c.mask]
+	tid, h, sh := c.route(0, kb)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	ch, found := sh.peekLocked(h, kb, c.nowNano())
+	ch, found := sh.peekLocked(h, tid, kb, c.nowNano())
 	if !found {
 		return nil, 0, time.Time{}, false
 	}
@@ -278,11 +335,10 @@ func (c *Cache) PeekFull(key string) (value []byte, flags uint32, expiresAt time
 // Contains reports key residence without touching recency.
 func (c *Cache) Contains(key string) bool {
 	kb := sbytes(key)
-	h := shardHash(key)
-	sh := c.shards[h&c.mask]
+	tid, h, sh := c.route(0, kb)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	_, ok := sh.peekLocked(h, kb, c.nowNano())
+	_, ok := sh.peekLocked(h, tid, kb, c.nowNano())
 	return ok
 }
 
@@ -294,24 +350,24 @@ func (c *Cache) Set(key string, value []byte) error {
 		return ErrEmptyKey
 	}
 	kb := sbytes(key)
-	h := shardHash(key)
-	sh := c.shards[h&c.mask]
+	tid, h, sh := c.route(0, kb)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	_, err := sh.setLocked(h, kb, value, 0, c.nowNano())
+	_, err := sh.setLocked(h, tid, kb, value, 0, c.nowNano())
 	return err
 }
 
 // Delete removes key, or returns ErrNotFound.
-func (c *Cache) Delete(key string) error {
+func (c *Cache) Delete(key string) error { return c.deleteT(0, key) }
+
+func (c *Cache) deleteT(conn uint16, key string) error {
 	kb := sbytes(key)
-	h := shardHash(key)
-	sh := c.shards[h&c.mask]
+	tid, h, sh := c.route(conn, kb)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	// lookupLocked lazily reclaims an expired resident item and reports a
 	// miss, so deleting one returns NotFound — memcached's semantics.
-	ref, ch, ok := sh.lookupLocked(h, kb, c.nowNano())
+	ref, ch, ok := sh.lookupLocked(h, tid, kb, c.nowNano())
 	if !ok {
 		return fmt.Errorf("delete %q: %w", key, ErrNotFound)
 	}
@@ -332,6 +388,10 @@ func (c *Cache) FlushAll() {
 				continue
 			}
 			sl.resetChunks()
+		}
+		for i := range sh.tstats {
+			sh.tstats[i].items = 0
+			sh.tstats[i].bytes = 0
 		}
 		sh.mu.Unlock()
 	}
@@ -372,10 +432,13 @@ func (c *Cache) Stats() Stats {
 		st.Evictions += sh.evictions
 		st.Expirations += sh.expirations
 		st.Items += sh.items()
-		for classID, sl := range sh.slabs {
+		for slot, sl := range sh.slabs {
 			if sl == nil || sl.pages() == 0 {
 				continue
 			}
+			// Slots are (tenant, class) pairs; per-class stats aggregate
+			// across tenants as well as shards.
+			classID := slot % len(c.classes)
 			agg[classID].pages += sl.pages()
 			agg[classID].items += sl.list.size
 			agg[classID].used += sl.used

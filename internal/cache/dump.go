@@ -52,25 +52,47 @@ func metaOf(ch []byte, classID int) ItemMeta {
 	}
 }
 
+// eachClassSlab visits every migratable slab of the class — the default
+// namespace always, plus named tenants when key-prefix resolution is on
+// (prefix keys re-resolve to the same tenant on the importing node).
+// Tenants reachable only through the `namespace` verb are node-local: their
+// bare keys would land in the importer's default namespace, so their slabs
+// are invisible to dumps and migration. Callers hold sh.mu.
+func (sh *shard) eachClassSlab(classID int, fn func(sl *slab)) {
+	nc := len(sh.owner.classes)
+	prefixOn := sh.owner.prefixDelim != 0
+	for slot := classID; slot < len(sh.slabs); slot += nc {
+		sl := sh.slabs[slot]
+		if sl == nil || (sl.tenant != 0 && !prefixOn) {
+			continue
+		}
+		fn(sl)
+	}
+}
+
 // dumpClass snapshots one shard's metadata for the class; callers sort and
 // merge the runs.
 func (sh *shard) dumpClass(classID int, nowNano int64, filter func(key string) bool) []ItemMeta {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sl := sh.slabs[classID]
-	if sl == nil || sl.list.size == 0 {
-		return nil
-	}
-	out := make([]ItemMeta, 0, sl.list.size)
-	sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
-		if chExpired(ch, nowNano) {
-			return true // dead items are not migration candidates
+	var out []ItemMeta
+	sh.eachClassSlab(classID, func(sl *slab) {
+		if sl.list.size == 0 {
+			return
 		}
-		m := metaOf(ch, classID)
-		if filter == nil || filter(m.Key) {
-			out = append(out, m)
+		if out == nil {
+			out = make([]ItemMeta, 0, sl.list.size)
 		}
-		return true
+		sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
+			if chExpired(ch, nowNano) {
+				return true // dead items are not migration candidates
+			}
+			m := metaOf(ch, classID)
+			if filter == nil || filter(m.Key) {
+				out = append(out, m)
+			}
+			return true
+		})
 	})
 	return out
 }
@@ -151,12 +173,12 @@ func (c *Cache) MedianTimestamp(classID int) (time.Time, bool) {
 	var stamps []int64
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		if sl := sh.slabs[classID]; sl != nil {
+		sh.eachClassSlab(classID, func(sl *slab) {
 			sl.list.each(&c.pool, func(ref itemRef, ch []byte) bool {
 				stamps = append(stamps, chAccess(ch))
 				return true
 			})
-		}
+		})
 		sh.mu.Unlock()
 	}
 	if len(stamps) == 0 {
@@ -178,9 +200,9 @@ func (c *Cache) SlabPageWeights() map[int]float64 {
 	pages := make([]int, len(c.classes))
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		for classID, sl := range sh.slabs {
+		for slot, sl := range sh.slabs {
 			if sl != nil {
-				pages[classID] += sl.pages()
+				pages[slot%len(c.classes)] += sl.pages()
 			}
 		}
 		sh.mu.Unlock()
@@ -199,9 +221,9 @@ func (c *Cache) PopulatedClasses() []int {
 	seen := make([]bool, len(c.classes))
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		for classID, sl := range sh.slabs {
+		for slot, sl := range sh.slabs {
 			if sl != nil && sl.list.size > 0 {
-				seen[classID] = true
+				seen[slot%len(c.classes)] = true
 			}
 		}
 		sh.mu.Unlock()
@@ -223,9 +245,7 @@ func (c *Cache) ClassLen(classID int) int {
 	n := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		if sl := sh.slabs[classID]; sl != nil {
-			n += sl.list.size
-		}
+		sh.eachClassSlab(classID, func(sl *slab) { n += sl.list.size })
 		sh.mu.Unlock()
 	}
 	return n
@@ -240,9 +260,7 @@ func (c *Cache) ClassCapacity(classID int) int {
 	n := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		if sl := sh.slabs[classID]; sl != nil {
-			n += sl.capacity()
-		}
+		sh.eachClassSlab(classID, func(sl *slab) { n += sl.capacity() })
 		sh.mu.Unlock()
 	}
 	return n
@@ -285,30 +303,38 @@ type KV struct {
 func (sh *shard) fetchTop(classID, count int, nowNano int64, filter func(key string) bool) []KV {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sl := sh.slabs[classID]
-	if sl == nil || sl.list.size == 0 {
-		return nil
-	}
-	out := make([]KV, 0, count)
-	sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
-		if chExpired(ch, nowNano) {
-			return true // never ship dead items
+	var out []KV
+	sh.eachClassSlab(classID, func(sl *slab) {
+		if sl.list.size == 0 {
+			return
 		}
-		key := string(chKey(ch))
-		if filter == nil || filter(key) {
-			v := chValue(ch)
-			out = append(out, KV{
-				Key:        key,
-				Value:      append(make([]byte, 0, len(v)), v...),
-				Flags:      chFlags(ch),
-				LastAccess: fromNano(chAccess(ch)),
-				Expiry:     fromNano(chExpire(ch)),
-			})
-			if len(out) == count {
-				return false
+		if out == nil {
+			out = make([]KV, 0, count)
+		}
+		// Each slab contributes at most count pairs; the caller sorts the
+		// concatenated run by timestamp before the cross-shard merge.
+		taken := 0
+		sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
+			if chExpired(ch, nowNano) {
+				return true // never ship dead items
 			}
-		}
-		return true
+			key := string(chKey(ch))
+			if filter == nil || filter(key) {
+				v := chValue(ch)
+				out = append(out, KV{
+					Key:        key,
+					Value:      append(make([]byte, 0, len(v)), v...),
+					Flags:      chFlags(ch),
+					LastAccess: fromNano(chAccess(ch)),
+					Expiry:     fromNano(chExpire(ch)),
+				})
+				taken++
+				if taken == count {
+					return false
+				}
+			}
+			return true
+		})
 	})
 	return out
 }
@@ -429,9 +455,12 @@ func (sh *shard) importOneLocked(p KV) error {
 		return &ValueTooLargeError{Key: p.Key, Need: need}
 	}
 	kb := sbytes(p.Key)
-	h := shardHash(p.Key)
+	// Imports resolve the tenant from the key alone: prefix-mode keys land
+	// back in their namespace, everything else in the default one.
+	tid := c.resolveTenant(0, kb)
+	h := shardHashT(tid, kb)
 	pNano := toNano(p.LastAccess)
-	if ref, ch, ok := sh.idx.lookup(h, kb, &c.pool); ok {
+	if ref, ch, ok := sh.idx.lookup(h, tid, kb, &c.pool); ok {
 		// The receiver may already hold the key: set by a client while
 		// metadata was in flight, or — after a lost reply — delivered again
 		// by the sender's retry. Only a strictly fresher copy may update the
@@ -448,21 +477,24 @@ func (sh *shard) importOneLocked(p KV) error {
 			setChValue(ch, p.Value)
 			setChFlags(ch, p.Flags)
 			setChExpire(ch, toNano(p.Expiry))
-			sh.slabs[classID].list.moveToFront(&c.pool, ref)
+			sh.slabAt(tid, classID).list.moveToFront(&c.pool, ref)
 			return nil
 		}
 		sh.removeLocked(ref, ch)
 	}
-	ref, err := sh.allocChunkLocked(classID)
+	ref, err := sh.allocChunkLocked(tid, classID)
 	if err != nil {
 		return fmt.Errorf("import %q: %w", p.Key, err)
 	}
 	ch := c.pool.chunkAt(ref)
-	writeChunk(ch, kb, p.Value, p.Flags, 0, pNano, toNano(p.Expiry), classID)
-	sl := sh.slabs[classID]
+	writeChunk(ch, kb, p.Value, p.Flags, 0, pNano, toNano(p.Expiry), classID, tid)
+	sl := sh.slabAt(tid, classID)
 	sl.list.pushFront(&c.pool, ref)
 	sl.used++
 	sh.idx.insert(h, ref)
+	ts := sh.tstat(tid)
+	ts.items++
+	ts.bytes += int64(sl.chunkSize)
 	return nil
 }
 

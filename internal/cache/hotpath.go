@@ -9,25 +9,36 @@ import "time"
 // appended into caller-provided scratch that the server pools per
 // connection. The convenience string-keyed API (Get/Set/GetMulti) stays for
 // everything that is not serving sockets.
+//
+// Every entry point has an unexported tenant-parameterized core; the
+// exported methods serve the default namespace (conn tenant 0, so key-
+// prefix resolution still applies) and the Tenancy view (tenant.go) serves
+// a fixed namespace. Neither wrapper adds allocations.
 
 // GetInto looks up key, refreshing recency, and appends a copy of the value
 // to dst. It returns the extended slice together with the item's client
 // flags and CAS token; hit is false on miss (dst is returned unchanged).
 // It never allocates when dst has capacity for the value.
 func (c *Cache) GetInto(key []byte, dst []byte) (out []byte, flags uint32, casToken uint64, hit bool) {
-	h := shardHashBytes(key)
-	sh := c.shards[h&c.mask]
+	return c.getInto(0, key, dst)
+}
+
+func (c *Cache) getInto(conn uint16, key []byte, dst []byte) (out []byte, flags uint32, casToken uint64, hit bool) {
+	tid, h, sh := c.route(conn, key)
 	sh.mu.Lock()
 	nowNano := c.nanos()
-	ref, ch, ok := sh.lookupLocked(h, key, nowNano)
+	sh.sampleAccess(tid, h)
+	ref, ch, ok := sh.lookupLocked(h, tid, key, nowNano)
 	if !ok {
 		sh.misses++
+		sh.tstat(tid).misses++
 		sh.mu.Unlock()
 		return dst, 0, 0, false
 	}
 	sh.hits++
+	sh.tstat(tid).hits++
 	setChAccess(ch, nowNano)
-	sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+	sh.slabFor(ch).list.moveToFront(&c.pool, ref)
 	dst = append(dst, chValue(ch)...)
 	flags, casToken = chFlags(ch), chCAS(ch)
 	sh.mu.Unlock()
@@ -41,14 +52,17 @@ func (c *Cache) GetInto(key []byte, dst []byte) (out []byte, flags uint32, casTo
 // ever created, so even first stores are allocation-free once the slab's
 // pages and the index have warmed up.
 func (c *Cache) SetBytes(key, value []byte, flags uint32, expiresAt time.Time) error {
+	return c.setBytes(0, key, value, flags, expiresAt)
+}
+
+func (c *Cache) setBytes(conn uint16, key, value []byte, flags uint32, expiresAt time.Time) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
-	h := shardHashBytes(key)
-	sh := c.shards[h&c.mask]
+	tid, h, sh := c.route(conn, key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	ch, err := sh.setLocked(h, key, value, flags, c.nanos())
+	ch, err := sh.setLocked(h, tid, key, value, flags, c.nanos())
 	if err != nil {
 		return err
 	}
@@ -86,6 +100,10 @@ const getMultiScratchKeys = 64
 // dst and arena have warmed up to the workload's batch shape (batches over
 // 64 keys pay one hash-scratch allocation).
 func (c *Cache) GetMultiInto(keys [][]byte, dst []MultiItem, arena []byte) ([]MultiItem, []byte) {
+	return c.getMultiInto(0, keys, dst, arena)
+}
+
+func (c *Cache) getMultiInto(conn uint16, keys [][]byte, dst []MultiItem, arena []byte) ([]MultiItem, []byte) {
 	dst, arena = dst[:0], arena[:0]
 	if len(keys) == 0 {
 		return dst, arena
@@ -96,16 +114,19 @@ func (c *Cache) GetMultiInto(keys [][]byte, dst []MultiItem, arena []byte) ([]Mu
 		dst = dst[:len(keys)]
 	}
 	var hashArr [getMultiScratchKeys]uint64
+	var tidArr [getMultiScratchKeys]uint16
 	var doneArr [getMultiScratchKeys]bool
-	hs, done := hashArr[:], doneArr[:]
+	hs, tids, done := hashArr[:], tidArr[:], doneArr[:]
 	if len(keys) > getMultiScratchKeys {
 		hs = make([]uint64, len(keys))
+		tids = make([]uint16, len(keys))
 		done = make([]bool, len(keys))
 	} else {
-		hs, done = hs[:len(keys)], done[:len(keys)]
+		hs, tids, done = hs[:len(keys)], tids[:len(keys)], done[:len(keys)]
 	}
 	for i, key := range keys {
-		hs[i] = shardHashBytes(key)
+		tids[i] = c.resolveTenant(conn, key)
+		hs[i] = shardHashT(tids[i], key)
 	}
 	for i := range keys {
 		if done[i] {
@@ -120,15 +141,18 @@ func (c *Cache) GetMultiInto(keys [][]byte, dst []MultiItem, arena []byte) ([]Mu
 				continue
 			}
 			done[j] = true
-			ref, ch, ok := sh.lookupLocked(hs[j], keys[j], nowNano)
+			sh.sampleAccess(tids[j], hs[j])
+			ref, ch, ok := sh.lookupLocked(hs[j], tids[j], keys[j], nowNano)
 			if !ok {
 				sh.misses++
+				sh.tstat(tids[j]).misses++
 				dst[j] = MultiItem{}
 				continue
 			}
 			sh.hits++
+			sh.tstat(tids[j]).hits++
 			setChAccess(ch, nowNano)
-			sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+			sh.slabFor(ch).list.moveToFront(&c.pool, ref)
 			v := chValue(ch)
 			off := len(arena)
 			arena = append(arena, v...)

@@ -54,22 +54,26 @@ func indexShift(n int) uint {
 	return 64 - s
 }
 
-// lookup finds the ref stored under hash h whose chunk key equals key. The
-// chunk resolved during the probe's key comparison is returned alongside,
-// sparing hot-path callers a second ref→chunk resolution.
-func (x *keyIndex) lookup(h uint64, key []byte, pool *pagePool) (itemRef, []byte, bool) {
-	if ref, ch, ok := probe(x.slots, x.shift, h, key, pool); ok {
+// lookup finds the ref stored under hash h whose chunk belongs to tenant
+// tid and whose key equals key. Tenants hash the same key differently (the
+// tenant ID is mixed into shardHashT), so the tenant compare only matters
+// on a cross-tenant 64-bit hash collision — but it makes namespacing exact
+// rather than probabilistic. The chunk resolved during the probe's key
+// comparison is returned alongside, sparing hot-path callers a second
+// ref→chunk resolution.
+func (x *keyIndex) lookup(h uint64, tid uint16, key []byte, pool *pagePool) (itemRef, []byte, bool) {
+	if ref, ch, ok := probe(x.slots, x.shift, h, tid, key, pool); ok {
 		return ref, ch, true
 	}
 	if x.old != nil {
-		if ref, ch, ok := probe(x.old, indexShift(len(x.old)), h, key, pool); ok {
+		if ref, ch, ok := probe(x.old, indexShift(len(x.old)), h, tid, key, pool); ok {
 			return ref, ch, true
 		}
 	}
 	return nilRef, nil, false
 }
 
-func probe(slots []indexSlot, shift uint, h uint64, key []byte, pool *pagePool) (itemRef, []byte, bool) {
+func probe(slots []indexSlot, shift uint, h uint64, tid uint16, key []byte, pool *pagePool) (itemRef, []byte, bool) {
 	if len(slots) == 0 {
 		return nilRef, nil, false
 	}
@@ -83,7 +87,7 @@ func probe(slots []indexSlot, shift uint, h uint64, key []byte, pool *pagePool) 
 			continue
 		}
 		ch := pool.chunkAt(s.ref)
-		if bytes.Equal(chKey(ch), key) {
+		if chTenant(ch) == tid && bytes.Equal(chKey(ch), key) {
 			return s.ref, ch, true
 		}
 	}

@@ -46,14 +46,14 @@ func (h *indexHarness) delete(t *testing.T, key string) {
 func (h *indexHarness) check(t *testing.T, absent []string) {
 	t.Helper()
 	for key, want := range h.refs {
-		got, _, ok := h.idx.lookup(shardHash(key), sbytes(key), &h.lh.pool)
+		got, _, ok := h.idx.lookup(shardHash(key), 0, sbytes(key), &h.lh.pool)
 		if !ok || got != want {
 			t.Fatalf("lookup(%q) = (%v,%v), want (%v,true) [live=%d dead=%d old=%v]",
 				key, got, ok, want, h.idx.live, h.idx.dead, h.idx.old != nil)
 		}
 	}
 	for _, key := range absent {
-		if _, _, ok := h.idx.lookup(shardHash(key), sbytes(key), &h.lh.pool); ok {
+		if _, _, ok := h.idx.lookup(shardHash(key), 0, sbytes(key), &h.lh.pool); ok {
 			t.Fatalf("lookup(%q) hit, want miss", key)
 		}
 	}
@@ -167,7 +167,7 @@ func TestIndexRandomChurnVsModel(t *testing.T) {
 			present = present[:len(present)-1]
 		default: // point lookup of a random present key
 			key := present[rng.Intn(len(present))]
-			got, _, ok := h.idx.lookup(shardHash(key), sbytes(key), &h.lh.pool)
+			got, _, ok := h.idx.lookup(shardHash(key), 0, sbytes(key), &h.lh.pool)
 			if !ok || got != h.refs[key] {
 				t.Fatalf("op %d: lookup(%q) = (%v,%v), want (%v,true)", op, key, got, ok, h.refs[key])
 			}

@@ -22,7 +22,7 @@ func newListHarness(t *testing.T) *listHarness {
 	t.Helper()
 	const chunkSize = 256
 	h := &listHarness{pool: newPagePool(8), cpp: PageSize / chunkSize}
-	pageID, ok := h.pool.tryAcquire(chunkSize)
+	pageID, ok := h.pool.tryAcquire(0, chunkSize)
 	if !ok {
 		t.Fatal("tryAcquire failed on fresh pool")
 	}
@@ -34,7 +34,7 @@ func newListHarness(t *testing.T) *listHarness {
 func (h *listHarness) alloc(t *testing.T, key string) itemRef {
 	t.Helper()
 	if h.used == h.cpp {
-		pageID, ok := h.pool.tryAcquire(256)
+		pageID, ok := h.pool.tryAcquire(0, 256)
 		if !ok {
 			t.Fatal("harness out of pages")
 		}
@@ -43,7 +43,7 @@ func (h *listHarness) alloc(t *testing.T, key string) itemRef {
 	}
 	ref := makeRef(h.pageIDs[len(h.pageIDs)-1], h.used)
 	h.used++
-	writeChunk(h.pool.chunkAt(ref), []byte(key), nil, 0, 0, 0, nanoNone, 0)
+	writeChunk(h.pool.chunkAt(ref), []byte(key), nil, 0, 0, 0, nanoNone, 0, 0)
 	return ref
 }
 

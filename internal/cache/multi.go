@@ -29,16 +29,19 @@ func (c *Cache) GetMulti(keys []string) map[string]MultiValue {
 		return nil
 	}
 	out := make(map[string]MultiValue, len(keys))
-	c.eachShardGroup(keys, func(sh *shard, i int, h uint64, nowNano int64) {
+	c.eachShardGroup(keys, func(sh *shard, i int, tid uint16, h uint64, nowNano int64) {
 		key := keys[i]
-		ref, ch, ok := sh.lookupLocked(h, sbytes(key), nowNano)
+		sh.sampleAccess(tid, h)
+		ref, ch, ok := sh.lookupLocked(h, tid, sbytes(key), nowNano)
 		if !ok {
 			sh.misses++
+			sh.tstat(tid).misses++
 			return
 		}
 		sh.hits++
+		sh.tstat(tid).hits++
 		setChAccess(ch, nowNano)
-		sh.slabs[chClass(ch)].list.moveToFront(&c.pool, ref)
+		sh.slabFor(ch).list.moveToFront(&c.pool, ref)
 		v := chValue(ch)
 		out[key] = MultiValue{
 			Value: append(make([]byte, 0, len(v)), v...),
@@ -53,11 +56,13 @@ func (c *Cache) GetMulti(keys []string) map[string]MultiValue {
 // shard's lock exactly once and calling fn with each key's index and
 // routing hash under its shard's lock (in slice order within a shard). The
 // O(keys × distinct-shards) rescan is cheap at protocol batch sizes.
-func (c *Cache) eachShardGroup(keys []string, fn func(sh *shard, i int, h uint64, nowNano int64)) {
+func (c *Cache) eachShardGroup(keys []string, fn func(sh *shard, i int, tid uint16, h uint64, nowNano int64)) {
 	hs := make([]uint64, len(keys))
+	tids := make([]uint16, len(keys))
 	done := make([]bool, len(keys))
 	for i, key := range keys {
-		hs[i] = shardHash(key)
+		tids[i] = c.resolveTenant(0, sbytes(key))
+		hs[i] = shardHashT(tids[i], sbytes(key))
 	}
 	for i := range keys {
 		if done[i] {
@@ -72,7 +77,7 @@ func (c *Cache) eachShardGroup(keys []string, fn func(sh *shard, i int, h uint64
 				continue
 			}
 			done[j] = true
-			fn(sh, j, hs[j], nowNano)
+			fn(sh, j, tids[j], hs[j], nowNano)
 		}
 		sh.mu.Unlock()
 	}
@@ -105,7 +110,7 @@ func (c *Cache) SetBatch(items []SetItem) (int, error) {
 	}
 	stored := 0
 	var firstErr error
-	c.eachShardGroup(keys, func(sh *shard, i int, h uint64, nowNano int64) {
+	c.eachShardGroup(keys, func(sh *shard, i int, tid uint16, h uint64, nowNano int64) {
 		item := &items[i]
 		if item.Key == "" {
 			if firstErr == nil {
@@ -113,7 +118,7 @@ func (c *Cache) SetBatch(items []SetItem) (int, error) {
 			}
 			return
 		}
-		ch, err := sh.setLocked(h, sbytes(item.Key), item.Value, item.Flags, nowNano)
+		ch, err := sh.setLocked(h, tid, sbytes(item.Key), item.Value, item.Flags, nowNano)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

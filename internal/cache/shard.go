@@ -86,6 +86,26 @@ func shardHashBytes(key []byte) uint64 {
 	return h ^ h>>32
 }
 
+// shardHashT is the tenant-aware routing hash: the two tenant-ID bytes are
+// folded into the FNV-1a stream ahead of the key, so the same key lands on
+// (usually) different shards and always different index hashes per tenant.
+// Tenant 0 — the default namespace — skips the fold entirely and produces
+// bit-identical hashes to shardHashBytes, so single-tenant deployments keep
+// the exact pre-tenancy placement (and the chaos/differential suites their
+// determinism).
+func shardHashT(tid uint16, key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	if tid != 0 {
+		h = (h ^ uint64(tid&0xff)) * fnvPrime64
+		h = (h ^ uint64(tid>>8)) * fnvPrime64
+	}
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h ^ h>>32
+}
+
 // sbytes views a string's bytes without copying. The slice is read-only by
 // contract: it is only ever hashed, compared, or copied from. It lets the
 // string-keyed convenience API share the byte-keyed core paths.
@@ -96,14 +116,42 @@ func sbytes(s string) []byte {
 	return unsafe.Slice(unsafe.StringData(s), len(s))
 }
 
-// shard is one lock stripe: a pointer-free key index plus per-class slabs
-// and counters. Everything below the mutex is guarded by it.
+// tenantStat is one shard's slice of a tenant's counters and residency.
+// Bytes are chunk-size accounted (what the tenant physically occupies, not
+// payload bytes), so residency sums exactly to assigned pages minus free
+// chunks. Guarded by the shard mutex.
+type tenantStat struct {
+	hits, misses, sets, evictions, expirations uint64
+	items                                      int
+	bytes                                      int64
+}
+
+// sampleHashMask keeps the low 48 bits of the routing hash in a packed
+// access sample; the high 16 carry the tenant ID.
+const sampleHashMask = 1<<48 - 1
+
+// shard is one lock stripe: a pointer-free key index plus per-tenant,
+// per-class slabs and counters. Everything below the mutex is guarded by it.
 type shard struct {
 	owner *Cache
 
-	mu    sync.Mutex
-	idx   keyIndex
-	slabs []*slab // lazily populated per class
+	mu  sync.Mutex
+	idx keyIndex
+	// slabs is slot-indexed: slot = tenantID*len(classes) + classID. The
+	// slice starts at one tenant's worth (the default namespace) and grows
+	// lazily as tenants touch the shard.
+	slabs []*slab
+
+	// tstats is the per-tenant counter table, indexed by tenant ID.
+	// RegisterTenant pre-grows it so steady-state ops never append.
+	tstats []tenantStat
+
+	// samples is the preallocated access-sample buffer the arbiter drains:
+	// packed (tenantID << 48 | hash&sampleHashMask) words, appended only
+	// while len < cap so the hot path never reallocates. sampleOn gates the
+	// append and is flipped under the shard lock.
+	samples  []uint64
+	sampleOn bool
 
 	hits, misses, sets, evictions uint64
 	expirations                   uint64
@@ -111,27 +159,62 @@ type shard struct {
 
 func newShard(c *Cache) *shard {
 	return &shard{
-		owner: c,
-		slabs: make([]*slab, len(c.classes)),
+		owner:  c,
+		slabs:  make([]*slab, len(c.classes)),
+		tstats: make([]tenantStat, 1),
 	}
 }
 
-// slab returns the shard's slab for classID, creating it on first use.
+// slab returns the shard's default-tenant slab for classID, creating it on
+// first use.
 func (sh *shard) slab(classID int) *slab {
-	if sh.slabs[classID] == nil {
-		sh.slabs[classID] = newSlab(classID, sh.owner.classes[classID])
+	return sh.slabAt(0, classID)
+}
+
+// slabAt returns the (tenant, class) slab, growing the slot table and
+// creating the slab on first use.
+func (sh *shard) slabAt(tid uint16, classID int) *slab {
+	nc := len(sh.owner.classes)
+	slot := int(tid)*nc + classID
+	for slot >= len(sh.slabs) {
+		sh.slabs = append(sh.slabs, nil)
 	}
-	return sh.slabs[classID]
+	if sh.slabs[slot] == nil {
+		sh.slabs[slot] = newSlab(tid, classID, sh.owner.classes[classID])
+	}
+	return sh.slabs[slot]
+}
+
+// slabFor resolves the slab owning an existing chunk.
+func (sh *shard) slabFor(ch []byte) *slab {
+	return sh.slabAt(chTenant(ch), chClass(ch))
+}
+
+// tstat returns the tenant's counter slot, growing the table on first use.
+func (sh *shard) tstat(tid uint16) *tenantStat {
+	for int(tid) >= len(sh.tstats) {
+		sh.tstats = append(sh.tstats, tenantStat{})
+	}
+	return &sh.tstats[tid]
+}
+
+// sampleAccess records one access for the MRC estimator. The buffer is
+// fixed-capacity: when the arbiter falls behind, samples are dropped rather
+// than the hot path allocating or blocking.
+func (sh *shard) sampleAccess(tid uint16, h uint64) {
+	if sh.sampleOn && len(sh.samples) < cap(sh.samples) {
+		sh.samples = append(sh.samples, uint64(tid)<<48|h&sampleHashMask)
+	}
 }
 
 // items reports the number of resident keys (live index entries), the
 // arena engine's equivalent of len(table).
 func (sh *shard) items() int { return sh.idx.count }
 
-// lookupLocked finds a live item by its routing hash and key bytes,
-// lazily expiring a dead one. It returns the item's ref and chunk.
-func (sh *shard) lookupLocked(h uint64, key []byte, nowNano int64) (itemRef, []byte, bool) {
-	ref, ch, ok := sh.idx.lookup(h, key, &sh.owner.pool)
+// lookupLocked finds a live item by its routing hash, tenant, and key
+// bytes, lazily expiring a dead one. It returns the item's ref and chunk.
+func (sh *shard) lookupLocked(h uint64, tid uint16, key []byte, nowNano int64) (itemRef, []byte, bool) {
+	ref, ch, ok := sh.idx.lookup(h, tid, key, &sh.owner.pool)
 	if !ok {
 		return nilRef, nil, false
 	}
@@ -144,8 +227,8 @@ func (sh *shard) lookupLocked(h uint64, key []byte, nowNano int64) (itemRef, []b
 
 // peekLocked is lookupLocked without the lazy expiry (expired items are
 // skipped, not reclaimed) — for read-only probes like Peek/Contains.
-func (sh *shard) peekLocked(h uint64, key []byte, nowNano int64) ([]byte, bool) {
-	_, ch, ok := sh.idx.lookup(h, key, &sh.owner.pool)
+func (sh *shard) peekLocked(h uint64, tid uint16, key []byte, nowNano int64) ([]byte, bool) {
+	_, ch, ok := sh.idx.lookup(h, tid, key, &sh.owner.pool)
 	if !ok {
 		return nil, false
 	}
@@ -161,7 +244,7 @@ func (sh *shard) peekLocked(h uint64, key []byte, nowNano int64) ([]byte, bool) 
 // the expiry is cleared; callers needing a TTL stamp it on the returned
 // chunk. Returns the stored chunk so callers can adjust fields without a
 // second lookup.
-func (sh *shard) setLocked(h uint64, key, value []byte, flags uint32, tsNano int64) ([]byte, error) {
+func (sh *shard) setLocked(h uint64, tid uint16, key, value []byte, flags uint32, tsNano int64) ([]byte, error) {
 	c := sh.owner
 	need := len(key) + len(value) + ItemOverhead
 	classID := classForSize(c.classes, need)
@@ -170,7 +253,7 @@ func (sh *shard) setLocked(h uint64, key, value []byte, flags uint32, tsNano int
 	}
 
 	cas := c.casSeq.Add(1)
-	if ref, ch, ok := sh.idx.lookup(h, key, &c.pool); ok {
+	if ref, ch, ok := sh.idx.lookup(h, tid, key, &c.pool); ok {
 		if chClass(ch) == classID {
 			// In-place update within the same chunk: steady-state
 			// overwrites touch only arena bytes.
@@ -179,40 +262,45 @@ func (sh *shard) setLocked(h uint64, key, value []byte, flags uint32, tsNano int
 			setChAccess(ch, tsNano)
 			setChExpire(ch, nanoNone)
 			setChCAS(ch, cas)
-			sh.slabs[classID].list.moveToFront(&c.pool, ref)
+			sh.slabAt(tid, classID).list.moveToFront(&c.pool, ref)
 			sh.sets++
+			sh.tstat(tid).sets++
 			return ch, nil
 		}
 		// Size class changed: drop and reinsert.
 		sh.removeLocked(ref, ch)
 	}
 
-	ref, err := sh.allocChunkLocked(classID)
+	ref, err := sh.allocChunkLocked(tid, classID)
 	if err != nil {
 		return nil, fmt.Errorf("set %q: %w", key, err)
 	}
 	ch := c.pool.chunkAt(ref)
-	writeChunk(ch, key, value, flags, cas, tsNano, nanoNone, classID)
-	sl := sh.slabs[classID]
+	writeChunk(ch, key, value, flags, cas, tsNano, nanoNone, classID, tid)
+	sl := sh.slabAt(tid, classID)
 	sl.list.pushFront(&c.pool, ref)
 	sl.used++
 	sh.idx.insert(h, ref)
 	sh.sets++
+	ts := sh.tstat(tid)
+	ts.sets++
+	ts.items++
+	ts.bytes += int64(sl.chunkSize)
 	return ch, nil
 }
 
-// allocChunkLocked guarantees a free chunk for the class: from the slab's
-// free list or bump cursor, then by acquiring an unassigned page from the
-// shared pool, then by evicting the shard's LRU tail of the class. Pages,
-// once assigned to a (shard, class) slab, are never reassigned, mirroring
-// memcached.
-func (sh *shard) allocChunkLocked(classID int) (itemRef, error) {
-	sl := sh.slab(classID)
+// allocChunkLocked guarantees a free chunk for the tenant's class slab:
+// from the slab's free list or bump cursor, then by acquiring a page from
+// the shared pool (subject to the tenant's quota), then by evicting the
+// shard's LRU tail of the tenant's class. A tenant at quota can only evict
+// itself — its pressure never touches another tenant's residents.
+func (sh *shard) allocChunkLocked(tid uint16, classID int) (itemRef, error) {
+	sl := sh.slabAt(tid, classID)
 	pool := &sh.owner.pool
 	if ref, ok := sl.takeChunk(pool); ok {
 		return ref, nil
 	}
-	if pageID, ok := pool.tryAcquire(sl.chunkSize); ok {
+	if pageID, ok := pool.tryAcquire(tid, sl.chunkSize); ok {
 		sl.pageIDs = append(sl.pageIDs, pageID)
 		ref, _ := sl.takeChunk(pool)
 		return ref, nil
@@ -230,34 +318,45 @@ func (sh *shard) evictLocked(sl *slab) {
 	pool := &sh.owner.pool
 	victim := sl.list.tail
 	ch := pool.chunkAt(victim)
-	h := shardHashBytes(chKey(ch))
+	h := shardHashT(sl.tenant, chKey(ch))
 	sl.list.remove(pool, victim)
 	sl.used--
 	sh.idx.delete(h, victim)
 	sl.pushFree(pool, victim)
 	sl.evictions++
 	sh.evictions++
+	ts := sh.tstat(sl.tenant)
+	ts.evictions++
+	ts.items--
+	ts.bytes -= int64(sl.chunkSize)
 }
 
-// removeLocked unlinks an item and recycles its chunk. The routing hash is
-// recomputed from the key bytes in the chunk — removal is never on the
-// zero-alloc fast path.
+// removeLocked unlinks an item and recycles its chunk, debiting the owning
+// tenant's residency. The routing hash is recomputed from the key bytes in
+// the chunk — removal is never on the zero-alloc fast path.
 func (sh *shard) removeLocked(ref itemRef, ch []byte) {
 	pool := &sh.owner.pool
-	h := shardHashBytes(chKey(ch))
-	classID := chClass(ch)
-	sl := sh.slabs[classID]
+	tid := chTenant(ch)
+	h := shardHashT(tid, chKey(ch))
+	sl := sh.slabFor(ch)
 	sl.list.remove(pool, ref)
 	sl.used--
 	sh.idx.delete(h, ref)
 	sl.pushFree(pool, ref)
+	ts := sh.tstat(tid)
+	ts.items--
+	ts.bytes -= int64(sl.chunkSize)
 }
 
 // expireLocked lazily removes an expired item, counting like memcached: a
-// get on an expired item is a miss.
+// get on an expired item is a miss. removeLocked debits the tenant's
+// resident bytes, so an item that dies in place is charged back to its
+// namespace immediately rather than leaking until a page steal.
 func (sh *shard) expireLocked(ref itemRef, ch []byte) {
+	tid := chTenant(ch)
 	sh.removeLocked(ref, ch)
 	sh.expirations++
+	sh.tstat(tid).expirations++
 }
 
 // ShardStat is one shard's slice of the counters, exposed through Stats so

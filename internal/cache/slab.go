@@ -52,6 +52,9 @@ func sizeClasses(factor float64) []int {
 type slab struct {
 	classID   int
 	chunkSize int
+	// tenant owns every page (and item) in this slab: slabs are per
+	// (shard, tenant, class), so page accounting and eviction stay exact.
+	tenant uint16
 
 	// chunksPerPage is how many chunks one page yields.
 	chunksPerPage uint32
@@ -78,10 +81,11 @@ type slab struct {
 	evictions uint64
 }
 
-func newSlab(classID, chunkSize int) *slab {
+func newSlab(tenant uint16, classID, chunkSize int) *slab {
 	return &slab{
 		classID:       classID,
 		chunkSize:     chunkSize,
+		tenant:        tenant,
 		chunksPerPage: uint32(PageSize / chunkSize),
 	}
 }

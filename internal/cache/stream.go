@@ -29,23 +29,29 @@ import (
 func (sh *shard) topMeta(classID, count int, nowNano int64, filter func(key string) bool) []ItemMeta {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sl := sh.slabs[classID]
-	if sl == nil || sl.list.size == 0 {
-		return nil
-	}
-	out := make([]ItemMeta, 0, min(count, sl.list.size))
-	sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
-		if chExpired(ch, nowNano) {
-			return true // dead items are not migration candidates
+	var out []ItemMeta
+	sh.eachClassSlab(classID, func(sl *slab) {
+		if sl.list.size == 0 {
+			return
 		}
-		m := metaOf(ch, classID)
-		if filter == nil || filter(m.Key) {
-			out = append(out, m)
-			if len(out) == count {
-				return false
+		if out == nil {
+			out = make([]ItemMeta, 0, min(count, sl.list.size))
+		}
+		taken := 0
+		sl.list.each(&sh.owner.pool, func(ref itemRef, ch []byte) bool {
+			if chExpired(ch, nowNano) {
+				return true // dead items are not migration candidates
 			}
-		}
-		return true
+			m := metaOf(ch, classID)
+			if filter == nil || filter(m.Key) {
+				out = append(out, m)
+				taken++
+				if taken == count {
+					return false
+				}
+			}
+			return true
+		})
 	})
 	return out
 }
@@ -119,7 +125,9 @@ func (c *Cache) AppendPairs(dst []KV, metas []ItemMeta) []KV {
 		sh.mu.Lock()
 		for _, i := range idxs {
 			key := metas[i].Key
-			ch, ok := sh.peekLocked(shardHash(key), sbytes(key), nowNano)
+			kb := sbytes(key)
+			tid := c.resolveTenant(0, kb)
+			ch, ok := sh.peekLocked(shardHashT(tid, kb), tid, kb, nowNano)
 			if !ok {
 				out[i].Key = "" // vanished since selection
 				continue

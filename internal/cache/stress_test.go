@@ -227,23 +227,29 @@ func (c *Cache) checkShardInvariants(t *testing.T) {
 	for si, sh := range c.shards {
 		sh.mu.Lock()
 		listed := 0
-		for classID, sl := range sh.slabs {
+		for slot, sl := range sh.slabs {
 			if sl == nil {
 				continue
 			}
+			// Slab slots are (tenant, class) pairs: slot = tid*classes+class.
+			tid := uint16(slot / len(c.classes))
+			classID := slot % len(c.classes)
 			if !sl.list.validate(&c.pool) {
 				sh.mu.Unlock()
-				t.Fatalf("shard %d class %d: corrupt MRU list", si, classID)
+				t.Fatalf("shard %d slot %d: corrupt MRU list", si, slot)
 			}
 			sl.list.each(&c.pool, func(ref itemRef, ch []byte) bool {
 				listed++
 				key := chKey(ch)
-				got, _, ok := sh.idx.lookup(shardHashBytes(key), key, &c.pool)
+				got, _, ok := sh.idx.lookup(shardHashT(tid, key), tid, key, &c.pool)
 				if !ok || got != ref {
 					t.Errorf("shard %d: listed item %q not in index", si, key)
 				}
 				if chClass(ch) != classID {
 					t.Errorf("shard %d: item %q in class %d list has header class %d", si, key, classID, chClass(ch))
+				}
+				if chTenant(ch) != tid {
+					t.Errorf("shard %d: item %q in tenant-%d slot has header tenant %d", si, key, tid, chTenant(ch))
 				}
 				return true
 			})

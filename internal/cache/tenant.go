@@ -1,0 +1,489 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Multi-tenant namespaces over one arena (Memshare's sharing model): every
+// item belongs to a tenant, tenants have page quotas with reserved floors
+// and hard caps, and an external arbiter (arbiter.go) re-partitions pages
+// between them by marginal miss-ratio-curve utility. Tenant 0 is the
+// default namespace — untagged keys live there and its behavior is
+// bit-identical to the pre-tenancy engine.
+//
+// Two resolution modes compose:
+//   - key-prefix mode (WithTenantPrefix): "name<delim>rest" routes by the
+//     registered prefix, so tenancy survives migration and snapshots;
+//   - connection mode (the `namespace` wire verb → Tenancy view): every op
+//     on the connection is served from that tenant, bare keys included.
+//     These tenants are node-local: dumps and migration skip their slabs.
+
+var (
+	// ErrTenantName is returned by RegisterTenant for unusable names.
+	ErrTenantName = errors.New("cache: invalid tenant name")
+	// ErrTenantLimit is returned when the 16-bit tenant ID space is full.
+	ErrTenantLimit = errors.New("cache: too many tenants")
+)
+
+// TenantConfig sizes a tenant's slice of the page budget.
+type TenantConfig struct {
+	// ReservedPages is the guaranteed floor: page steals never push the
+	// tenant below it, and other tenants cannot claim pages that would make
+	// the floor unmeetable.
+	ReservedPages int
+	// MaxPages caps the tenant's quota; 0 means the whole budget.
+	MaxPages int
+}
+
+// RegisterTenant creates (or re-configures) a named tenant and returns its
+// ID. Registration is cheap and idempotent by name; it pre-grows per-shard
+// tables so the serving path never allocates for a registered tenant.
+func (c *Cache) RegisterTenant(name string, cfg TenantConfig) (uint16, error) {
+	if name == "" || len(name) > 64 {
+		return 0, fmt.Errorf("%w: %q", ErrTenantName, name)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] <= ' ' || name[i] == 0x7f || (c.prefixDelim != 0 && name[i] == c.prefixDelim) {
+			return 0, fmt.Errorf("%w: %q", ErrTenantName, name)
+		}
+	}
+	c.regMu.Lock()
+	old := c.reg.Load()
+	id, known := old.byName[name]
+	if !known {
+		if len(old.names) > math.MaxUint16 {
+			c.regMu.Unlock()
+			return 0, ErrTenantLimit
+		}
+		id = uint16(len(old.names))
+		names := append(append(make([]string, 0, len(old.names)+1), old.names...), name)
+		byName := make(map[string]uint16, len(old.byName)+1)
+		for k, v := range old.byName {
+			byName[k] = v
+		}
+		byName[name] = id
+		c.reg.Store(&tenantRegistry{names: names, byName: byName})
+	}
+	c.regMu.Unlock()
+
+	p := &c.pool
+	p.mu.Lock()
+	t := p.ensureTenantLocked(id)
+	t.reserved = min(cfg.ReservedPages, p.max)
+	t.cap = p.max
+	if cfg.MaxPages > 0 {
+		t.cap = min(cfg.MaxPages, p.max)
+	}
+	if t.cap < t.reserved {
+		t.cap = t.reserved
+	}
+	t.quota = t.cap
+	p.mu.Unlock()
+
+	nc := len(c.classes)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.tstat(id)
+		for (int(id)+1)*nc > len(sh.slabs) {
+			sh.slabs = append(sh.slabs, nil)
+		}
+		sh.mu.Unlock()
+	}
+	return id, nil
+}
+
+// TenantID resolves a registered tenant name; ok is false for unknown
+// names. The default namespace is ID 0 with the empty name.
+func (c *Cache) TenantID(name string) (uint16, bool) {
+	if name == "" {
+		return 0, true
+	}
+	id, ok := c.reg.Load().byName[name]
+	return id, ok
+}
+
+// SetTenantQuota sets a tenant's current page allowance, clamped to
+// [reserved, cap]. The arbiter turns this knob; tests and static-partition
+// setups use it directly. Lowering a quota below the tenant's current
+// holding does not reclaim pages by itself — pair it with StealPage (or let
+// the arbiter do both).
+func (c *Cache) SetTenantQuota(id uint16, quota int) {
+	p := &c.pool
+	p.mu.Lock()
+	t := p.ensureTenantLocked(id)
+	t.quota = max(min(quota, t.cap), t.reserved)
+	p.mu.Unlock()
+}
+
+// TenantStats is one tenant's aggregate view: counters summed across
+// shards plus the page-pool quota state.
+type TenantStats struct {
+	// ID and Name identify the tenant; ID 0 is the default namespace "".
+	ID   uint16 `json:"id"`
+	Name string `json:"name"`
+	// Hits, Misses, Sets, Evictions, and Expirations are op counters.
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Sets        uint64 `json:"sets"`
+	Evictions   uint64 `json:"evictions"`
+	Expirations uint64 `json:"expirations"`
+	// Items and Bytes are the resident footprint (chunk-accounted).
+	Items int   `json:"items"`
+	Bytes int64 `json:"bytes"`
+	// Pages is the tenant's current page holding; Reserved/Quota/MaxPages
+	// are its floor, current allowance, and ceiling.
+	Pages    int `json:"pages"`
+	Reserved int `json:"reserved"`
+	Quota    int `json:"quota"`
+	MaxPages int `json:"maxPages"`
+	// PagesStolen counts pages the arbiter has taken from this tenant.
+	PagesStolen uint64 `json:"pagesStolen"`
+}
+
+// TenantStats snapshots every known tenant (default namespace included).
+// Shards are locked one at a time, so the snapshot is per-shard consistent.
+func (c *Cache) TenantStats() []TenantStats {
+	reg := c.reg.Load()
+	p := &c.pool
+	p.mu.Lock()
+	n := len(p.tenants)
+	out := make([]TenantStats, n)
+	for i := 0; i < n; i++ {
+		t := p.tenants[i]
+		out[i] = TenantStats{
+			ID: uint16(i), Pages: t.assigned, Reserved: t.reserved,
+			Quota: t.quota, MaxPages: t.cap, PagesStolen: t.steals,
+		}
+	}
+	p.mu.Unlock()
+	for i := range out {
+		if i < len(reg.names) {
+			out[i].Name = reg.names[i]
+		}
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for i := range sh.tstats {
+			if i >= n {
+				break
+			}
+			ts := &sh.tstats[i]
+			out[i].Hits += ts.hits
+			out[i].Misses += ts.misses
+			out[i].Sets += ts.sets
+			out[i].Evictions += ts.evictions
+			out[i].Expirations += ts.expirations
+			out[i].Items += ts.items
+			out[i].Bytes += ts.bytes
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// StealPage moves one page of allowance from tenant `from` to tenant `to`,
+// physically reclaiming the donor's coldest page when it holds more than
+// its shrunken quota. It refuses moves that would break the donor's
+// reserved floor or overflow the receiver's cap. This is the arbiter's
+// primitive — never called on a serving path.
+func (c *Cache) StealPage(from, to uint16) bool {
+	p := &c.pool
+	p.mu.Lock()
+	ft := p.ensureTenantLocked(from)
+	tt := p.ensureTenantLocked(to)
+	if from == to || ft.quota <= ft.reserved || tt.quota >= tt.cap {
+		p.mu.Unlock()
+		return false
+	}
+	ft.quota--
+	tt.quota++
+	needReclaim := ft.assigned > ft.quota
+	if needReclaim {
+		ft.steals++
+	}
+	p.mu.Unlock()
+	if !needReclaim {
+		return true // the allowance moved out of the donor's free headroom
+	}
+	if c.reclaimPage(from) {
+		return true
+	}
+	// Nothing physical to reclaim (all holdings raced away): undo.
+	p.mu.Lock()
+	ft = p.ensureTenantLocked(from)
+	tt = p.ensureTenantLocked(to)
+	ft.quota++
+	tt.quota--
+	ft.steals--
+	p.mu.Unlock()
+	return false
+}
+
+// reclaimPage frees one page from the tenant's coldest slab: the victim
+// slab is the one whose LRU tail is oldest (an empty slab with pages is
+// free to take), and within it the page with the fewest residents loses
+// them. Lock order is shard → pool, the order every allocation path uses.
+func (c *Cache) reclaimPage(tid uint16) bool {
+	nc := len(c.classes)
+	var vsh *shard
+	var vslot int
+	var vts int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		base := int(tid) * nc
+		for slot := base; slot < base+nc && slot < len(sh.slabs); slot++ {
+			sl := sh.slabs[slot]
+			if sl == nil || len(sl.pageIDs) == 0 {
+				continue
+			}
+			ts := int64(math.MinInt64) // no residents: cheapest possible steal
+			if sl.list.tail != nilRef {
+				ts = chAccess(c.pool.chunkAt(sl.list.tail))
+			}
+			if vsh == nil || ts < vts {
+				vsh, vslot, vts = sh, slot, ts
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if vsh == nil {
+		return false
+	}
+	vsh.mu.Lock()
+	sl := vsh.slabs[vslot]
+	if sl == nil || len(sl.pageIDs) == 0 {
+		vsh.mu.Unlock()
+		return false // raced away since selection
+	}
+	pageID := fewestResidentPage(sl, &c.pool)
+	vsh.removePageLocked(sl, pageID)
+	vsh.mu.Unlock()
+	c.pool.release(pageID)
+	return true
+}
+
+// fewestResidentPage picks the slab page that costs the fewest evictions.
+func fewestResidentPage(sl *slab, pool *pagePool) uint32 {
+	counts := make(map[uint32]int, len(sl.pageIDs))
+	sl.list.each(pool, func(ref itemRef, ch []byte) bool {
+		counts[ref.page()]++
+		return true
+	})
+	best, bestN := sl.pageIDs[0], int(^uint(0)>>1)
+	for _, pg := range sl.pageIDs {
+		if n := counts[pg]; n < bestN {
+			best, bestN = pg, n
+		}
+	}
+	return best
+}
+
+// removePageLocked detaches one page from a slab: surviving free chunks are
+// regathered, the page's residents are evicted through the normal metadata
+// paths, and the page ID is dropped from the slab. Callers hold sh.mu and
+// release the page to the pool afterwards. Returns the eviction count.
+func (sh *shard) removePageLocked(sl *slab, pageID uint32) int {
+	pool := &sh.owner.pool
+	// Gather every currently-free chunk that survives the page's removal:
+	// the explicit free list plus the untouched bump region, minus anything
+	// on the victim page. The bump cursor is then retired — all future free
+	// chunks flow through the free list.
+	var free []itemRef
+	for ref := sl.freeHead; ref != nilRef; ref = chNext(pool.chunkAt(ref)) {
+		if ref.page() != pageID {
+			free = append(free, ref)
+		}
+	}
+	for pi := sl.bumpPage; pi < len(sl.pageIDs); pi++ {
+		pg := sl.pageIDs[pi]
+		if pg == pageID {
+			continue
+		}
+		start := uint32(0)
+		if pi == sl.bumpPage {
+			start = sl.bumpChunk
+		}
+		for ci := start; ci < sl.chunksPerPage; ci++ {
+			free = append(free, makeRef(pg, ci))
+		}
+	}
+
+	var dead []itemRef
+	sl.list.each(pool, func(ref itemRef, ch []byte) bool {
+		if ref.page() == pageID {
+			dead = append(dead, ref)
+		}
+		return true
+	})
+	ts := sh.tstat(sl.tenant)
+	for _, ref := range dead {
+		ch := pool.chunkAt(ref)
+		h := shardHashT(sl.tenant, chKey(ch))
+		sl.list.remove(pool, ref)
+		sl.used--
+		sh.idx.delete(h, ref)
+		sl.evictions++
+		sh.evictions++
+		ts.evictions++
+		ts.items--
+		ts.bytes -= int64(sl.chunkSize)
+	}
+
+	for i, pg := range sl.pageIDs {
+		if pg == pageID {
+			sl.pageIDs = append(sl.pageIDs[:i], sl.pageIDs[i+1:]...)
+			break
+		}
+	}
+	sl.bumpPage = len(sl.pageIDs)
+	sl.bumpChunk = 0
+	sl.freeHead = nilRef
+	for _, ref := range free {
+		sl.pushFree(pool, ref)
+	}
+	return len(dead)
+}
+
+// enableSampling arms per-shard access sampling with the given buffer
+// capacity (samples per shard between arbiter drains). Idempotent.
+func (c *Cache) enableSampling(perShard int) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if cap(sh.samples) < perShard {
+			sh.samples = make([]uint64, 0, perShard)
+		}
+		sh.sampleOn = true
+		sh.mu.Unlock()
+	}
+}
+
+// drainSamples hands every buffered access sample to fn and resets the
+// buffers. Samples are (tenant, hash) pairs in per-shard arrival order.
+func (c *Cache) drainSamples(fn func(tid uint16, h uint64)) int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, s := range sh.samples {
+			fn(uint16(s>>48), s&sampleHashMask)
+			n++
+		}
+		sh.samples = sh.samples[:0]
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Tenancy is a fixed-namespace view of a Cache: every operation is served
+// from the given tenant regardless of key shape. The server binds one to a
+// connection when it handles the `namespace` verb. The zero-cost wrappers
+// delegate to the same conn-tenant-parameterized cores as the default API,
+// so the view adds no allocations.
+type Tenancy struct {
+	c  *Cache
+	id uint16
+}
+
+// T returns the fixed-namespace view for a tenant ID (0 = default).
+func (c *Cache) T(id uint16) Tenancy { return Tenancy{c: c, id: id} }
+
+// ID reports the view's tenant ID.
+func (t Tenancy) ID() uint16 { return t.id }
+
+// GetInto is Cache.GetInto within the tenant.
+func (t Tenancy) GetInto(key []byte, dst []byte) ([]byte, uint32, uint64, bool) {
+	return t.c.getInto(t.id, key, dst)
+}
+
+// SetBytes is Cache.SetBytes within the tenant.
+func (t Tenancy) SetBytes(key, value []byte, flags uint32, expiresAt time.Time) error {
+	return t.c.setBytes(t.id, key, value, flags, expiresAt)
+}
+
+// GetMultiInto is Cache.GetMultiInto within the tenant.
+func (t Tenancy) GetMultiInto(keys [][]byte, dst []MultiItem, arena []byte) ([]MultiItem, []byte) {
+	return t.c.getMultiInto(t.id, keys, dst, arena)
+}
+
+// Get is Cache.Get within the tenant.
+func (t Tenancy) Get(key string) ([]byte, error) {
+	v, _, _, hit := t.c.getInto(t.id, sbytes(key), nil)
+	if !hit {
+		return nil, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	return v, nil
+}
+
+// Set is Cache.Set within the tenant.
+func (t Tenancy) Set(key string, value []byte) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	return t.c.setBytes(t.id, sbytes(key), value, 0, time.Time{})
+}
+
+// SetExpiringFlags is Cache.SetExpiringFlags within the tenant.
+func (t Tenancy) SetExpiringFlags(key string, value []byte, flags uint32, expiresAt time.Time) error {
+	return t.c.setExpiringFlags(t.id, key, value, flags, expiresAt)
+}
+
+// GetWithCAS is Cache.GetWithCAS within the tenant.
+func (t Tenancy) GetWithCAS(key string) ([]byte, uint32, uint64, error) {
+	return t.c.getWithCAS(t.id, key)
+}
+
+// AddFlags is Cache.AddFlags within the tenant.
+func (t Tenancy) AddFlags(key string, value []byte, flags uint32, expiresAt time.Time) error {
+	return t.c.addFlags(t.id, key, value, flags, expiresAt)
+}
+
+// ReplaceFlags is Cache.ReplaceFlags within the tenant.
+func (t Tenancy) ReplaceFlags(key string, value []byte, flags uint32, expiresAt time.Time) error {
+	return t.c.replaceFlags(t.id, key, value, flags, expiresAt)
+}
+
+// CompareAndSwapFlags is Cache.CompareAndSwapFlags within the tenant.
+func (t Tenancy) CompareAndSwapFlags(key string, value []byte, flags uint32, expiresAt time.Time, casToken uint64) error {
+	return t.c.compareAndSwapFlags(t.id, key, value, flags, expiresAt, casToken)
+}
+
+// Append is Cache.Append within the tenant.
+func (t Tenancy) Append(key string, data []byte) error { return t.c.appendT(t.id, key, data) }
+
+// Prepend is Cache.Prepend within the tenant.
+func (t Tenancy) Prepend(key string, data []byte) error { return t.c.prependT(t.id, key, data) }
+
+// Incr is Cache.Incr within the tenant.
+func (t Tenancy) Incr(key string, delta uint64) (uint64, error) {
+	return t.c.arith(t.id, key, func(v uint64) uint64 { return v + delta })
+}
+
+// Decr is Cache.Decr within the tenant.
+func (t Tenancy) Decr(key string, delta uint64) (uint64, error) {
+	return t.c.arith(t.id, key, func(v uint64) uint64 {
+		if delta > v {
+			return 0
+		}
+		return v - delta
+	})
+}
+
+// Delete is Cache.Delete within the tenant.
+func (t Tenancy) Delete(key string) error { return t.c.deleteT(t.id, key) }
+
+// TouchExpiry is Cache.TouchExpiry within the tenant.
+func (t Tenancy) TouchExpiry(key string, expiresAt time.Time) error {
+	return t.c.touchExpiry(t.id, key, expiresAt)
+}
+
+// Contains is Cache.Contains within the tenant.
+func (t Tenancy) Contains(key string) bool {
+	kb := sbytes(key)
+	tid, h, sh := t.c.route(t.id, kb)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.peekLocked(h, tid, kb, t.c.nowNano())
+	return ok
+}

@@ -1,0 +1,538 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// --- registration and resolution ---
+
+func TestTenantRegisterResolve(t *testing.T) {
+	c, _ := newTestCache(t, 8)
+	idA, err := c.RegisterTenant("alpha", TenantConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := c.RegisterTenant("beta", TenantConfig{ReservedPages: 2, MaxPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idA == 0 || idB == 0 || idA == idB {
+		t.Fatalf("ids = %d, %d: want distinct non-zero", idA, idB)
+	}
+	// Idempotent by name.
+	again, err := c.RegisterTenant("alpha", TenantConfig{})
+	if err != nil || again != idA {
+		t.Fatalf("re-register alpha = (%d, %v), want (%d, nil)", again, err, idA)
+	}
+	if id, ok := c.TenantID("beta"); !ok || id != idB {
+		t.Fatalf("TenantID(beta) = (%d, %v)", id, ok)
+	}
+	if id, ok := c.TenantID(""); !ok || id != 0 {
+		t.Fatalf("TenantID(\"\") = (%d, %v), want (0, true)", id, ok)
+	}
+	if _, ok := c.TenantID("nobody"); ok {
+		t.Fatal("TenantID(nobody) resolved")
+	}
+	for _, bad := range []string{"", "has space", "ctl\x01"} {
+		if _, err := c.RegisterTenant(bad, TenantConfig{}); !errors.Is(err, ErrTenantName) {
+			t.Errorf("RegisterTenant(%q) err = %v, want ErrTenantName", bad, err)
+		}
+	}
+	// Registered quota state is visible in TenantStats.
+	for _, st := range c.TenantStats() {
+		if st.Name == "beta" {
+			if st.Reserved != 2 || st.MaxPages != 4 || st.Quota != 4 {
+				t.Fatalf("beta quota state = %+v", st)
+			}
+		}
+	}
+}
+
+func TestTenantPrefixDelimRejectedInName(t *testing.T) {
+	c, err := New(8*PageSize, WithTenantPrefix('/'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RegisterTenant("a/b", TenantConfig{}); !errors.Is(err, ErrTenantName) {
+		t.Fatalf("name containing the delimiter registered: %v", err)
+	}
+}
+
+// --- namespace isolation ---
+
+// TestTenantIsolationSameKey stores the same key in three namespaces and
+// checks that reads, overwrites, and deletes never cross.
+func TestTenantIsolationSameKey(t *testing.T) {
+	c, _ := newTestCache(t, 8)
+	a, _ := c.RegisterTenant("a", TenantConfig{})
+	b, _ := c.RegisterTenant("b", TenantConfig{})
+
+	views := []Tenancy{c.T(0), c.T(a), c.T(b)}
+	for i, v := range views {
+		if err := v.Set("shared-key", []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range views {
+		got, err := v.Get("shared-key")
+		if err != nil || string(got) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("tenant %d: get = (%q, %v)", i, got, err)
+		}
+	}
+	if err := c.T(a).Delete("shared-key"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.T(a).Get("shared-key"); err == nil {
+		t.Fatal("deleted key still visible in its own namespace")
+	}
+	if _, err := c.T(0).Get("shared-key"); err != nil {
+		t.Fatal("delete in tenant a removed the default-namespace copy")
+	}
+	if _, err := c.T(b).Get("shared-key"); err != nil {
+		t.Fatal("delete in tenant a removed tenant b's copy")
+	}
+	c.checkShardInvariants(t)
+}
+
+// TestTenantPrefixRouting checks key-prefix resolution: registered prefixes
+// route, unknown prefixes and bare keys stay in the default namespace, and
+// a connection-bound tenant overrides the prefix.
+func TestTenantPrefixRouting(t *testing.T) {
+	clk := newFakeClock()
+	c, err := New(8*PageSize, WithClock(clk.Now), WithTenantPrefix('/'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.RegisterTenant("acct", TenantConfig{})
+
+	// A prefixed key and the same key through the tenant view are the same
+	// item.
+	if err := c.Set("acct/user", []byte("via-prefix")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.T(a).Get("acct/user")
+	if err != nil || string(got) != "via-prefix" {
+		t.Fatalf("tenant view read of prefixed key = (%q, %v)", got, err)
+	}
+
+	// Unknown prefix and bare keys are default-namespace items.
+	if err := c.Set("ghost/user", []byte("default")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.T(0).Get("ghost/user"); err != nil {
+		t.Fatal("unknown prefix left the default namespace")
+	}
+
+	// Connection tenant wins over the prefix: the key keeps its literal
+	// shape inside the bound namespace.
+	if err := c.T(a).Set("ghost/user", []byte("in-a")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.T(a).Get("ghost/user"); string(got) != "in-a" {
+		t.Fatalf("conn-tenant read = %q", got)
+	}
+	if got, _ := c.T(0).Get("ghost/user"); string(got) != "default" {
+		t.Fatalf("default copy clobbered by conn-tenant write: %q", got)
+	}
+	c.checkShardInvariants(t)
+}
+
+// --- quotas, floors, and stealing ---
+
+// fillTenant stores count items of ~valSize bytes into the tenant view,
+// returning how many sets succeeded.
+func fillTenant(t *testing.T, v Tenancy, prefix string, count, valSize int) int {
+	t.Helper()
+	val := bytes.Repeat([]byte("x"), valSize)
+	ok := 0
+	for i := 0; i < count; i++ {
+		if err := v.Set(fmt.Sprintf("%s-%05d", prefix, i), val); err == nil {
+			ok++
+		} else if !errors.Is(err, ErrOutOfMemory) {
+			t.Fatal(err)
+		}
+	}
+	return ok
+}
+
+// TestTenantQuotaCapsPages fills a capped tenant far past its allowance and
+// checks it never holds more pages than its cap, evicting only itself.
+func TestTenantQuotaCapsPages(t *testing.T) {
+	c, _ := newTestCache(t, 8)
+	a, _ := c.RegisterTenant("capped", TenantConfig{MaxPages: 2})
+
+	// A resident bystander that must survive the capped tenant's churn.
+	before := fillTenant(t, c.T(0), "bystander", 100, 900)
+	// ~1000 B/item → one page holds ~1100 items; 5000 items is ~5 pages of
+	// demand against a 2-page cap.
+	fillTenant(t, c.T(a), "hog", 5000, 900)
+
+	var hogStats, defStats TenantStats
+	for _, st := range c.TenantStats() {
+		switch st.ID {
+		case a:
+			hogStats = st
+		case 0:
+			defStats = st
+		}
+	}
+	if hogStats.Pages > 2 {
+		t.Fatalf("capped tenant holds %d pages, cap 2", hogStats.Pages)
+	}
+	if hogStats.Evictions == 0 {
+		t.Fatal("capped tenant under 5x demand never evicted")
+	}
+	if defStats.Evictions != 0 {
+		t.Fatalf("bystander evicted %d items by another tenant's churn", defStats.Evictions)
+	}
+	for i := 0; i < before; i++ {
+		if _, err := c.T(0).Get(fmt.Sprintf("bystander-%05d", i)); err != nil {
+			t.Fatalf("bystander item %d lost", i)
+		}
+	}
+	c.checkShardInvariants(t)
+}
+
+// TestTenantReservedFloorHolds checks a reserved floor is honored before the
+// arbiter ever runs: another tenant filling the node cannot take pages the
+// floor still lacks.
+func TestTenantReservedFloorHolds(t *testing.T) {
+	c, _ := newTestCache(t, 8)
+	res, _ := c.RegisterTenant("reserved", TenantConfig{ReservedPages: 3})
+	hog, _ := c.RegisterTenant("hog", TenantConfig{})
+
+	// The hog floods an empty node; it may take everything except the floor.
+	fillTenant(t, c.T(hog), "flood", 20000, 900)
+	for _, st := range c.TenantStats() {
+		if st.ID == hog && st.Pages > 8-3 {
+			t.Fatalf("hog holds %d pages, leaving the 3-page floor unmeetable", st.Pages)
+		}
+	}
+	// The reserved tenant can still claim its floor.
+	fillTenant(t, c.T(res), "late", 5000, 900)
+	for _, st := range c.TenantStats() {
+		if st.ID == res && st.Pages < 3 {
+			t.Fatalf("reserved tenant got %d pages, floor 3", st.Pages)
+		}
+	}
+	c.checkShardInvariants(t)
+}
+
+// TestStealPageSemantics exercises the arbiter's primitive directly:
+// allowance-only moves, physical reclaims, and the refusal conditions.
+func TestStealPageSemantics(t *testing.T) {
+	c, _ := newTestCache(t, 8)
+	a, _ := c.RegisterTenant("donor", TenantConfig{ReservedPages: 1})
+	b, _ := c.RegisterTenant("recv", TenantConfig{MaxPages: 3})
+
+	stats := func(id uint16) TenantStats {
+		for _, st := range c.TenantStats() {
+			if st.ID == id {
+				return st
+			}
+		}
+		t.Fatalf("tenant %d missing from stats", id)
+		return TenantStats{}
+	}
+
+	// Narrow both quotas to a known partition: donor 4, recv 2.
+	c.SetTenantQuota(a, 4)
+	c.SetTenantQuota(b, 2)
+
+	// Donor holds nothing yet: the steal moves pure allowance, no reclaim.
+	if !c.StealPage(a, b) {
+		t.Fatal("allowance-only steal refused")
+	}
+	if st := stats(a); st.Quota != 3 || st.PagesStolen != 0 {
+		t.Fatalf("donor after allowance steal: %+v", st)
+	}
+	if st := stats(b); st.Quota != 3 {
+		t.Fatalf("recv after allowance steal: %+v", st)
+	}
+
+	// Receiver is now at its cap: further steals toward it must refuse.
+	if c.StealPage(a, b) {
+		t.Fatal("steal into a tenant at cap succeeded")
+	}
+
+	// Load the donor to its full quota, then steal with reclaim.
+	fillTenant(t, c.T(a), "load", 4000, 900)
+	loaded := stats(a)
+	if loaded.Pages != 3 {
+		t.Fatalf("donor loaded to %d pages, want quota 3", loaded.Pages)
+	}
+	c.SetTenantQuota(b, 2) // reopen headroom at the receiver
+	if !c.StealPage(a, b) {
+		t.Fatal("reclaiming steal refused")
+	}
+	after := stats(a)
+	if after.Pages != 2 || after.Quota != 2 || after.PagesStolen != 1 {
+		t.Fatalf("donor after reclaiming steal: %+v", after)
+	}
+	if after.Items >= loaded.Items {
+		t.Fatalf("reclaim evicted nothing: %d → %d items", loaded.Items, after.Items)
+	}
+
+	// Donor sits at its reserved floor (reserved 1 < quota 2; drain to 1).
+	c.SetTenantQuota(b, 2) // receiver headroom again
+	if !c.StealPage(a, b) {
+		t.Fatal("steal down to the floor refused")
+	}
+	if c.StealPage(a, b) {
+		t.Fatal("steal below the reserved floor succeeded")
+	}
+	if c.StealPage(a, a) {
+		t.Fatal("self-steal succeeded")
+	}
+	c.checkShardInvariants(t)
+}
+
+// --- accounting ---
+
+// TestTenantLazyExpiryAccounting pins satellite behavior: an item that dies
+// in place (lazy expiry on the read path) is debited from its tenant's
+// resident items/bytes immediately and counted as that tenant's expiration.
+func TestTenantLazyExpiryAccounting(t *testing.T) {
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	c, err := New(8*PageSize, WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.RegisterTenant("ephem", TenantConfig{})
+
+	v := c.T(a)
+	if err := v.SetExpiringFlags("dies", bytes.Repeat([]byte("v"), 100), 0, clk.t.Add(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set("lives", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+
+	var st TenantStats
+	find := func() TenantStats {
+		for _, s := range c.TenantStats() {
+			if s.ID == a {
+				return s
+			}
+		}
+		t.Fatal("tenant missing")
+		return TenantStats{}
+	}
+	st = find()
+	if st.Items != 2 || st.Bytes == 0 {
+		t.Fatalf("pre-expiry stats: %+v", st)
+	}
+	bytesBefore := st.Bytes
+
+	clk.advance(10 * time.Millisecond)
+	if _, err := v.Get("dies"); err == nil {
+		t.Fatal("expired item still served")
+	}
+	st = find()
+	if st.Items != 1 {
+		t.Fatalf("lazy expiry left items = %d, want 1", st.Items)
+	}
+	if st.Bytes >= bytesBefore {
+		t.Fatalf("lazy expiry did not debit bytes: %d → %d", bytesBefore, st.Bytes)
+	}
+	if st.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", st.Expirations)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("expired get counted as %d misses, want 1", st.Misses)
+	}
+	// The crawler path debits identically.
+	if err := v.SetExpiringFlags("dies2", []byte("x"), 0, clk.t.Add(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(10 * time.Millisecond)
+	c.CrawlExpired()
+	st = find()
+	if st.Items != 1 || st.Expirations != 2 {
+		t.Fatalf("crawler expiry accounting: %+v", st)
+	}
+	c.checkShardInvariants(t)
+}
+
+// --- the tenant differential sweep (CI gate) ---
+
+// TestTenantDifferential is two differentials in one seeded sweep:
+//
+//  1. Equivalence — a cache with named tenants registered, driven entirely
+//     through the default namespace, must behave bit-identically to a plain
+//     cache: same hits, same misses, same values. Tenancy must be free when
+//     unused.
+//  2. Isolation — three tenants interleaving the same key names through
+//     prefix routing and tenant views, each checked against its own oracle
+//     map. Any crosstalk (a value or expiry leaking across namespaces)
+//     diverges from an oracle.
+func TestTenantDifferential(t *testing.T) {
+	// Every (shard, tenant, class) slab holds at least one page once
+	// touched, so the budget must cover 2 shards × 4 namespaces × the
+	// ~8 classes the value range spans — plus headroom so the sweep stays
+	// eviction-free.
+	const (
+		ops      = 60_000
+		keySpace = 300
+		maxVal   = 300
+	)
+	clk := &holdClock{t: time.Unix(1_700_000_000, 0)}
+	plain, err := New(96*PageSize, WithClock(clk.Now), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenanted, err := New(96*PageSize, WithClock(clk.Now), WithShards(2), WithTenantPrefix('/'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"red", "green", "blue"}
+	views := make([]Tenancy, len(names))
+	oracles := make([]map[string]*oracleItem, len(names))
+	for i, n := range names {
+		id, err := tenanted.RegisterTenant(n, TenantConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = tenanted.T(id)
+		oracles[i] = map[string]*oracleItem{}
+	}
+
+	live := func(o map[string]*oracleItem, k string) *oracleItem {
+		it, ok := o[k]
+		if !ok {
+			return nil
+		}
+		if !it.expire.IsZero() && !clk.t.Before(it.expire) {
+			delete(o, k)
+			return nil
+		}
+		return it
+	}
+
+	rng := rand.New(rand.NewSource(20260807))
+	key := func() string { return fmt.Sprintf("k-%04d", rng.Intn(keySpace)) }
+	val := func() []byte {
+		v := make([]byte, rng.Intn(maxVal)+1)
+		rng.Read(v)
+		return v
+	}
+	ttl := func() time.Time {
+		if rng.Intn(3) == 0 {
+			return time.Time{}
+		}
+		return clk.t.Add(time.Duration(rng.Intn(40)+1) * time.Millisecond)
+	}
+
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(100); {
+		case r < 35: // default-namespace set, mirrored on both caches
+			k, v, fl, exp := key(), val(), rng.Uint32(), ttl()
+			if err := plain.SetExpiringFlags(k, v, fl, exp); err != nil {
+				t.Fatalf("op %d: plain set: %v", op, err)
+			}
+			if err := tenanted.SetExpiringFlags(k, v, fl, exp); err != nil {
+				t.Fatalf("op %d: tenanted set: %v", op, err)
+			}
+		case r < 55: // default-namespace get, results must match exactly
+			k := key()
+			pv, pf, _, perr := plain.GetWithCAS(k)
+			tv, tf, _, terr := tenanted.GetWithCAS(k)
+			if (perr == nil) != (terr == nil) {
+				t.Fatalf("op %d: get %q diverged: plain err=%v, tenanted err=%v", op, k, perr, terr)
+			}
+			if perr == nil && (!bytes.Equal(pv, tv) || pf != tf) {
+				t.Fatalf("op %d: get %q values diverged", op, k)
+			}
+		case r < 62: // default-namespace delete, mirrored
+			k := key()
+			perr := plain.Delete(k)
+			terr := tenanted.Delete(k)
+			if (perr == nil) != (terr == nil) {
+				t.Fatalf("op %d: delete %q diverged: %v vs %v", op, k, perr, terr)
+			}
+		case r < 87: // tenant op through prefix or view, against its oracle
+			ti := rng.Intn(len(names))
+			k, o := key(), oracles[ti]
+			switch rng.Intn(4) {
+			case 0: // set via prefix routing on the exported API
+				v, exp := val(), ttl()
+				pk := names[ti] + "/" + k
+				if err := tenanted.SetExpiringFlags(pk, v, 0, exp); err != nil {
+					t.Fatalf("op %d: prefixed set: %v", op, err)
+				}
+				// Prefix mode stores the full literal key.
+				o[pk] = &oracleItem{value: append([]byte(nil), v...), expire: exp}
+			case 1: // set via the tenant view (conn-style), bare key
+				v, exp := val(), ttl()
+				if err := views[ti].SetExpiringFlags(k, v, 0, exp); err != nil {
+					t.Fatalf("op %d: view set: %v", op, err)
+				}
+				o[k] = &oracleItem{value: append([]byte(nil), v...), expire: exp}
+			case 2: // get via the view; prefix- and view-stored keys both live here
+				rk := k
+				if rng.Intn(2) == 0 {
+					rk = names[ti] + "/" + k
+				}
+				got, err := views[ti].Get(rk)
+				want := live(o, rk)
+				if want == nil {
+					if err == nil {
+						t.Fatalf("op %d: tenant %s get %q hit, oracle dead", op, names[ti], rk)
+					}
+				} else if err != nil || !bytes.Equal(got, want.value) {
+					t.Fatalf("op %d: tenant %s get %q diverged (err %v)", op, names[ti], rk, err)
+				}
+			default: // delete via the view
+				err := views[ti].Delete(k)
+				if want := live(o, k); want == nil {
+					if err == nil {
+						t.Fatalf("op %d: tenant %s deleted a dead key", op, names[ti])
+					}
+				} else if err != nil {
+					t.Fatalf("op %d: tenant %s delete live: %v", op, names[ti], err)
+				} else {
+					delete(o, k)
+				}
+			}
+		case r < 95: // advance time
+			clk.advance(time.Duration(rng.Intn(10)+1) * time.Millisecond)
+		default: // crawler on both caches; prune the oracles
+			plain.CrawlExpired()
+			tenanted.CrawlExpired()
+			for _, o := range oracles {
+				for k := range o {
+					live(o, k)
+				}
+			}
+		}
+	}
+
+	// Final agreement: the two default namespaces hold identical state.
+	// (Cache.Stats aggregates every namespace, so compare the tenant-0 rows.)
+	pst, tst := plain.TenantStats()[0], tenanted.TenantStats()[0]
+	if pst.Hits != tst.Hits || pst.Misses != tst.Misses || pst.Evictions != tst.Evictions ||
+		pst.Items != tst.Items || pst.Bytes != tst.Bytes {
+		t.Fatalf("default-namespace counters diverged: plain %+v vs tenanted %+v", pst, tst)
+	}
+	// ...and every tenant's view matches its oracle exactly.
+	for i, o := range oracles {
+		for k := range o {
+			if want := live(o, k); want != nil {
+				got, err := views[i].Get(k)
+				if err != nil || !bytes.Equal(got, want.value) {
+					t.Fatalf("final: tenant %s key %q diverged (err %v)", names[i], k, err)
+				}
+			}
+		}
+	}
+	if ev := tenanted.Stats().Evictions; ev != 0 {
+		t.Fatalf("sweep assumed no evictions, saw %d", ev)
+	}
+	plain.checkShardInvariants(t)
+	tenanted.checkShardInvariants(t)
+}

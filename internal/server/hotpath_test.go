@@ -252,6 +252,45 @@ func TestHotPathAllocs(t *testing.T) {
 	}
 }
 
+// TestHotPathAllocsWithTenancy re-runs the alloc gate on a connection
+// bound to a named tenant (the `namespace` verb path) with sampling armed,
+// as an arbiter-supervised node runs it: tenant routing, per-tenant stats,
+// and the access-sample append must all stay allocation-free.
+func TestHotPathAllocsWithTenancy(t *testing.T) {
+	h := newHotPathHarness(t)
+	id, err := h.s.cache.RegisterTenant("acme", cache.TenantConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.NewArbiter(h.s.cache, cache.ArbiterConfig{}) // arms sampling
+	h.st.tenant = id
+
+	setReq := []byte("set hot 11 0 5\r\nhello\r\n")
+	getReq := []byte("get hot\r\n")
+	getsReq := []byte("gets hot\r\n")
+	multiReq := []byte("get hot hot hot miss\r\n")
+	for i := 0; i < 3; i++ {
+		h.serve(t, setReq)
+		h.serve(t, getReq)
+		h.serve(t, getsReq)
+		h.serve(t, multiReq)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		payload []byte
+	}{
+		{"set", setReq},
+		{"get", getReq},
+		{"gets", getsReq},
+		{"multi-get", multiReq},
+	} {
+		if n := testing.AllocsPerRun(200, func() { h.serve(t, tc.payload) }); n > 0 {
+			t.Errorf("%s with tenancy: %.1f allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
 // TestHotPathAllocsWithSketch re-runs the alloc gate with hot-key
 // detection enabled: the sampled SpaceSaving sketch must not add a single
 // allocation to get/gets/set/multi-get. Monitored keys are map-index

@@ -224,6 +224,24 @@ func (c *Curve) ItemsForHitRate(target float64) (int, bool) {
 	return c.distances[i] + 1, true
 }
 
+// Points returns the curve's breakpoints as (capacity, hitRate) pairs in
+// ascending capacity order: capacity distances[i]+1 is the smallest cache
+// that hits every request counted in cumulative[i]. Consumers walking the
+// whole curve (the tenant arbiter's marginal-utility gradients, composed
+// autoscaler curves) use this instead of probing HitRate size by size.
+func (c *Curve) Points() (capacities []int, hitRates []float64) {
+	if c.total == 0 {
+		return nil, nil
+	}
+	capacities = make([]int, len(c.distances))
+	hitRates = make([]float64, len(c.distances))
+	for i, d := range c.distances {
+		capacities[i] = d + 1
+		hitRates[i] = float64(c.cumulative[i]) / float64(c.total)
+	}
+	return capacities, hitRates
+}
+
 // Table returns, for every integer hit-rate percent 1..100, the items
 // needed (0 marks unattainable percents). This is the "memory required for
 // every integer hit rate percentage in a single pass" computation of
@@ -332,3 +350,108 @@ func (m *Mimir) ColdMisses() uint64 { return m.coldMisses }
 
 // Curve builds the (approximate) hit-rate curve.
 func (m *Mimir) Curve() *Curve { return newCurve(m.hist, m.total) }
+
+// MimirH is Mimir keyed by 64-bit hashes instead of strings: the cache's
+// hot path already computes a routing hash per access, so the tenant MRC
+// estimator can sample (tenant, hash) pairs without materializing key
+// strings. A hash collision merges two keys' recency — at 48 sampled hash
+// bits the effect on a bucketed estimate is far below the bucketing error.
+type MimirH struct {
+	buckets   []*mimirBucketH // index 0 = hottest
+	bucketCap int
+
+	where map[uint64]*mimirBucketH
+
+	hist       map[int]uint64
+	coldMisses uint64
+	total      uint64
+}
+
+// mimirBucketH is one aging cohort; pos is its current index in buckets.
+type mimirBucketH struct {
+	pos  int
+	keys map[uint64]struct{}
+}
+
+// NewMimirH creates a hash-keyed MIMIR profiler with nBuckets buckets of
+// bucketCap keys each; the product bounds the distinct keys tracked.
+func NewMimirH(nBuckets, bucketCap int) (*MimirH, error) {
+	if nBuckets < 2 || bucketCap < 1 {
+		return nil, fmt.Errorf("stackdist: need >= 2 buckets of >= 1 key, got %d x %d", nBuckets, bucketCap)
+	}
+	m := &MimirH{
+		buckets:   make([]*mimirBucketH, nBuckets),
+		bucketCap: bucketCap,
+		where:     make(map[uint64]*mimirBucketH),
+		hist:      make(map[int]uint64),
+	}
+	for i := range m.buckets {
+		m.buckets[i] = &mimirBucketH{pos: i, keys: make(map[uint64]struct{})}
+	}
+	return m, nil
+}
+
+// Record processes one request and returns the estimated stack distance.
+func (m *MimirH) Record(key uint64) int {
+	m.total++
+	b, seen := m.where[key]
+	var dist int
+	if !seen {
+		dist = InfiniteDistance
+		m.coldMisses++
+	} else {
+		est := 0
+		for j := 0; j < b.pos; j++ {
+			est += len(m.buckets[j].keys)
+		}
+		est += len(b.keys) / 2
+		dist = est
+		m.hist[dist]++
+		delete(b.keys, key)
+	}
+	// Promote to the hottest bucket, aging if full.
+	if len(m.buckets[0].keys) >= m.bucketCap {
+		m.age()
+	}
+	m.buckets[0].keys[key] = struct{}{}
+	m.where[key] = m.buckets[0]
+	return dist
+}
+
+// age shifts every bucket one position colder; the coldest bucket is
+// recycled as the new hottest bucket after its keys fall out.
+func (m *MimirH) age() {
+	last := len(m.buckets) - 1
+	coldest := m.buckets[last]
+	for key := range coldest.keys {
+		delete(m.where, key)
+	}
+	copy(m.buckets[1:], m.buckets[:last])
+	coldest.keys = make(map[uint64]struct{}, m.bucketCap)
+	m.buckets[0] = coldest
+	for i, b := range m.buckets {
+		b.pos = i
+	}
+}
+
+// Reset drops all tracked state and counters, keeping the configuration.
+// The arbiter resets a tenant's estimator after a workload phase change
+// signal rather than letting stale recency decay out.
+func (m *MimirH) Reset() {
+	for i, b := range m.buckets {
+		b.pos = i
+		b.keys = make(map[uint64]struct{})
+	}
+	m.where = make(map[uint64]*mimirBucketH)
+	m.hist = make(map[int]uint64)
+	m.coldMisses, m.total = 0, 0
+}
+
+// Total returns the number of recorded requests.
+func (m *MimirH) Total() uint64 { return m.total }
+
+// ColdMisses returns the number of first-or-evicted references.
+func (m *MimirH) ColdMisses() uint64 { return m.coldMisses }
+
+// Curve builds the (approximate) hit-rate curve.
+func (m *MimirH) Curve() *Curve { return newCurve(m.hist, m.total) }

@@ -94,8 +94,13 @@ func NewDataset(n uint64, opts ...DatasetOption) (*Dataset, error) {
 // Len returns the number of keys in the dataset.
 func (d *Dataset) Len() uint64 { return d.n }
 
-// RankOf parses the rank from a canonical key name.
+// RankOf parses the rank from a canonical key name. A tenant namespace
+// prefix ("tenant/k00042") is ignored: the simulated database is
+// namespace-agnostic, every tenant reads the same backing records.
 func (d *Dataset) RankOf(key string) (uint64, error) {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		key = key[i+1:]
+	}
 	if len(key) < 2 || key[0] != 'k' {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownKey, key)
 	}
